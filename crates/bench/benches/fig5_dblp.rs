@@ -1,0 +1,38 @@
+//! Figure 5(a): per-query elapsed time of ValidRTF vs revised MaxMatch
+//! on the DBLP-alike corpus (criterion variant of the `repro` harness).
+//!
+//! ```sh
+//! cargo bench -p xks-bench --bench fig5_dblp
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use validrtf::engine::AlgorithmKind;
+use xks_bench::{dblp_engine, Scale};
+use xks_datagen::queries::dblp_workload;
+use xks_index::Query;
+
+fn bench_fig5_dblp(c: &mut Criterion) {
+    let engine = dblp_engine(Scale::Small);
+    let mut group = c.benchmark_group("fig5a_dblp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for (abbrev, keywords) in dblp_workload() {
+        let query = Query::parse(&keywords).expect("workload query parses");
+        group.bench_with_input(
+            BenchmarkId::new("maxmatch", abbrev),
+            &query,
+            |b, query| b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("validrtf", abbrev),
+            &query,
+            |b, query| b.iter(|| engine.search(query, AlgorithmKind::ValidRtf)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_dblp);
+criterion_main!(benches);

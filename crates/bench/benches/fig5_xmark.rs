@@ -1,0 +1,47 @@
+//! Figures 5(b)–5(d): per-query elapsed time of ValidRTF vs revised
+//! MaxMatch on the XMark-alike ladder (standard / data1 / data2).
+//!
+//! ```sh
+//! cargo bench -p xks-bench --bench fig5_xmark
+//! # one panel:
+//! cargo bench -p xks-bench --bench fig5_xmark -- fig5b_xmark_standard
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use validrtf::engine::AlgorithmKind;
+use xks_bench::{xmark_engine, Scale};
+use xks_datagen::queries::xmark_workload;
+use xks_datagen::XmarkSize;
+use xks_index::Query;
+
+fn panel(c: &mut Criterion, group_name: &str, size: XmarkSize) {
+    let engine = xmark_engine(Scale::Small, size);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for (abbrev, keywords) in xmark_workload() {
+        let query = Query::parse(&keywords).expect("workload query parses");
+        group.bench_with_input(
+            BenchmarkId::new("maxmatch", abbrev),
+            &query,
+            |b, query| b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("validrtf", abbrev),
+            &query,
+            |b, query| b.iter(|| engine.search(query, AlgorithmKind::ValidRtf)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig5_xmark(c: &mut Criterion) {
+    panel(c, "fig5b_xmark_standard", XmarkSize::Standard);
+    panel(c, "fig5c_xmark_data1", XmarkSize::Data1);
+    panel(c, "fig5d_xmark_data2", XmarkSize::Data2);
+}
+
+criterion_group!(benches, bench_fig5_xmark);
+criterion_main!(benches);

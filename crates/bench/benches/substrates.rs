@@ -1,0 +1,42 @@
+//! Substrate-cost benches: the stages *before* the timing boundary of
+//! Figure 5 (the paper measures after keyword-node retrieval; a
+//! downstream user still cares what parsing, shredding, and indexing
+//! cost on realistic corpora).
+//!
+//! ```sh
+//! cargo bench -p xks-bench --bench substrates
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xks_datagen::{generate_dblp, DblpConfig};
+use xks_index::InvertedIndex;
+use xks_xmltree::writer::to_xml_compact;
+
+fn substrates(c: &mut Criterion) {
+    let tree = generate_dblp(&DblpConfig::with_records(2_000, 7));
+    let xml = to_xml_compact(&tree);
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(criterion::Throughput::Bytes(xml.len() as u64));
+
+    group.bench_function("parse_dblp_2k", |b| {
+        b.iter(|| xks_xmltree::parse(black_box(&xml)).expect("parses"))
+    });
+    group.bench_function("shred_dblp_2k", |b| {
+        b.iter(|| xks_store::shred(black_box(&tree)))
+    });
+    group.bench_function("index_dblp_2k", |b| {
+        b.iter(|| InvertedIndex::build(black_box(&tree)))
+    });
+    group.bench_function("serialize_dblp_2k", |b| {
+        b.iter(|| to_xml_compact(black_box(&tree)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

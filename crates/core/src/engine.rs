@@ -1,0 +1,211 @@
+//! Convenience façade: one object owning document + index, answering
+//! queries with either algorithm and producing the §5.1 comparison in
+//! one call.
+
+use std::time::Duration;
+
+use xks_index::{InvertedIndex, Query};
+use xks_xmltree::XmlTree;
+
+use crate::algorithms::{run, AnchorSemantics, RunOutput, StageTimings};
+use crate::fragment::Fragment;
+use crate::metrics::{effectiveness, Effectiveness};
+use crate::prune::Policy;
+
+/// Which end-to-end algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// ValidRTF: all interesting LCAs + valid-contributor pruning.
+    ValidRtf,
+    /// Revised MaxMatch: all interesting LCAs + contributor pruning.
+    MaxMatchRtf,
+    /// Original MaxMatch: SLCA anchors + contributor pruning.
+    MaxMatchSlca,
+}
+
+impl AlgorithmKind {
+    fn anchor(self) -> AnchorSemantics {
+        match self {
+            AlgorithmKind::MaxMatchSlca => AnchorSemantics::SlcaOnly,
+            _ => AnchorSemantics::AllLca,
+        }
+    }
+
+    fn policy(self) -> Policy {
+        match self {
+            AlgorithmKind::ValidRtf => Policy::ValidContributor,
+            _ => Policy::Contributor,
+        }
+    }
+}
+
+/// A search result: fragments plus timing.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The meaningful fragments.
+    pub fragments: Vec<Fragment>,
+    /// Elapsed time, broken down per stage.
+    pub timings: StageTimings,
+}
+
+/// The per-query comparison of ValidRTF against the revised MaxMatch —
+/// one data point of Figures 5 and 6.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Number of RTFs (the "RTFs" line of Figure 5).
+    pub rtf_count: usize,
+    /// ValidRTF elapsed time.
+    pub valid_rtf_time: Duration,
+    /// Revised MaxMatch elapsed time.
+    pub max_match_time: Duration,
+    /// CFR / APR / APR' / Max APR (Figure 6).
+    pub effectiveness: Effectiveness,
+}
+
+/// Document + index, ready to answer keyword queries.
+#[derive(Debug)]
+pub struct SearchEngine {
+    tree: XmlTree,
+    index: InvertedIndex,
+}
+
+impl SearchEngine {
+    /// Builds the engine (index construction happens here).
+    #[must_use]
+    pub fn new(tree: XmlTree) -> Self {
+        let index = InvertedIndex::build(&tree);
+        SearchEngine { tree, index }
+    }
+
+    /// The underlying document.
+    #[must_use]
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// The underlying inverted index.
+    #[must_use]
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Runs one algorithm on one query.
+    #[must_use]
+    pub fn search(&self, query: &Query, kind: AlgorithmKind) -> SearchResult {
+        match run(
+            &self.tree,
+            &self.index,
+            query,
+            kind.anchor(),
+            kind.policy(),
+        ) {
+            Some(RunOutput {
+                fragments, timings, ..
+            }) => SearchResult { fragments, timings },
+            None => SearchResult {
+                fragments: Vec::new(),
+                timings: StageTimings::default(),
+            },
+        }
+    }
+
+    /// Runs one algorithm and returns the fragments **ranked best
+    /// first** (the §7 future-work stage; see [`mod@crate::rank`]).
+    #[must_use]
+    pub fn search_ranked(
+        &self,
+        query: &Query,
+        kind: AlgorithmKind,
+        weights: &crate::rank::RankWeights,
+    ) -> SearchResult {
+        let mut out = self.search(query, kind);
+        let order = crate::rank::rank(&out.fragments, query.len(), weights);
+        out.fragments = order
+            .iter()
+            .map(|r| out.fragments[r.index].clone())
+            .collect();
+        out
+    }
+
+    /// Runs ValidRTF and revised MaxMatch on the same query and computes
+    /// the Figure 5/6 data point.
+    #[must_use]
+    pub fn compare(&self, query: &Query) -> Comparison {
+        let valid = self.search(query, AlgorithmKind::ValidRtf);
+        let mm = self.search(query, AlgorithmKind::MaxMatchRtf);
+        debug_assert_eq!(valid.fragments.len(), mm.fragments.len());
+        let pairs: Vec<(Fragment, Fragment)> = valid
+            .fragments
+            .iter()
+            .cloned()
+            .zip(mm.fragments.iter().cloned())
+            .collect();
+        Comparison {
+            rtf_count: valid.fragments.len(),
+            valid_rtf_time: valid.timings.total(),
+            max_match_time: mm.timings.total(),
+            effectiveness: effectiveness(&pairs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_xmltree::fixtures::{publications, team, PAPER_QUERIES};
+
+    fn q(s: &str) -> Query {
+        Query::parse(s).unwrap()
+    }
+
+    #[test]
+    fn engine_answers_paper_queries() {
+        let engine = SearchEngine::new(publications());
+        let r = engine.search(&q(PAPER_QUERIES[2]), AlgorithmKind::ValidRtf);
+        assert_eq!(r.fragments.len(), 1);
+        assert_eq!(r.fragments[0].len(), 8); // Figure 2(d)
+    }
+
+    #[test]
+    fn compare_produces_figure6_point() {
+        let engine = SearchEngine::new(team());
+        let c = engine.compare(&q("grizzlies position"));
+        assert_eq!(c.rtf_count, 1);
+        assert_eq!(c.effectiveness.cfr, 0.0);
+        assert!(c.effectiveness.max_apr > 0.2);
+    }
+
+    #[test]
+    fn unmatched_query_is_empty_not_panic() {
+        let engine = SearchEngine::new(team());
+        let r = engine.search(&q("nonexistent"), AlgorithmKind::ValidRtf);
+        assert!(r.fragments.is_empty());
+        let c = engine.compare(&q("nonexistent"));
+        assert_eq!(c.rtf_count, 0);
+        assert_eq!(c.effectiveness.cfr, 1.0);
+    }
+
+    #[test]
+    fn search_ranked_orders_best_first() {
+        let engine = SearchEngine::new(publications());
+        let out = engine.search_ranked(
+            &q("liu keyword"),
+            AlgorithmKind::ValidRtf,
+            &crate::rank::RankWeights::default(),
+        );
+        assert_eq!(out.fragments.len(), 2);
+        // The tight single-node ref fragment ranks above the article.
+        assert_eq!(out.fragments[0].anchor.to_string(), "0.2.0.3.0");
+    }
+
+    #[test]
+    fn slca_variant_returns_subset_of_anchors() {
+        let engine = SearchEngine::new(publications());
+        let slca = engine.search(&q("liu keyword"), AlgorithmKind::MaxMatchSlca);
+        let all = engine.search(&q("liu keyword"), AlgorithmKind::MaxMatchRtf);
+        assert!(slca.fragments.len() <= all.fragments.len());
+        for f in &slca.fragments {
+            assert!(all.fragments.iter().any(|g| g.anchor == f.anchor));
+        }
+    }
+}

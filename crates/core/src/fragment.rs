@@ -1,0 +1,520 @@
+//! Materialized RTF fragments — the §4.1 node data structure and the
+//! *constructing step* of `pruneRTF`.
+//!
+//! A [`Fragment`] is the tree induced by an RTF: the anchor, its keyword
+//! nodes, and every node on the paths between them. Each node carries
+//! the "Self Info" of §4.1 — Dewey code, label, `kList` ([`KeySet`]) and
+//! `cID` content feature — and its "Children Info" is derivable on
+//! demand as per-label groups ([`Fragment::label_groups`]): counter,
+//! `chkList` (distinct key numbers) and `chcIDList`.
+//!
+//! Construction propagates each keyword node's keyword mask and content
+//! feature to **all** its ancestors up to the anchor — the paper adds
+//! lines 11–12 to `pruneRTF` precisely to guarantee this full
+//! propagation; we implement the propagation directly per keyword node,
+//! which yields the same summaries.
+
+use std::collections::BTreeMap;
+
+use xks_xmltree::content::{content_feature, node_content};
+use xks_xmltree::{Dewey, LabelId, XmlTree};
+
+use crate::keyset::KeySet;
+use crate::rtf::Rtf;
+
+/// The `cID` content feature: lexical `(min, max)` of a tree content
+/// set (§4.1). `None` when no keyword-node content is below the node.
+pub type Cid = Option<(String, String)>;
+
+/// One node of a materialized fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragNode {
+    /// Dewey code.
+    pub dewey: Dewey,
+    /// Interned label (resolve via the source tree's label table).
+    pub label: LabelId,
+    /// The tree keyword set `TK_v` restricted to this fragment
+    /// (= `dMatch(v)` of MaxMatch).
+    pub kset: KeySet,
+    /// The content feature of the tree content set `TC_v` (Definition 3:
+    /// union over the *keyword nodes* of the subtree).
+    pub cid: Cid,
+    /// `true` when the node is itself a keyword node of the query.
+    pub is_keyword: bool,
+    /// Children within the fragment, in document order.
+    pub children: Vec<Dewey>,
+}
+
+/// A materialized RTF: anchor plus all path nodes, keyed by Dewey code
+/// (`BTreeMap` iteration = document order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// The anchor LCA node.
+    pub anchor: Dewey,
+    nodes: BTreeMap<Dewey, FragNode>,
+}
+
+/// One per-label child group of a node — the §4.1 "label item".
+#[derive(Debug, Clone)]
+pub struct LabelGroup<'a> {
+    /// The shared label of the children in this group.
+    pub label: LabelId,
+    /// The children, in document order.
+    pub children: Vec<&'a FragNode>,
+}
+
+impl LabelGroup<'_> {
+    /// The group's `counter` field.
+    #[must_use]
+    pub fn counter(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The sorted distinct key numbers of the group (`chkList`).
+    #[must_use]
+    pub fn chk_list(&self, k: usize) -> Vec<u64> {
+        let mut nums: Vec<u64> = self.children.iter().map(|c| c.kset.key_number(k)).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        nums
+    }
+}
+
+impl Fragment {
+    /// Builds the fragment for one RTF — the constructing step.
+    ///
+    /// `tree` is the source document (for labels and keyword-node
+    /// contents); `rtf` the keyword-node partition from
+    /// [`crate::rtf::get_rtf`].
+    #[must_use]
+    pub fn construct(tree: &XmlTree, rtf: &Rtf) -> Self {
+        let mut nodes: BTreeMap<Dewey, FragNode> = BTreeMap::new();
+
+        // Ensure the anchor exists even in the degenerate single-node
+        // case.
+        ensure_node(tree, &mut nodes, &rtf.anchor);
+
+        for (kd, mask) in &rtf.knodes {
+            // Content feature of the keyword node itself.
+            let content = node_content(tree, tree_node(tree, kd));
+            let cid = content_feature(&content);
+
+            // Seed the keyword node…
+            {
+                let n = ensure_node(tree, &mut nodes, kd);
+                n.is_keyword = true;
+                n.kset = n.kset.union(*mask);
+                n.cid = merge_cid(n.cid.take(), cid.clone());
+            }
+            // …and propagate to every ancestor up to the anchor.
+            let ancestors: Vec<Dewey> = kd
+                .ancestors()
+                .take_while(|a| rtf.anchor.is_ancestor_or_self(a))
+                .collect();
+            for a in ancestors {
+                let n = ensure_node(tree, &mut nodes, &a);
+                n.kset = n.kset.union(*mask);
+                n.cid = merge_cid(n.cid.take(), cid.clone());
+            }
+        }
+
+        // Children links (document order is free from BTreeMap order).
+        let deweys: Vec<Dewey> = nodes.keys().cloned().collect();
+        for d in &deweys {
+            if d == &rtf.anchor {
+                continue;
+            }
+            let parent = d.parent().expect("non-anchor fragment node has parent");
+            nodes
+                .get_mut(&parent)
+                .expect("parent present by construction")
+                .children
+                .push(d.clone());
+        }
+
+        Fragment {
+            anchor: rtf.anchor.clone(),
+            nodes,
+        }
+    }
+
+    /// A fragment with exactly the given nodes (used by the pruning
+    /// step to emit the filtered result).
+    #[must_use]
+    pub(crate) fn with_nodes(anchor: Dewey, nodes: BTreeMap<Dewey, FragNode>) -> Self {
+        Fragment { anchor, nodes }
+    }
+
+    /// Node lookup.
+    #[must_use]
+    pub fn node(&self, dewey: &Dewey) -> Option<&FragNode> {
+        self.nodes.get(dewey)
+    }
+
+    /// `true` when the fragment contains `dewey`.
+    #[must_use]
+    pub fn contains(&self, dewey: &Dewey) -> bool {
+        self.nodes.contains_key(dewey)
+    }
+
+    /// All nodes in document order.
+    pub fn iter(&self) -> impl Iterator<Item = &FragNode> {
+        self.nodes.values()
+    }
+
+    /// All Dewey codes in document order.
+    #[must_use]
+    pub fn deweys(&self) -> Vec<Dewey> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fragments are never empty (the anchor is always present).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The children of `dewey` grouped by distinct label, in order of
+    /// first appearance — the `chlList` of §4.1.
+    #[must_use]
+    pub fn label_groups(&self, dewey: &Dewey) -> Vec<LabelGroup<'_>> {
+        let Some(node) = self.nodes.get(dewey) else {
+            return Vec::new();
+        };
+        let mut groups: Vec<LabelGroup<'_>> = Vec::new();
+        for child_d in &node.children {
+            let child = &self.nodes[child_d];
+            match groups.iter_mut().find(|g| g.label == child.label) {
+                Some(g) => g.children.push(child),
+                None => groups.push(LabelGroup {
+                    label: child.label,
+                    children: vec![child],
+                }),
+            }
+        }
+        groups
+    }
+
+    /// Serializes the fragment as an XML snippet (kept nodes only),
+    /// pulling labels, attributes, and keyword-node text from the
+    /// source tree. Interior non-keyword nodes are emitted without
+    /// text, matching the paper's figures which show only the matched
+    /// values.
+    #[must_use]
+    pub fn to_xml(&self, tree: &XmlTree) -> String {
+        fn emit(frag: &Fragment, tree: &XmlTree, d: &Dewey, depth: usize, out: &mut String) {
+            use std::fmt::Write as _;
+            let node = frag.node(d).expect("emit called on fragment node");
+            let label = tree.labels().name(node.label);
+            let indent = "  ".repeat(depth);
+            let _ = write!(out, "{indent}<{label}");
+            if let Some(id) = tree.node_by_dewey(d) {
+                for attr in &tree.node(id).attributes {
+                    let _ = write!(
+                        out,
+                        " {}=\"{}\"",
+                        attr.name,
+                        xks_xmltree::writer::escape_attr(&attr.value)
+                    );
+                }
+            }
+            let text = if node.is_keyword {
+                tree.node_by_dewey(d)
+                    .and_then(|id| tree.node(id).text.clone())
+            } else {
+                None
+            };
+            if node.children.is_empty() && text.is_none() {
+                out.push_str("/>\n");
+                return;
+            }
+            out.push('>');
+            if let Some(t) = &text {
+                out.push_str(&xks_xmltree::writer::escape_text(t));
+            }
+            if !node.children.is_empty() {
+                out.push('\n');
+                for c in &node.children {
+                    emit(frag, tree, c, depth + 1, out);
+                }
+                out.push_str(&"  ".repeat(depth));
+            }
+            let _ = writeln!(out, "</{label}>");
+        }
+        let mut out = String::new();
+        emit(self, tree, &self.anchor, 0, &mut out);
+        out
+    }
+
+    /// Renders one node's §4.1 data structure the way Figure 4(c)
+    /// presents it: the "Self Info" frame (dewey, label, kList, key
+    /// number, cID) and one "Children Info" line per label item
+    /// (counter, chkList, chcIDList).
+    ///
+    /// `k` is the query keyword count (needed for the paper's key-number
+    /// convention). Returns `None` for nodes outside the fragment.
+    #[must_use]
+    pub fn render_node_info(&self, tree: &XmlTree, dewey: &Dewey, k: usize) -> Option<String> {
+        use std::fmt::Write as _;
+        let node = self.node(dewey)?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Self Info: dewey={} label={} kList={} knum={} cID={:?}",
+            node.dewey,
+            tree.labels().name(node.label),
+            render_klist(node.kset, k),
+            node.kset.key_number(k),
+            node.cid,
+        );
+        for group in self.label_groups(dewey) {
+            let cids: Vec<&Cid> = group.children.iter().map(|c| &c.cid).collect();
+            let _ = writeln!(
+                out,
+                "Children Info [{}]: counter={} chkList={:?} chcIDList={:?}",
+                tree.labels().name(group.label),
+                group.counter(),
+                group.chk_list(k),
+                cids,
+            );
+        }
+        Some(out)
+    }
+
+    /// Renders the fragment as an indented outline using the source
+    /// tree's label table (for examples and debugging).
+    #[must_use]
+    pub fn render(&self, tree: &XmlTree) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let base = self.anchor.level();
+        for n in self.iter() {
+            let indent = "  ".repeat(n.dewey.level() - base);
+            let label = tree.labels().name(n.label);
+            let _ = write!(out, "{indent}{label} [{}]", n.dewey);
+            if n.is_keyword {
+                if let Some(id) = tree.node_by_dewey(&n.dewey) {
+                    if let Some(text) = &tree.node(id).text {
+                        let _ = write!(out, " {text:?}");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn tree_node(tree: &XmlTree, dewey: &Dewey) -> xks_xmltree::NodeId {
+    tree.node_by_dewey(dewey)
+        .unwrap_or_else(|| panic!("RTF references node {dewey} missing from the tree"))
+}
+
+fn ensure_node<'m>(
+    tree: &XmlTree,
+    nodes: &'m mut BTreeMap<Dewey, FragNode>,
+    dewey: &Dewey,
+) -> &'m mut FragNode {
+    nodes.entry(dewey.clone()).or_insert_with(|| {
+        let id = tree_node(tree, dewey);
+        FragNode {
+            dewey: dewey.clone(),
+            label: tree.node(id).label,
+            kset: KeySet::EMPTY,
+            cid: None,
+            is_keyword: false,
+            children: Vec::new(),
+        }
+    })
+}
+
+/// The paper's bit-list rendering of a keyword set: `kList = 0 1 1 1 1`
+/// with the first query keyword leftmost.
+fn render_klist(kset: KeySet, k: usize) -> String {
+    (0..k)
+        .map(|i| if kset.contains(i) { "1" } else { "0" })
+        .collect::<Vec<&str>>()
+        .join(" ")
+}
+
+/// Merges two content features: lexical min of mins, max of maxes.
+/// Exact for `(min, max)` of a union of sets.
+fn merge_cid(a: Cid, b: Cid) -> Cid {
+    match (a, b) {
+        (Some((amin, amax)), Some((bmin, bmax))) => {
+            Some((amin.min(bmin), amax.max(bmax)))
+        }
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_index::{InvertedIndex, Query};
+    use xks_lca::elca_stack;
+    use xks_xmltree::fixtures::publications;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn q3_fragment() -> (XmlTree, Fragment) {
+        let tree = publications();
+        let index = InvertedIndex::build(&tree);
+        let q = Query::parse("vldb title xml keyword search").unwrap();
+        let sets = index.resolve(&q).unwrap();
+        let anchors = elca_stack(sets.sets());
+        let rtfs = crate::rtf::get_rtf(&anchors, &sets);
+        assert_eq!(rtfs.len(), 1);
+        let frag = Fragment::construct(&tree, &rtfs[0]);
+        (tree, frag)
+    }
+
+    #[test]
+    fn q3_fragment_is_figure_2c() {
+        // The raw RTF of Figure 2(c): root, 0.0, the path through 0.2 to
+        // all keyword nodes of both articles.
+        let (_, frag) = q3_fragment();
+        let got: Vec<String> = frag.deweys().iter().map(ToString::to_string).collect();
+        assert_eq!(
+            got,
+            [
+                "0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0",
+                "0.2.1", "0.2.1.1"
+            ]
+        );
+    }
+
+    #[test]
+    fn q3_ksets_match_example_7_key_numbers() {
+        // §4.1/Example 7: node 0.2 has kList 0 1 1 1 1 → key number 15;
+        // child 0.2.0 → 15; child 0.2.1 → 8 (title only); and for the
+        // MaxMatch illustration 0 0 1 1 1 → 7 would be a node with only
+        // xml/keyword/search.
+        let (_, frag) = q3_fragment();
+        let k = 5;
+        assert_eq!(frag.node(&d("0.2")).unwrap().kset.key_number(k), 15);
+        assert_eq!(frag.node(&d("0.2.0")).unwrap().kset.key_number(k), 15);
+        assert_eq!(frag.node(&d("0.2.1")).unwrap().kset.key_number(k), 8);
+        assert_eq!(frag.node(&d("0.2.0.2")).unwrap().kset.key_number(k), 7);
+        // Root covers everything.
+        assert!(frag.node(&d("0")).unwrap().kset.covers_query(k));
+    }
+
+    #[test]
+    fn q3_cids_aggregate_keyword_content() {
+        let (_, frag) = q3_fragment();
+        // Leaf keyword node: title 0.2.0.1 spans keyword..xml (§4.1).
+        assert_eq!(
+            frag.node(&d("0.2.0.1")).unwrap().cid,
+            Some(("keyword".into(), "xml".into()))
+        );
+        // 0.2 absorbs both articles' keyword nodes: min is "abstract"
+        // (the abstract node's label word; the paper's worked example
+        // said "attribute" because it ignored labels — see
+        // fixtures.rs docs), max "xml".
+        assert_eq!(
+            frag.node(&d("0.2")).unwrap().cid,
+            Some(("abstract".into(), "xml".into()))
+        );
+        // Non-keyword interior node on a single path: inherits the one
+        // keyword node's feature below it.
+        assert_eq!(
+            frag.node(&d("0.2.0.3")).unwrap().cid,
+            frag.node(&d("0.2.0.3.0")).unwrap().cid
+        );
+    }
+
+    #[test]
+    fn children_groups_by_label() {
+        let (_, frag) = q3_fragment();
+        // Node 0.2 has two children with the same label "article": one
+        // group, counter 2 (Example 7).
+        let groups = frag.label_groups(&d("0.2"));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].counter(), 2);
+        assert_eq!(groups[0].chk_list(5), vec![8, 15]);
+        // Root has children 0.0 (title) and 0.2 (Articles): two groups.
+        let groups = frag.label_groups(&d("0"));
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.counter() == 1));
+    }
+
+    #[test]
+    fn keyword_flags() {
+        let (_, frag) = q3_fragment();
+        assert!(frag.node(&d("0.0")).unwrap().is_keyword);
+        assert!(frag.node(&d("0.2.0.1")).unwrap().is_keyword);
+        assert!(!frag.node(&d("0.2")).unwrap().is_keyword);
+        assert!(!frag.node(&d("0.2.0.3")).unwrap().is_keyword);
+    }
+
+    #[test]
+    fn anchor_equals_keyword_node_degenerate_fragment() {
+        let tree = publications();
+        let index = InvertedIndex::build(&tree);
+        let q = Query::parse("liu keyword").unwrap();
+        let sets = index.resolve(&q).unwrap();
+        let anchors = elca_stack(sets.sets());
+        let rtfs = crate::rtf::get_rtf(&anchors, &sets);
+        // Second RTF: the ref node alone.
+        let frag = Fragment::construct(&tree, &rtfs[1]);
+        assert_eq!(frag.len(), 1);
+        let n = frag.node(&d("0.2.0.3.0")).unwrap();
+        assert!(n.is_keyword);
+        assert!(n.kset.covers_query(2));
+    }
+
+    #[test]
+    fn render_node_info_matches_figure_4c() {
+        // Figure 4(c), top frame: node "0.2 (Articles)" for Q3 —
+        // kList 0 1 1 1 1, key number 15, one "article" label item with
+        // counter 2 and chkList [8, 15].
+        let (tree, frag) = q3_fragment();
+        let info = frag
+            .render_node_info(&tree, &d("0.2"), 5)
+            .expect("0.2 in fragment");
+        assert!(info.contains("label=Articles"), "{info}");
+        assert!(info.contains("kList=0 1 1 1 1"), "{info}");
+        assert!(info.contains("knum=15"), "{info}");
+        assert!(info.contains("[article]: counter=2 chkList=[8, 15]"), "{info}");
+        assert!(frag.render_node_info(&tree, &d("0.9"), 5).is_none());
+    }
+
+    #[test]
+    fn to_xml_emits_kept_subtree() {
+        let tree = publications();
+        let index = InvertedIndex::build(&tree);
+        let q = Query::parse("liu keyword").unwrap();
+        let sets = index.resolve(&q).unwrap();
+        let anchors = elca_stack(sets.sets());
+        let rtfs = crate::rtf::get_rtf(&anchors, &sets);
+        let frag = Fragment::construct(&tree, &rtfs[0]);
+        let xml = frag.to_xml(&tree);
+        assert!(xml.starts_with("<article>"));
+        assert!(xml.contains("<name>Liu</name>"));
+        assert!(xml.contains("</article>"));
+        // Interior nodes carry no text.
+        assert!(xml.contains("<authors>\n"));
+        // Round-trips through the parser.
+        let parsed = xks_xmltree::parse(&xml).unwrap();
+        assert_eq!(parsed.len(), frag.len());
+    }
+
+    #[test]
+    fn render_outline_readable() {
+        let (tree, frag) = q3_fragment();
+        let s = frag.render(&tree);
+        assert!(s.starts_with("Publications [0]\n"));
+        assert!(s.contains("  Articles [0.2]"));
+        assert!(s.contains("\"VLDB\""));
+    }
+}

@@ -1,0 +1,61 @@
+//! **ValidRTF** — meaningful Relaxed Tightest Fragments for XML keyword
+//! search.
+//!
+//! This crate implements the primary contribution of *"Retrieving
+//! Meaningful Relaxed Tightest Fragments for XML Keyword Search"*
+//! (Kong, Gilleron, Lemay — EDBT 2009):
+//!
+//! * the **RTF** result model — one fragment per *interesting LCA*
+//!   (ELCA) anchor, holding exactly the related keyword nodes
+//!   ([`rtf`], [`fragment`]), formally specified by Definitions 1–2
+//!   ([`spec`]);
+//! * the **valid contributor** filter (Definition 4) that prunes RTFs
+//!   without MaxMatch's false-positive and redundancy problems
+//!   ([`mod@prune`]);
+//! * the **ValidRTF** algorithm (Algorithm 1) and the revised/original
+//!   **MaxMatch** baselines ([`algorithms`], [`engine`]);
+//! * the §5.1 effectiveness metrics CFR / APR / APR′ / Max APR
+//!   ([`metrics`]) and the four axiomatic XKS property checkers
+//!   ([`axioms`]);
+//! * RTF **ranking** ([`mod@rank`]) — the future-work stage §7 calls for.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use validrtf::engine::{AlgorithmKind, SearchEngine};
+//! use xks_index::Query;
+//! use xks_xmltree::parse;
+//!
+//! let tree = parse(
+//!     "<pubs><paper><title>xml keyword search</title></paper>\
+//!      <paper><title>skyline queries</title></paper></pubs>",
+//! )
+//! .unwrap();
+//! let engine = SearchEngine::new(tree);
+//! let query = Query::parse("xml keyword").unwrap();
+//! let result = engine.search(&query, AlgorithmKind::ValidRtf);
+//! assert_eq!(result.fragments.len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithms;
+pub mod axioms;
+pub mod engine;
+pub mod fragment;
+pub mod keyset;
+pub mod metrics;
+pub mod prune;
+pub mod rank;
+pub mod rtf;
+pub mod spec;
+
+pub use algorithms::{max_match_rtf, max_match_slca, valid_rtf};
+pub use engine::{AlgorithmKind, SearchEngine};
+pub use fragment::Fragment;
+pub use keyset::KeySet;
+pub use metrics::{effectiveness, Effectiveness};
+pub use prune::{prune, Policy};
+pub use rank::{rank, RankWeights, RankedFragment};
+pub use rtf::{get_rtf, get_rtf_unchecked, Rtf};

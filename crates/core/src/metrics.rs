@@ -1,0 +1,169 @@
+//! Effectiveness metrics of §5.1: CFR, APR, APR′ and Max APR.
+//!
+//! For a query, let `A` be the anchor (interesting LCA) set, `V` the
+//! meaningful RTFs computed by ValidRTF and `X` the fragments computed by
+//! (revised) MaxMatch — both indexed by anchor. Then:
+//!
+//! * **CFR** (common fragment ratio) `= |V ∩ X| / |A|` — the share of
+//!   anchors where both algorithms return the identical node set;
+//! * per-anchor pruning ratio `xv_a = |x_a − v_a| / |x_a|` — the share
+//!   of MaxMatch's nodes that ValidRTF additionally discards;
+//! * **Max APR** `= max_a xv_a` — the extreme fragment's ratio (§5.3
+//!   splits it out because the root-anchored RTF dominates);
+//! * **APR** `= Σ_a xv_a / |V − V∩X|` — average over the differing
+//!   fragments;
+//! * **APR′** — APR recomputed after discarding the extreme fragment.
+
+use std::collections::BTreeSet;
+
+use xks_xmltree::Dewey;
+
+use crate::fragment::Fragment;
+
+/// The §5.1 effectiveness ratios for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Effectiveness {
+    /// Number of anchors `|A|` (= number of RTFs).
+    pub rtf_count: usize,
+    /// Number of anchors where both fragments have equal node sets.
+    pub common_count: usize,
+    /// Common fragment ratio `|V∩X| / |A|` (1.0 when `|A| = 0`).
+    pub cfr: f64,
+    /// Average pruning ratio over differing fragments.
+    pub apr: f64,
+    /// APR after discarding the extreme fragment.
+    pub apr_prime: f64,
+    /// The largest per-fragment pruning ratio.
+    pub max_apr: f64,
+}
+
+/// Computes the ratios from anchor-aligned fragment pairs
+/// `(valid_rtf_fragment, maxmatch_fragment)`.
+///
+/// Both lists must come from the same anchor set in the same order (the
+/// pipeline guarantees this); the function panics on anchor mismatch to
+/// surface misuse early.
+#[must_use]
+pub fn effectiveness(pairs: &[(Fragment, Fragment)]) -> Effectiveness {
+    let mut ratios: Vec<f64> = Vec::with_capacity(pairs.len());
+    let mut common = 0usize;
+    for (v, x) in pairs {
+        assert_eq!(v.anchor, x.anchor, "fragment pair anchors must align");
+        let v_nodes: BTreeSet<Dewey> = v.deweys().into_iter().collect();
+        let x_nodes: BTreeSet<Dewey> = x.deweys().into_iter().collect();
+        if v_nodes == x_nodes {
+            common += 1;
+            ratios.push(0.0);
+        } else {
+            let extra = x_nodes.difference(&v_nodes).count();
+            ratios.push(extra as f64 / x_nodes.len() as f64);
+        }
+    }
+
+    let n = pairs.len();
+    let differing = n - common;
+    let sum: f64 = ratios.iter().sum();
+    let max_apr = ratios.iter().cloned().fold(0.0, f64::max);
+    let apr = if differing > 0 {
+        sum / differing as f64
+    } else {
+        0.0
+    };
+    let apr_prime = if differing > 1 {
+        (sum - max_apr) / (differing - 1) as f64
+    } else {
+        0.0
+    };
+    Effectiveness {
+        rtf_count: n,
+        common_count: common,
+        cfr: if n > 0 { common as f64 / n as f64 } else { 1.0 },
+        apr,
+        apr_prime,
+        max_apr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use crate::prune::{prune, Policy};
+    use crate::rtf::get_rtf;
+    use xks_index::{InvertedIndex, Query};
+    use xks_lca::elca_stack;
+    use xks_xmltree::XmlTree;
+
+    fn pairs_for(tree: &XmlTree, query: &str) -> Vec<(Fragment, Fragment)> {
+        let index = InvertedIndex::build(tree);
+        let sets = index.resolve(&Query::parse(query).unwrap()).unwrap();
+        let anchors = elca_stack(sets.sets());
+        get_rtf(&anchors, &sets)
+            .iter()
+            .map(|r| {
+                let raw = Fragment::construct(tree, r);
+                (
+                    prune(&raw, Policy::ValidContributor),
+                    prune(&raw, Policy::Contributor),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_results_give_cfr_one() {
+        let tree = xks_xmltree::fixtures::publications();
+        let pairs = pairs_for(&tree, "liu keyword");
+        let eff = effectiveness(&pairs);
+        assert_eq!(eff.rtf_count, 2);
+        assert_eq!(eff.common_count, 2);
+        assert_eq!(eff.cfr, 1.0);
+        assert_eq!(eff.apr, 0.0);
+        assert_eq!(eff.max_apr, 0.0);
+    }
+
+    #[test]
+    fn q4_redundancy_shows_up_as_pruning() {
+        // ValidRTF removes 2 of MaxMatch's 9 nodes (player 0.1.2 and its
+        // position child) → one differing fragment with ratio 2/9.
+        let tree = xks_xmltree::fixtures::team();
+        let pairs = pairs_for(&tree, "grizzlies position");
+        let eff = effectiveness(&pairs);
+        assert_eq!(eff.rtf_count, 1);
+        assert_eq!(eff.common_count, 0);
+        assert_eq!(eff.cfr, 0.0);
+        assert!((eff.apr - 2.0 / 9.0).abs() < 1e-12);
+        assert_eq!(eff.apr_prime, 0.0); // only one differing fragment
+        assert!((eff.max_apr - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q1_false_positive_counts_nothing_for_validrtf() {
+        // ValidRTF *keeps more* than MaxMatch here: v ⊃ x, so
+        // |x − v| = 0 yet the node sets differ → CFR < 1 with ratio 0.
+        let tree = xks_xmltree::fixtures::publications();
+        let pairs = pairs_for(&tree, "wong fu dynamic skyline query");
+        let eff = effectiveness(&pairs);
+        assert_eq!(eff.rtf_count, 1);
+        assert_eq!(eff.cfr, 0.0);
+        assert_eq!(eff.apr, 0.0);
+        assert_eq!(eff.max_apr, 0.0);
+    }
+
+    #[test]
+    fn empty_pairs_degenerate() {
+        let eff = effectiveness(&[]);
+        assert_eq!(eff.rtf_count, 0);
+        assert_eq!(eff.cfr, 1.0);
+        assert_eq!(eff.apr, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchors must align")]
+    fn mismatched_anchors_rejected() {
+        let tree = xks_xmltree::fixtures::publications();
+        let a = pairs_for(&tree, "liu keyword");
+        let mismatched = vec![(a[0].0.clone(), a[1].1.clone())];
+        let _ = effectiveness(&mismatched);
+    }
+}

@@ -1,0 +1,295 @@
+//! The *pruning step* of `pruneRTF` — and the MaxMatch baseline filter.
+//!
+//! Both filters walk the fragment top-down from the anchor and decide,
+//! per parent, which children survive; a discarded child takes its whole
+//! subtree with it. They differ in the predicate:
+//!
+//! * [`Policy::ValidContributor`] — Definition 4 / Algorithm 1 lines
+//!   16–26. Children are grouped by label. A unique-label child always
+//!   survives (rule 1 — fixes MaxMatch's *false positive problem*).
+//!   Within a same-label group, a child is discarded when its keyword
+//!   set is a strict subset of a sibling's (rule 2(a), inherited from
+//!   the contributor), and when its keyword set ties a kept sibling, it
+//!   survives only if its content (cID) differs (rule 2(b) — fixes the
+//!   *redundancy problem*).
+//! * [`Policy::Contributor`] — MaxMatch's filter: a child survives iff
+//!   **no sibling whatsoever** (any label) has a strictly larger keyword
+//!   set.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use xks_xmltree::Dewey;
+
+use crate::fragment::{Cid, FragNode, Fragment};
+
+/// Which filtering mechanism to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's valid-contributor filter (ValidRTF).
+    ValidContributor,
+    /// MaxMatch's contributor filter (the baseline).
+    Contributor,
+}
+
+/// Prunes a fragment under the chosen policy, returning the meaningful
+/// fragment (a sub-fragment containing the anchor).
+#[must_use]
+pub fn prune(fragment: &Fragment, policy: Policy) -> Fragment {
+    let mut kept: BTreeMap<Dewey, FragNode> = BTreeMap::new();
+    let anchor = fragment
+        .node(&fragment.anchor)
+        .expect("fragment contains its anchor");
+    kept.insert(fragment.anchor.clone(), anchor.clone());
+
+    // Breadth-first from the anchor (Algorithm 1 line 16).
+    let mut queue: Vec<Dewey> = vec![fragment.anchor.clone()];
+    while let Some(parent) = queue.pop() {
+        let survivors = match policy {
+            Policy::ValidContributor => valid_contributors(fragment, &parent),
+            Policy::Contributor => contributors(fragment, &parent),
+        };
+        for child in survivors {
+            let node = fragment.node(&child).expect("child in fragment").clone();
+            kept.insert(child.clone(), node);
+            queue.push(child);
+        }
+    }
+
+    // Rebuild children links restricted to kept nodes.
+    let keys: Vec<Dewey> = kept.keys().cloned().collect();
+    for d in &keys {
+        let node = kept.get_mut(d).expect("kept node");
+        node.children.retain(|c| keys.binary_search(c).is_ok());
+    }
+    Fragment::with_nodes(fragment.anchor.clone(), kept)
+}
+
+/// Definition 4: the children of `parent` that are valid contributors.
+fn valid_contributors(fragment: &Fragment, parent: &Dewey) -> Vec<Dewey> {
+    let mut out = Vec::new();
+    for group in fragment.label_groups(parent) {
+        if group.counter() == 1 {
+            // Rule 1: unique label among siblings — always kept.
+            out.push(group.children[0].dewey.clone());
+            continue;
+        }
+        let mut used_ksets: HashSet<u64> = HashSet::new();
+        let mut used_cids: HashSet<CidKey> = HashSet::new();
+        for ch in &group.children {
+            let knum = ch.kset.0;
+            if used_ksets.contains(&knum) {
+                // Rule 2(b): keyword set ties a kept sibling — keep only
+                // novel content.
+                if used_cids.insert(cid_key(&ch.cid)) {
+                    out.push(ch.dewey.clone());
+                }
+            } else if group
+                .children
+                .iter()
+                .any(|other| ch.kset.is_strict_subset(other.kset))
+            {
+                // Rule 2(a): a same-label sibling strictly covers it.
+            } else {
+                out.push(ch.dewey.clone());
+                used_ksets.insert(knum);
+                used_cids.insert(cid_key(&ch.cid));
+            }
+        }
+    }
+    // Groups are in first-appearance order; restore document order.
+    out.sort();
+    out
+}
+
+/// MaxMatch's contributor filter over all children of `parent`.
+fn contributors(fragment: &Fragment, parent: &Dewey) -> Vec<Dewey> {
+    let Some(node) = fragment.node(parent) else {
+        return Vec::new();
+    };
+    let children: Vec<&FragNode> = node
+        .children
+        .iter()
+        .map(|c| fragment.node(c).expect("child in fragment"))
+        .collect();
+    children
+        .iter()
+        .filter(|ch| {
+            !children
+                .iter()
+                .any(|other| ch.kset.is_strict_subset(other.kset))
+        })
+        .map(|ch| ch.dewey.clone())
+        .collect()
+}
+
+/// Hashable stand-in for a `cID` (`None` compares distinct from every
+/// concrete pair only via a sentinel).
+type CidKey = (String, String);
+
+fn cid_key(cid: &Cid) -> CidKey {
+    cid.clone()
+        .unwrap_or_else(|| (String::new(), String::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use crate::rtf::get_rtf;
+    use xks_index::{InvertedIndex, Query};
+    use xks_lca::elca_stack;
+    use xks_xmltree::fixtures::{publications, team, PAPER_QUERIES};
+    use xks_xmltree::XmlTree;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn fragments(tree: &XmlTree, query: &str) -> Vec<Fragment> {
+        let index = InvertedIndex::build(tree);
+        let sets = index.resolve(&Query::parse(query).unwrap()).unwrap();
+        let anchors = elca_stack(sets.sets());
+        get_rtf(&anchors, &sets)
+            .iter()
+            .map(|r| Fragment::construct(tree, r))
+            .collect()
+    }
+
+    fn deweys(frag: &Fragment) -> Vec<String> {
+        frag.deweys().iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn q3_valid_contributor_yields_figure_2d() {
+        // Example 5 (closing) + Example 7: ValidRTF prunes article 0.2.1
+        // (keyword set {title} ⊂ {title,xml,keyword,search} of the
+        // same-label sibling 0.2.0) but keeps everything else.
+        let tree = publications();
+        let frags = fragments(&tree, PAPER_QUERIES[2]);
+        assert_eq!(frags.len(), 1);
+        let pruned = prune(&frags[0], Policy::ValidContributor);
+        assert_eq!(
+            deweys(&pruned),
+            ["0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0"]
+        );
+    }
+
+    #[test]
+    fn q1_false_positive_fixed_by_valid_contributor() {
+        // Example 2/5: MaxMatch discards title 0.2.1.1 (subset of the
+        // abstract's keyword set); ValidRTF keeps it because its label
+        // is unique among its siblings (rule 1).
+        let tree = publications();
+        let frags = fragments(&tree, PAPER_QUERIES[0]);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].anchor, d("0.2.1"));
+
+        let valid = prune(&frags[0], Policy::ValidContributor);
+        assert!(valid.contains(&d("0.2.1.1")), "title kept by ValidRTF");
+        // Figure 3(b): the whole SLCA fragment survives.
+        assert_eq!(deweys(&valid), deweys(&frags[0]));
+
+        let mm = prune(&frags[0], Policy::Contributor);
+        assert!(!mm.contains(&d("0.2.1.1")), "title dropped by MaxMatch");
+        // Figure 3(c): everything else survives.
+        assert_eq!(
+            deweys(&mm),
+            ["0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0", "0.2.1.0.1", "0.2.1.0.1.0", "0.2.1.2"]
+        );
+    }
+
+    #[test]
+    fn q4_redundancy_fixed_by_valid_contributor() {
+        // Example 2/5 on the team segment: Q4 = "grizzlies position".
+        // MaxMatch keeps all three players (equal keyword sets);
+        // ValidRTF drops the duplicate {position, forward} player.
+        let tree = team();
+        let frags = fragments(&tree, PAPER_QUERIES[3]);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].anchor, d("0"));
+
+        let mm = prune(&frags[0], Policy::Contributor);
+        // Figure 3(d): all three position paths survive.
+        for p in ["0.1.0", "0.1.1", "0.1.2"] {
+            assert!(mm.contains(&d(p)), "MaxMatch keeps player {p}");
+        }
+
+        let valid = prune(&frags[0], Policy::ValidContributor);
+        assert!(valid.contains(&d("0.1.0")), "first forward kept");
+        assert!(valid.contains(&d("0.1.1")), "guard kept");
+        assert!(
+            !valid.contains(&d("0.1.2")),
+            "duplicate forward discarded by rule 2(b)"
+        );
+        // The distinct position values both survive.
+        assert!(valid.contains(&d("0.1.0.1")));
+        assert!(valid.contains(&d("0.1.1.1")));
+    }
+
+    #[test]
+    fn q5_positive_example_matches_maxmatch() {
+        // Example 5 (covering the positive example): Q5 keeps only the
+        // Gassol player under both filters — Figure 3(a).
+        let tree = team();
+        let frags = fragments(&tree, PAPER_QUERIES[4]);
+        assert_eq!(frags.len(), 1);
+        let valid = prune(&frags[0], Policy::ValidContributor);
+        let mm = prune(&frags[0], Policy::Contributor);
+        assert_eq!(deweys(&valid), deweys(&mm));
+        assert!(valid.contains(&d("0.1.0")));
+        assert!(!valid.contains(&d("0.1.1")));
+        assert!(!valid.contains(&d("0.1.2")));
+        assert!(valid.contains(&d("0.0")), "team name kept");
+    }
+
+    #[test]
+    fn q2_both_rtfs_survive_unchanged() {
+        // Q2 = "liu keyword": the ref RTF is a single node; the article
+        // RTF has all-distinct labels below each parent → nothing to
+        // prune under either policy.
+        let tree = publications();
+        let frags = fragments(&tree, PAPER_QUERIES[1]);
+        assert_eq!(frags.len(), 2);
+        for f in &frags {
+            let v = prune(f, Policy::ValidContributor);
+            assert_eq!(deweys(&v), deweys(f));
+        }
+    }
+
+    #[test]
+    fn pruned_fragment_children_links_consistent() {
+        let tree = team();
+        let frags = fragments(&tree, "grizzlies position");
+        let valid = prune(&frags[0], Policy::ValidContributor);
+        for n in valid.iter() {
+            for c in &n.children {
+                assert!(valid.contains(c), "dangling child {c}");
+                assert_eq!(c.parent().as_ref(), Some(&n.dewey));
+            }
+        }
+    }
+
+    #[test]
+    fn discarded_subtree_fully_removed() {
+        let tree = publications();
+        let frags = fragments(&tree, PAPER_QUERIES[2]);
+        let valid = prune(&frags[0], Policy::ValidContributor);
+        // 0.2.1 discarded → its descendant 0.2.1.1 gone too.
+        assert!(!valid.contains(&d("0.2.1")));
+        assert!(!valid.contains(&d("0.2.1.1")));
+    }
+
+    #[test]
+    fn anchor_always_survives() {
+        let tree = team();
+        for q in ["grizzlies position", "gassol position", "position"] {
+            for f in fragments(&tree, q) {
+                for policy in [Policy::ValidContributor, Policy::Contributor] {
+                    let p = prune(&f, policy);
+                    assert!(p.contains(&f.anchor));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Ranking of meaningful RTFs — the paper's stated future work.
+//!
+//! §7: *"the ranking of the retrieved meaningful RTFs is still needed
+//! for carrying out the keyword search over XML data, and this is also
+//! a part of our future work."* This module supplies that missing
+//! stage with a transparent, configurable scoring scheme built from
+//! three signals the XKS literature converges on:
+//!
+//! * **specificity** — deeper anchors answer the query more precisely
+//!   than shallow ones (the intuition behind preferring SLCAs; XRank's
+//!   decay has the same effect);
+//! * **compactness** — among fragments covering the query, fewer glue
+//!   nodes per keyword node means a tighter answer (the proximity
+//!   intuition of GDMCT/MIU);
+//! * **keyword density** — fragments whose keyword nodes each match
+//!   many query keywords beat fragments assembling one keyword per
+//!   node.
+//!
+//! Scores are normalized to `[0, 1]` per signal and combined by
+//! configurable weights, so rankings are comparable across queries.
+
+use crate::fragment::Fragment;
+
+/// Weights of the three ranking signals. They need not sum to 1; the
+/// combined score is normalized by the weight sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankWeights {
+    /// Weight of anchor specificity (depth).
+    pub specificity: f64,
+    /// Weight of fragment compactness.
+    pub compactness: f64,
+    /// Weight of keyword density.
+    pub density: f64,
+}
+
+impl Default for RankWeights {
+    fn default() -> Self {
+        RankWeights {
+            specificity: 1.0,
+            compactness: 1.0,
+            density: 0.5,
+        }
+    }
+}
+
+/// A scored fragment.
+#[derive(Debug, Clone)]
+pub struct RankedFragment {
+    /// Index into the input fragment list.
+    pub index: usize,
+    /// Combined score in `[0, 1]`, higher is better.
+    pub score: f64,
+    /// The individual signals (same order: specificity, compactness,
+    /// density), for explainability.
+    pub signals: [f64; 3],
+}
+
+/// Scores and sorts fragments, best first. `k` is the query keyword
+/// count. Ties break toward the earlier (document-order) fragment, so
+/// ranking is deterministic.
+#[must_use]
+pub fn rank(fragments: &[Fragment], k: usize, weights: &RankWeights) -> Vec<RankedFragment> {
+    let max_depth = fragments
+        .iter()
+        .map(|f| f.anchor.level())
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+
+    let mut ranked: Vec<RankedFragment> = fragments
+        .iter()
+        .enumerate()
+        .map(|(index, f)| {
+            let specificity = f.anchor.level() as f64 / max_depth;
+
+            let keyword_nodes = f.iter().filter(|n| n.is_keyword).count().max(1);
+            // 1.0 when every node is a keyword node; decays with glue.
+            let compactness = keyword_nodes as f64 / f.len() as f64;
+
+            // Average share of the query each keyword node matches.
+            let density = f
+                .iter()
+                .filter(|n| n.is_keyword)
+                .map(|n| n.kset.len() as f64 / k.max(1) as f64)
+                .sum::<f64>()
+                / keyword_nodes as f64;
+
+            let signals = [specificity, compactness, density];
+            let wsum = weights.specificity + weights.compactness + weights.density;
+            let score = if wsum > 0.0 {
+                (weights.specificity * specificity
+                    + weights.compactness * compactness
+                    + weights.density * density)
+                    / wsum
+            } else {
+                0.0
+            };
+            RankedFragment {
+                index,
+                score,
+                signals,
+            }
+        })
+        .collect();
+
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::valid_rtf;
+    use xks_index::{InvertedIndex, Query};
+    use xks_xmltree::fixtures::publications;
+
+    fn fragments(query: &str) -> (Vec<Fragment>, usize) {
+        let tree = publications();
+        let index = InvertedIndex::build(&tree);
+        let q = Query::parse(query).unwrap();
+        let k = q.len();
+        (valid_rtf(&tree, &index, &q), k)
+    }
+
+    #[test]
+    fn deeper_tighter_fragment_ranks_first() {
+        // Q2 = "liu keyword": the single-node ref fragment (deep,
+        // maximally compact, both keywords in one node) must beat the
+        // article fragment.
+        let (frags, k) = fragments("liu keyword");
+        assert_eq!(frags.len(), 2);
+        let ranked = rank(&frags, k, &RankWeights::default());
+        assert_eq!(frags[ranked[0].index].anchor.to_string(), "0.2.0.3.0");
+        assert!(ranked[0].score > ranked[1].score);
+    }
+
+    #[test]
+    fn scores_are_normalized() {
+        let (frags, k) = fragments("liu keyword");
+        for r in rank(&frags, k, &RankWeights::default()) {
+            assert!((0.0..=1.0).contains(&r.score), "score {}", r.score);
+            for s in r.signals {
+                assert!((0.0..=1.0).contains(&s), "signal {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_order() {
+        let (frags, k) = fragments("liu keyword");
+        // Zero out everything but compactness: ref (1 node, 1 keyword
+        // node) still wins with compactness 1.0.
+        let w = RankWeights {
+            specificity: 0.0,
+            compactness: 1.0,
+            density: 0.0,
+        };
+        let ranked = rank(&frags, k, &w);
+        assert_eq!(frags[ranked[0].index].anchor.to_string(), "0.2.0.3.0");
+        assert!((ranked[0].signals[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_degenerate_gracefully() {
+        let (frags, k) = fragments("liu keyword");
+        let w = RankWeights {
+            specificity: 0.0,
+            compactness: 0.0,
+            density: 0.0,
+        };
+        let ranked = rank(&frags, k, &w);
+        assert!(ranked.iter().all(|r| r.score == 0.0));
+        // Deterministic tie-break by document order.
+        assert_eq!(ranked[0].index, 0);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(rank(&[], 2, &RankWeights::default()).is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Relaxed Tightest Fragments — the `getRTF` stage of Algorithm 1.
+//!
+//! `getRTF` partitions the query's keyword nodes among the interesting
+//! LCA (ELCA) anchors: every keyword node is dispatched to the **last**
+//! anchor in the pre-order-sorted anchor list that is an ancestor of or
+//! equal to it — i.e. its lowest interesting-LCA ancestor-or-self.
+//!
+//! Two refinements keep the dispatch faithful to Definition 2 (both are
+//! verified against the executable specification in [`crate::spec`]):
+//!
+//! 1. Keyword nodes with **no** covering anchor belong to no partition
+//!    and are dropped.
+//! 2. A keyword node `v` whose *deepest covering combination* — the
+//!    deepest `LCA(v, picks…)` over one pick per keyword list — lies
+//!    strictly below its lowest anchor is also dropped (Definition 2's
+//!    third rule: `v` "can compose a partition with other keyword nodes
+//!    so that the new LCA is lower"). The paper's pseudo-code omits this
+//!    check, assuming (§4.3 analysis (1), footnote) that such a deeper
+//!    LCA is always itself interesting; that assumption fails when the
+//!    deeper combination's LCA is a *shadowed* (non-ELCA) node, and the
+//!    dispatch would then violate the RTF conditions.
+
+use xks_index::KeywordNodeSets;
+use xks_xmltree::Dewey;
+
+use crate::keyset::KeySet;
+
+/// One Relaxed Tightest Fragment in *keyword-node form*: the anchor `a`
+/// (an interesting LCA node) and the sorted keyword nodes dispatched to
+/// it (`R.knodes` in the paper's pseudo-code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rtf {
+    /// The anchor LCA node (the paper's `R.a`).
+    pub anchor: Dewey,
+    /// The keyword nodes of this partition, in document order, each with
+    /// the keywords it contains.
+    pub knodes: Vec<(Dewey, KeySet)>,
+}
+
+impl Rtf {
+    /// The keyword union over the partition. A well-formed RTF covers
+    /// the whole query.
+    #[must_use]
+    pub fn keyword_union(&self) -> KeySet {
+        self.knodes
+            .iter()
+            .fold(KeySet::EMPTY, |acc, (_, m)| acc.union(*m))
+    }
+
+    /// The Dewey codes of the keyword nodes.
+    #[must_use]
+    pub fn keyword_deweys(&self) -> Vec<Dewey> {
+        self.knodes.iter().map(|(d, _)| d.clone()).collect()
+    }
+}
+
+/// Dispatches every keyword node to its lowest anchor (ancestor-or-self)
+/// with one merged document-order sweep.
+///
+/// `anchors` must be sorted in document order (as produced by
+/// `xks_lca::elca_stack` / `indexed_lookup_eager`); the result preserves
+/// that anchor order. Anchors are nested or disjoint in general, so a
+/// stack of "currently open" anchors identifies the lowest covering one
+/// in O(1) amortized per node.
+#[must_use]
+pub fn get_rtf(anchors: &[Dewey], sets: &KeywordNodeSets) -> Vec<Rtf> {
+    get_rtf_impl(anchors, sets, true)
+}
+
+/// The paper's **literal** `getRTF` pseudo-code, without the
+/// deepest-covering-combination check.
+///
+/// Kept for ablation and to demonstrate the divergence from
+/// Definition 2: when a keyword node participates in a deeper covering
+/// combination whose LCA is a *shadowed* (non-interesting) node, this
+/// variant still assigns it to its lowest interesting-LCA ancestor,
+/// violating the RTF completeness conditions (see `EXPERIMENTS.md`
+/// "Findings" #2 and the unit test below). Use [`get_rtf`] unless you
+/// specifically want the paper's verbatim behaviour.
+#[must_use]
+pub fn get_rtf_unchecked(anchors: &[Dewey], sets: &KeywordNodeSets) -> Vec<Rtf> {
+    get_rtf_impl(anchors, sets, false)
+}
+
+fn get_rtf_impl(anchors: &[Dewey], sets: &KeywordNodeSets, check_depth: bool) -> Vec<Rtf> {
+    let mut rtfs: Vec<Rtf> = anchors
+        .iter()
+        .map(|a| Rtf {
+            anchor: a.clone(),
+            knodes: Vec::new(),
+        })
+        .collect();
+
+    // Merge anchors and keyword nodes in document order; at equal Dewey
+    // codes the anchor comes first so a keyword node that *is* an anchor
+    // lands in its own partition. The merged posting stream carries each
+    // node's keyword mask, so no per-node index probes are needed.
+    let knodes = xks_lca::common::merge_postings(sets.sets());
+    let mut open: Vec<usize> = Vec::new(); // indices into rtfs, outermost first
+    let mut ai = 0usize;
+
+    for (d, raw_mask) in &knodes {
+        // Open every anchor that starts at or before this node.
+        while ai < anchors.len() && anchors[ai] <= *d {
+            while let Some(&top) = open.last() {
+                if rtfs[top].anchor.is_ancestor_or_self(&anchors[ai]) {
+                    break;
+                }
+                open.pop();
+            }
+            open.push(ai);
+            ai += 1;
+        }
+        // Close anchors whose subtree we have left.
+        while let Some(&top) = open.last() {
+            if rtfs[top].anchor.is_ancestor_or_self(d) {
+                break;
+            }
+            open.pop();
+        }
+        if let Some(&top) = open.last() {
+            if !check_depth || deepest_combination_len(d, sets) == rtfs[top].anchor.len() {
+                rtfs[top].knodes.push((d.clone(), KeySet(*raw_mask)));
+            }
+            // else: v composes a deeper (shadowed) combination and may
+            // not join this partition (Definition 2, rule 3).
+        }
+        // else: orphan keyword node — no interesting LCA covers it.
+    }
+    rtfs
+}
+
+fn deepest_combination_len(v: &Dewey, sets: &KeywordNodeSets) -> usize {
+    xks_lca::common::deepest_combination_len(v, sets.sets())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_index::{InvertedIndex, Query};
+    use xks_lca::elca_stack;
+    use xks_xmltree::fixtures::publications;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn resolve(query: &str) -> KeywordNodeSets {
+        let tree = publications();
+        let index = InvertedIndex::build(&tree);
+        index
+            .resolve(&Query::parse(query).unwrap())
+            .expect("all keywords match")
+    }
+
+    fn run(query: &str) -> Vec<Rtf> {
+        let sets = resolve(query);
+        let anchors = elca_stack(sets.sets());
+        get_rtf(&anchors, &sets)
+    }
+
+    #[test]
+    fn q2_partitions_match_example_3() {
+        // Example 3/4: RTFs are {r} anchored at ref and {n, t, a}
+        // anchored at article 0.2.0.
+        let rtfs = run("liu keyword");
+        assert_eq!(rtfs.len(), 2);
+
+        assert_eq!(rtfs[0].anchor, d("0.2.0"));
+        let knodes: Vec<String> = rtfs[0]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(knodes, ["0.2.0.0.0.0", "0.2.0.1", "0.2.0.2"]);
+
+        assert_eq!(rtfs[1].anchor, d("0.2.0.3.0"));
+        let knodes: Vec<String> = rtfs[1]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(knodes, ["0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn q3_single_partition_with_all_keyword_nodes() {
+        // Example 6: one anchor (the root) collecting all five nodes.
+        let rtfs = run("vldb title xml keyword search");
+        assert_eq!(rtfs.len(), 1);
+        assert_eq!(rtfs[0].anchor, d("0"));
+        let knodes: Vec<String> = rtfs[0]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            knodes,
+            ["0.0", "0.2.0.1", "0.2.0.2", "0.2.0.3.0", "0.2.1.1"]
+        );
+    }
+
+    #[test]
+    fn every_rtf_covers_the_query() {
+        for q in ["liu keyword", "vldb title xml keyword search", "skyline query"] {
+            let sets = resolve(q);
+            let anchors = elca_stack(sets.sets());
+            for rtf in get_rtf(&anchors, &sets) {
+                assert!(
+                    rtf.keyword_union().covers_query(sets.query().len()),
+                    "query {q}: anchor {} does not cover",
+                    rtf.anchor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_masks_recorded_per_node() {
+        let rtfs = run("liu keyword");
+        // ref contains both keywords.
+        let (_, mask) = &rtfs[1].knodes[0];
+        assert_eq!(mask.len(), 2);
+        // name contains only "liu" (keyword 0).
+        let (_, mask) = &rtfs[0].knodes[0];
+        assert!(mask.contains(0) && !mask.contains(1));
+    }
+
+    #[test]
+    fn orphan_keyword_nodes_are_dropped() {
+        use xks_index::Query;
+        // Hand-built: anchors = {0.0.0} only; keyword node 0.1 (k1) has
+        // no covering anchor.
+        let q = Query::parse("k1 k2").unwrap();
+        let sets = KeywordNodeSets::new(
+            q,
+            vec![
+                vec![d("0.0.0.0"), d("0.0.1")],
+                vec![d("0.0.0.1"), d("0.1")],
+            ],
+        );
+        let anchors = elca_stack(sets.sets());
+        assert_eq!(anchors, vec![d("0.0.0")]);
+        let rtfs = get_rtf(&anchors, &sets);
+        assert_eq!(rtfs.len(), 1);
+        let knodes: Vec<String> = rtfs[0]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        // 0.0.1 and 0.1 are orphans (outside the only anchor 0.0.0).
+        assert_eq!(knodes, ["0.0.0.0", "0.0.0.1"]);
+    }
+
+    #[test]
+    fn unchecked_variant_diverges_from_definition_2() {
+        // The shadowed-combination counterexample (EXPERIMENTS.md
+        // Findings #2): root = 0, chain 0.0 → 0.0.0 with k1+k2 under
+        // 0.0.0 plus an extra k1 under 0.0 (0.0.1) and root-level
+        // witnesses 0.1 (k1), 0.2 (k2). ELCA = {0, 0.0.0}. The keyword
+        // node 0.0.1 (k1) combines with 0.0.0's k2 to an LCA of 0.0 —
+        // a CA but *shadowed* node — so Definition 2 bars it from the
+        // root partition; the paper's literal dispatch includes it.
+        let q = Query::parse("k1 k2").unwrap();
+        let sets = KeywordNodeSets::new(
+            q,
+            vec![
+                vec![d("0.0.0.0"), d("0.0.1"), d("0.1")],
+                vec![d("0.0.0.1"), d("0.2")],
+            ],
+        );
+        let anchors = xks_lca::elca_stack(sets.sets());
+        assert_eq!(anchors, vec![d("0"), d("0.0.0")]);
+
+        let faithful = get_rtf(&anchors, &sets);
+        let root_nodes: Vec<String> = faithful[0]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(root_nodes, ["0.1", "0.2"], "0.0.1 excluded by rule 3");
+
+        let literal = get_rtf_unchecked(&anchors, &sets);
+        let root_nodes: Vec<String> = literal[0]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            root_nodes,
+            ["0.0.1", "0.1", "0.2"],
+            "the paper's dispatch keeps the shadowed node"
+        );
+        // The literal variant's partition violates the spec oracle.
+        let spec = crate::spec::spec_rtfs(sets.sets()).unwrap();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec[0].nodes.len(), 2, "spec agrees with the checked variant");
+    }
+
+    #[test]
+    fn nested_anchors_assign_to_lowest() {
+        let q = Query::parse("k1 k2").unwrap();
+        // Anchors will be 0.0 (outer, via 0.0.0+0.0.1... ) — construct
+        // the independent-witness shape: ELCA = {0, 0.0}.
+        let sets = KeywordNodeSets::new(
+            q,
+            vec![
+                vec![d("0.0.0"), d("0.1")],
+                vec![d("0.0.1"), d("0.2")],
+            ],
+        );
+        let anchors = elca_stack(sets.sets());
+        assert_eq!(anchors, vec![d("0"), d("0.0")]);
+        let rtfs = get_rtf(&anchors, &sets);
+        // Inner nodes go to 0.0, outer to 0.
+        let outer: Vec<String> = rtfs[0]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(outer, ["0.1", "0.2"]);
+        let inner: Vec<String> = rtfs[1]
+            .keyword_deweys()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(inner, ["0.0.0", "0.0.1"]);
+    }
+}

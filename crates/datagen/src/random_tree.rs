@@ -1,0 +1,168 @@
+//! Random small XML documents for property tests.
+//!
+//! The axiomatic-property and specification-oracle tests need arbitrary
+//! documents with controllable label/word alphabets (small alphabets
+//! force label collisions and keyword co-occurrence, which is where the
+//! pruning logic has its interesting cases).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xks_xmltree::tree::NodeId;
+use xks_xmltree::{TreeBuilder, XmlTree};
+
+/// Configuration for [`random_document`].
+#[derive(Debug, Clone)]
+pub struct RandomDocConfig {
+    /// Number of element nodes (≥ 1).
+    pub nodes: usize,
+    /// Label alphabet size (small → frequent same-label siblings).
+    pub labels: usize,
+    /// Word alphabet size (small → frequent keyword co-occurrence).
+    pub words: usize,
+    /// Maximum words of text per node (0 = no text anywhere).
+    pub max_words_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDocConfig {
+    fn default() -> Self {
+        RandomDocConfig {
+            nodes: 30,
+            labels: 4,
+            words: 6,
+            max_words_per_node: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The word alphabet used by [`random_document`]: `w0, w1, …`.
+#[must_use]
+pub fn word(i: usize) -> String {
+    format!("w{i}")
+}
+
+/// The label alphabet: `l0, l1, …`.
+#[must_use]
+pub fn label(i: usize) -> String {
+    format!("l{i}")
+}
+
+/// Generates a random document: a root plus `nodes − 1` elements
+/// attached to uniformly-random existing parents, each with random text
+/// words.
+#[must_use]
+pub fn random_document(cfg: &RandomDocConfig) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = TreeBuilder::new(&label(0));
+    if cfg.max_words_per_node > 0 {
+        maybe_text(&mut b, &mut rng, cfg);
+    }
+
+    // Track open paths: the builder is stack-based, so random-parent
+    // attachment is easiest by recording a parent choice list first.
+    // parents[i] = index (< i+1) of the node the (i+1)-th node attaches
+    // to, in creation order.
+    let n = cfg.nodes.max(1);
+    let parents: Vec<usize> = (1..n).map(|i| rng.gen_range(0..i)).collect();
+
+    // children[p] = list of child indices.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &p) in parents.iter().enumerate() {
+        children[p].push(i + 1);
+    }
+
+    // Depth-first emit via the builder.
+    fn emit(
+        b: &mut TreeBuilder,
+        rng: &mut StdRng,
+        cfg: &RandomDocConfig,
+        children: &[Vec<usize>],
+        node: usize,
+    ) {
+        for &c in &children[node] {
+            b.open(&label(rng.gen_range(0..cfg.labels)));
+            maybe_text(b, rng, cfg);
+            emit(b, rng, cfg, children, c);
+            b.close();
+        }
+    }
+    emit(&mut b, &mut rng, cfg, &children, 0);
+    b.build()
+}
+
+fn maybe_text(b: &mut TreeBuilder, rng: &mut StdRng, cfg: &RandomDocConfig) {
+    let n = rng.gen_range(0..=cfg.max_words_per_node);
+    if n > 0 {
+        let words: Vec<String> = (0..n)
+            .map(|_| word(rng.gen_range(0..cfg.words)))
+            .collect();
+        b.text(&words.join(" "));
+    }
+}
+
+/// Picks a random node id of the tree (for perturbation tests).
+#[must_use]
+pub fn random_node(tree: &XmlTree, seed: u64) -> NodeId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids: Vec<NodeId> = tree.preorder().collect();
+    ids[rng.gen_range(0..ids.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_node_count() {
+        for nodes in [1, 2, 7, 40] {
+            let t = random_document(&RandomDocConfig {
+                nodes,
+                seed: 3,
+                ..Default::default()
+            });
+            assert_eq!(t.len(), nodes);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RandomDocConfig {
+            nodes: 25,
+            seed: 17,
+            ..Default::default()
+        };
+        assert_eq!(
+            random_document(&cfg).fingerprint(),
+            random_document(&cfg).fingerprint()
+        );
+    }
+
+    #[test]
+    fn uses_configured_alphabets() {
+        let t = random_document(&RandomDocConfig {
+            nodes: 60,
+            labels: 2,
+            words: 3,
+            max_words_per_node: 2,
+            seed: 5,
+        });
+        for id in t.preorder() {
+            let l = t.label_name(id);
+            assert!(l == "l0" || l == "l1", "unexpected label {l}");
+            if let Some(text) = &t.node(id).text {
+                for w in text.split(' ') {
+                    assert!(["w0", "w1", "w2"].contains(&w), "unexpected word {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_node_is_valid() {
+        let t = random_document(&RandomDocConfig::default());
+        let id = random_node(&t, 9);
+        assert!(id.index() < t.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! Background vocabulary for generated text.
+//!
+//! Planted query keywords must sit inside "ordinary" text, so the
+//! generators draw filler words from a fixed background vocabulary that
+//! is disjoint from every §5.1 query keyword (otherwise planting counts
+//! would drift).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Filler words (computing-flavoured, none of them a §5.1 keyword).
+pub const BACKGROUND: &[&str] = &[
+    "adaptive", "analysis", "approach", "architecture", "attributes", "balanced", "bitmap",
+    "buffer", "cache", "calculus", "client", "cluster", "compression", "concurrent",
+    "consistency", "cost", "declarative", "dependency", "design", "digital", "distributed",
+    "document", "engine", "evaluation", "execution", "expressive", "federated", "filter",
+    "formal", "framework", "functional", "graph", "hash", "heuristic", "hybrid", "incremental",
+    "indexing", "integration", "interactive", "interface", "join", "language", "lattice",
+    "learning", "locking", "logic", "maintenance", "management", "mediator", "memory",
+    "mining", "model", "network", "normalization", "optimization", "parallel", "parser",
+    "partition", "performance", "persistent", "physical", "pipeline", "planner", "predicate",
+    "processing", "protocol", "ranking", "recovery", "relational", "replication", "robust",
+    "sampling", "scalable", "schema", "secure", "semantic", "server", "spatial", "storage",
+    "stream", "structure", "summarization", "symbolic", "synthesis", "temporal", "topology",
+    "transaction", "transformation", "traversal", "tuning", "update", "validation", "vector",
+    "view", "virtual", "visualization", "warehouse", "wavelet", "workload", "wrapper",
+];
+
+/// Author-style surnames for bibliography records (again disjoint from
+/// the query keywords — note the paper's `henry` keyword *is* a person
+/// name, which is why it is planted rather than listed here).
+pub const SURNAMES: &[&str] = &[
+    "abiteboul", "bernstein", "ceri", "dewitt", "fagin", "garcia", "halevy", "ioannidis",
+    "jagadish", "kossmann", "lenzerini", "maier", "naughton", "ooi", "papadias", "ramakrishnan",
+    "stonebraker", "tanaka", "ullman", "vianu", "widom", "yu", "zaniolo", "zhang",
+];
+
+/// Very-high-frequency filler words, chosen at the alphabetic extremes
+/// of the vocabulary. Natural-language corpora are Zipf-distributed: a
+/// handful of words appear in a large share of text blocks, which makes
+/// the `(min, max)` content features of distinct blocks collide often —
+/// the collision rate drives how much work Definition 4's rule 2(b)
+/// (content deduplication) gets to do on XMark-like data, so the
+/// generator reproduces it explicitly.
+pub const COMMON_FIRST: &str = "antique";
+/// See [`COMMON_FIRST`].
+pub const COMMON_LAST: &str = "zenith";
+
+/// Picks one background word.
+pub fn background_word(rng: &mut StdRng) -> &'static str {
+    BACKGROUND[rng.gen_range(0..BACKGROUND.len())]
+}
+
+/// Builds a Zipf-flavoured text block: `len` background words, plus the
+/// two high-frequency words with probability `common_p` each.
+pub fn zipf_text_block(rng: &mut StdRng, len: usize, common_p: f64) -> Vec<String> {
+    let mut block = text_block(rng, len);
+    if rng.gen_bool(common_p) {
+        block.push(COMMON_FIRST.to_owned());
+    }
+    if rng.gen_bool(common_p) {
+        block.push(COMMON_LAST.to_owned());
+    }
+    block
+}
+
+/// Picks one surname.
+pub fn surname(rng: &mut StdRng) -> &'static str {
+    SURNAMES[rng.gen_range(0..SURNAMES.len())]
+}
+
+/// Builds a text block of `len` background words.
+pub fn text_block(rng: &mut StdRng, len: usize) -> Vec<String> {
+    (0..len).map(|_| background_word(rng).to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::{PAPER_DBLP_FREQS, PAPER_XMARK_FREQS};
+    use rand::SeedableRng;
+
+    #[test]
+    fn background_disjoint_from_query_keywords() {
+        for (kw, _) in PAPER_DBLP_FREQS {
+            assert!(!BACKGROUND.contains(kw), "{kw} must not be background");
+            assert!(!SURNAMES.contains(kw), "{kw} must not be a surname");
+        }
+        for (kw, _) in PAPER_XMARK_FREQS {
+            assert!(!BACKGROUND.contains(kw), "{kw} must not be background");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(text_block(&mut a, 20), text_block(&mut b, 20));
+    }
+
+    #[test]
+    fn words_are_lowercase_single_tokens() {
+        for w in BACKGROUND.iter().chain(SURNAMES) {
+            assert_eq!(*w, w.to_lowercase());
+            assert!(w.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! XMark-alike auction-site generator.
+//!
+//! XMark documents are deep and heterogeneous: a `site` root with
+//! regional item listings (nested `description/parlist/listitem` text),
+//! people with profiles, and open/closed auctions whose annotations nest
+//! further text. Keywords scattered across these unrelated subtrees is
+//! what drives the paper's XMark effectiveness profile (APR′ > 0 and
+//! Max APR → 1: fragments collect distant, weakly related matches that
+//! valid-contributor pruning then strips).
+//!
+//! The generator reproduces that shape and plants the §5.1 XMark
+//! keywords at the scaled per-size frequencies; [`XmarkSize`] selects the
+//! `standard` / `data1` / `data2` ladder (1× / ~3× / ~6×, mirroring
+//! 111.1 / 334.9 / 669.6 MB).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xks_xmltree::{TreeBuilder, XmlTree};
+
+use crate::freq::{sample_hubs, scaled, TextCorpus, PAPER_XMARK_FREQS};
+use crate::vocab::{surname, zipf_text_block};
+
+/// Which of the paper's three XMark datasets to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmarkSize {
+    /// The 111.1 MB `standard` dataset (column 1 of the §5.1 list).
+    Standard,
+    /// The 334.9 MB `data1` dataset (~3×).
+    Data1,
+    /// The 669.6 MB `data2` dataset (~6×).
+    Data2,
+}
+
+impl XmarkSize {
+    /// Index into the §5.1 frequency columns.
+    #[must_use]
+    pub fn column(self) -> usize {
+        match self {
+            XmarkSize::Standard => 0,
+            XmarkSize::Data1 => 1,
+            XmarkSize::Data2 => 2,
+        }
+    }
+
+    /// Relative size multiplier of the dataset ladder.
+    #[must_use]
+    pub fn multiplier(self) -> usize {
+        match self {
+            XmarkSize::Standard => 1,
+            XmarkSize::Data1 => 3,
+            XmarkSize::Data2 => 6,
+        }
+    }
+}
+
+/// Configuration of the XMark-alike generator.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Which dataset of the ladder to generate.
+    pub size: XmarkSize,
+    /// Items per region at `Standard` size (scaled by the multiplier).
+    pub base_items: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Frequency scale relative to the real datasets.
+    pub scale: f64,
+}
+
+impl XmarkConfig {
+    /// A ladder configuration: `base_items` items per region at standard
+    /// size, frequencies scaled consistently with the chosen size.
+    ///
+    /// The real standard dataset holds ~21,750 items across six regions;
+    /// the scale ties planted frequencies to our item count so
+    /// selectivities match the paper's.
+    #[must_use]
+    pub fn sized(size: XmarkSize, base_items: usize, seed: u64) -> Self {
+        XmarkConfig {
+            size,
+            base_items,
+            seed,
+            scale: (base_items * 6) as f64 / 21_750.0,
+        }
+    }
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const INTERESTS: [&str; 5] = ["music", "travel", "books", "cinema", "sports"];
+
+/// Generates the corpus.
+#[must_use]
+pub fn generate_xmark(cfg: &XmarkConfig) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let items_per_region = cfg.base_items * cfg.size.multiplier();
+    let total_items = items_per_region * REGIONS.len();
+    let people = total_items / 2;
+    let open_auctions = total_items / 3;
+    let closed_auctions = total_items / 4;
+    let categories = (total_items / 20).max(1);
+
+    // Text blocks: one per item description listitem (2 each), one per
+    // person "watch" annotation, one per auction annotation, one per
+    // category description.
+    let listitems_per_item = 2;
+    let n_blocks =
+        total_items * listitems_per_item + people + open_auctions + closed_auctions + categories;
+    // Zipf-flavoured blocks: the frequent extremes make content features
+    // collide across blocks, as they do in natural-language corpora (see
+    // `vocab::COMMON_FIRST`).
+    let blocks: Vec<Vec<String>> = (0..n_blocks)
+        .map(|_| {
+            let len = rng.gen_range(5..=10);
+            zipf_text_block(&mut rng, len, 0.55)
+        })
+        .collect();
+    let mut corpus = TextCorpus::new(blocks);
+    let hubs = sample_hubs(&mut rng, n_blocks, (n_blocks / 150).max(4));
+    for (kw, freqs) in PAPER_XMARK_FREQS {
+        corpus.plant_clustered(
+            &mut rng,
+            kw,
+            scaled(freqs[cfg.size.column()], cfg.scale),
+            &hubs,
+            0.3,
+        );
+    }
+    let mut texts = corpus.into_texts().into_iter();
+    let mut next_text = move || texts.next().expect("text budget miscounted");
+
+    let mut b = TreeBuilder::new("site");
+
+    // Regions with items.
+    b.open("regions");
+    for region in REGIONS {
+        b.open(region);
+        for i in 0..items_per_region {
+            b.open_with_attrs("item", &[("id", &format!("item{region}{i}"))]);
+            b.leaf("location", "united states");
+            b.leaf("quantity", "1");
+            b.leaf("name", surname(&mut rng));
+            b.open("description");
+            b.open("parlist");
+            for _ in 0..listitems_per_item {
+                b.open("listitem");
+                b.leaf("text", &next_text());
+                b.close();
+            }
+            b.close(); // parlist
+            b.close(); // description
+            b.close(); // item
+        }
+        b.close();
+    }
+    b.close(); // regions
+
+    // People.
+    b.open("people");
+    for i in 0..people {
+        b.open_with_attrs("person", &[("id", &format!("person{i}"))]);
+        b.leaf("name", surname(&mut rng));
+        b.leaf("emailaddress", &format!("mailto:p{i}@example.org"));
+        b.open("profile");
+        b.leaf("interest", INTERESTS[rng.gen_range(0..INTERESTS.len())]);
+        b.leaf("education", "graduate school");
+        b.close();
+        b.open("watches");
+        b.leaf("watch", &next_text());
+        b.close();
+        b.close(); // person
+    }
+    b.close();
+
+    // Open auctions.
+    b.open("open_auctions");
+    for i in 0..open_auctions {
+        b.open_with_attrs("open_auction", &[("id", &format!("open{i}"))]);
+        b.leaf("initial", &format!("{}.00", rng.gen_range(1..300)));
+        for _ in 0..rng.gen_range(1..=3usize) {
+            b.open("bidder");
+            b.leaf("date", "07/13/2001");
+            b.leaf("increase", &format!("{}.00", rng.gen_range(1..30)));
+            b.close();
+        }
+        b.open("annotation");
+        b.open("description");
+        b.leaf("text", &next_text());
+        b.close();
+        b.close();
+        b.close(); // open_auction
+    }
+    b.close();
+
+    // Closed auctions.
+    b.open("closed_auctions");
+    for i in 0..closed_auctions {
+        b.open_with_attrs("closed_auction", &[("id", &format!("closed{i}"))]);
+        b.leaf("price", &format!("{}.00", rng.gen_range(1..500)));
+        b.leaf("date", "12/04/2000");
+        b.open("annotation");
+        b.open("description");
+        b.leaf("text", &next_text());
+        b.close();
+        b.close();
+        b.close();
+    }
+    b.close();
+
+    // Categories.
+    b.open("categories");
+    for i in 0..categories {
+        b.open_with_attrs("category", &[("id", &format!("cat{i}"))]);
+        b.leaf("name", surname(&mut rng));
+        b.open("description");
+        b.leaf("text", &next_text());
+        b.close();
+        b.close();
+    }
+    b.close();
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_xmltree::content::is_keyword_node;
+
+    fn small(size: XmarkSize) -> XmlTree {
+        generate_xmark(&XmarkConfig::sized(size, 30, 11))
+    }
+
+    fn count_keyword(tree: &XmlTree, kw: &str) -> usize {
+        let kws = vec![kw.to_owned()];
+        tree.preorder()
+            .filter(|&id| is_keyword_node(tree, id, &kws))
+            .count()
+    }
+
+    #[test]
+    fn structure_has_all_sections() {
+        let t = small(XmarkSize::Standard);
+        let root = t.root();
+        assert_eq!(t.label_name(root), "site");
+        let sections: Vec<&str> = t
+            .node(root)
+            .children()
+            .iter()
+            .map(|&c| t.label_name(c))
+            .collect();
+        assert_eq!(
+            sections,
+            ["regions", "people", "open_auctions", "closed_auctions", "categories"]
+        );
+    }
+
+    #[test]
+    fn items_are_deeply_nested() {
+        let t = small(XmarkSize::Standard);
+        // item → description → parlist → listitem → text is depth 6 from
+        // root (site/regions/region/item/...).
+        let deep = t
+            .preorder()
+            .filter(|&id| t.label_name(id) == "text")
+            .any(|id| t.depth(id) >= 6);
+        assert!(deep);
+    }
+
+    #[test]
+    fn size_ladder_scales_node_counts() {
+        let s = small(XmarkSize::Standard).len();
+        let d1 = small(XmarkSize::Data1).len();
+        let d2 = small(XmarkSize::Data2).len();
+        assert!(d1 > 2 * s && d1 < 4 * s, "data1 ~3x: {s} → {d1}");
+        assert!(d2 > 5 * s && d2 < 7 * s, "data2 ~6x: {s} → {d2}");
+    }
+
+    #[test]
+    fn keyword_frequencies_follow_columns() {
+        let t = small(XmarkSize::Standard);
+        // preventions dominates description/order dominates the rare
+        // particle, as in the paper's table.
+        let preventions = count_keyword(&t, "preventions");
+        let particle = count_keyword(&t, "particle");
+        assert!(preventions > particle * 20, "{preventions} vs {particle}");
+        for (kw, _) in PAPER_XMARK_FREQS {
+            assert!(count_keyword(&t, kw) >= 1, "{kw} missing");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small(XmarkSize::Standard);
+        let b = small(XmarkSize::Standard);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

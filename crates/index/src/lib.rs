@@ -1,0 +1,21 @@
+//! Inverted keyword index over XML trees.
+//!
+//! Stage 1 of both ValidRTF and MaxMatch (`getKeywordNodes`, Algorithm 1)
+//! resolves each query keyword `w_i` to the set `D_i` of *keyword nodes*
+//! — nodes whose content `Cv` (label + text + attribute words) contains
+//! `w_i` — as sorted Dewey-code lists. This crate provides that lookup:
+//!
+//! * [`Query`] — a parsed keyword query `Q = {w1..wk}`;
+//! * [`InvertedIndex`] — keyword → sorted Dewey postings, plus the
+//!   frequency statistics behind the paper's §5.1 keyword table;
+//! * [`KeywordNodeSets`] — the resolved `D_1..D_k` bundle handed to the
+//!   LCA algorithms and the RTF construction.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod index;
+pub mod query;
+
+pub use index::{InvertedIndex, KeywordNodeSets};
+pub use query::{Query, QueryError};

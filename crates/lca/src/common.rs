@@ -1,0 +1,190 @@
+//! Shared helpers over sorted Dewey lists.
+
+use xks_xmltree::Dewey;
+
+/// `lm(S, v)`: the right-most node in sorted `S` that is `<= v`
+/// (the *left match* of Xu & Papakonstantinou).
+#[must_use]
+pub fn left_match<'a>(list: &'a [Dewey], v: &Dewey) -> Option<&'a Dewey> {
+    match list.binary_search(v) {
+        Ok(i) => Some(&list[i]),
+        Err(0) => None,
+        Err(i) => Some(&list[i - 1]),
+    }
+}
+
+/// `rm(S, v)`: the left-most node in sorted `S` that is `>= v`
+/// (the *right match*).
+#[must_use]
+pub fn right_match<'a>(list: &'a [Dewey], v: &Dewey) -> Option<&'a Dewey> {
+    match list.binary_search(v) {
+        Ok(i) => Some(&list[i]),
+        Err(i) => list.get(i),
+    }
+}
+
+/// The deeper (longer) of two optional LCA results; ties broken toward
+/// `a`. Both inputs being `None` yields `None`.
+#[must_use]
+pub fn deeper(a: Option<Dewey>, b: Option<Dewey>) -> Option<Dewey> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if y.len() > x.len() { y } else { x }),
+        (Some(x), None) => Some(x),
+        (None, y) => y,
+    }
+}
+
+/// Removes from a candidate multiset every node that is a proper
+/// ancestor of another candidate, plus duplicates. Returns the result in
+/// document order. This is `removeAncestorNodes` of Xu &
+/// Papakonstantinou: applied to the SLCA candidate list it yields the
+/// SLCA set.
+#[must_use]
+pub fn remove_ancestors(mut candidates: Vec<Dewey>) -> Vec<Dewey> {
+    candidates.sort();
+    candidates.dedup();
+    // In sorted order an ancestor immediately precedes its descendants'
+    // block, but non-adjacent ancestor pairs exist (a < b < c with a
+    // ancestor of c, b unrelated is impossible in Dewey order: any node
+    // between a and a's descendant c in document order is itself a
+    // descendant of a). Hence checking each node against its successor
+    // is sufficient.
+    let mut out: Vec<Dewey> = Vec::with_capacity(candidates.len());
+    for cand in candidates {
+        while let Some(last) = out.last() {
+            if last.is_ancestor_of(&cand) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(cand);
+    }
+    out
+}
+
+/// Merges sorted per-keyword posting lists into one document-ordered
+/// stream of `(dewey, keyword-bitmask)` pairs, OR-ing the masks of nodes
+/// that appear in several lists.
+#[must_use]
+pub fn merge_postings(sets: &[Vec<Dewey>]) -> Vec<(Dewey, u64)> {
+    let mut tagged: Vec<(Dewey, u64)> = sets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, list)| list.iter().map(move |d| (d.clone(), 1u64 << i)))
+        .collect();
+    tagged.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(Dewey, u64)> = Vec::with_capacity(tagged.len());
+    for (d, m) in tagged {
+        match out.last_mut() {
+            Some((prev, mask)) if *prev == d => *mask |= m,
+            _ => out.push((d, m)),
+        }
+    }
+    out
+}
+
+/// The deepest `lca(v, ·)` length achievable against a sorted list —
+/// attained at `v`'s document-order neighbors (`lm`/`rm`), so two
+/// binary searches suffice. Returns 0 for an empty list.
+#[must_use]
+pub fn deepest_lca_len(list: &[Dewey], v: &Dewey) -> usize {
+    let l = left_match(list, v).map_or(0, |m| v.lca(m).len());
+    let r = right_match(list, v).map_or(0, |m| v.lca(m).len());
+    l.max(r)
+}
+
+/// Length (code length = depth + 1) of the deepest covering-combination
+/// LCA through `v`: one pick per keyword list, `v` included. This is
+/// the quantity Definition 2's third rule compares anchors against, and
+/// the candidate generator of the verification-based ELCA algorithm.
+#[must_use]
+pub fn deepest_combination_len(v: &Dewey, sets: &[Vec<Dewey>]) -> usize {
+    let mut best = v.len();
+    for list in sets {
+        best = best.min(deepest_lca_len(list, v));
+    }
+    best
+}
+
+/// The full-query bitmask for `k` keywords.
+#[must_use]
+pub fn full_mask(k: usize) -> u64 {
+    debug_assert!((1..=64).contains(&k));
+    if k == 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn list(items: &[&str]) -> Vec<Dewey> {
+        items.iter().map(|s| d(s)).collect()
+    }
+
+    #[test]
+    fn left_and_right_match() {
+        let l = list(&["0.0", "0.2", "0.4"]);
+        assert_eq!(left_match(&l, &d("0.2")), Some(&d("0.2")));
+        assert_eq!(left_match(&l, &d("0.3")), Some(&d("0.2")));
+        assert_eq!(left_match(&l, &d("0")), None);
+        assert_eq!(right_match(&l, &d("0.2")), Some(&d("0.2")));
+        assert_eq!(right_match(&l, &d("0.3")), Some(&d("0.4")));
+        assert_eq!(right_match(&l, &d("0.5")), None);
+    }
+
+    #[test]
+    fn deeper_picks_longer() {
+        assert_eq!(deeper(Some(d("0.1")), Some(d("0.1.2"))), Some(d("0.1.2")));
+        assert_eq!(deeper(Some(d("0.1.2")), Some(d("0.1"))), Some(d("0.1.2")));
+        assert_eq!(deeper(None, Some(d("0"))), Some(d("0")));
+        assert_eq!(deeper(None, None), None);
+        // Ties keep the first argument.
+        assert_eq!(deeper(Some(d("0.1")), Some(d("0.2"))), Some(d("0.1")));
+    }
+
+    #[test]
+    fn remove_ancestors_keeps_deepest() {
+        let got = remove_ancestors(list(&["0", "0.2.0", "0.2", "0.3", "0.2.0"]));
+        assert_eq!(got, list(&["0.2.0", "0.3"]));
+    }
+
+    #[test]
+    fn remove_ancestors_empty_and_single() {
+        assert!(remove_ancestors(vec![]).is_empty());
+        assert_eq!(remove_ancestors(list(&["0.1"])), list(&["0.1"]));
+    }
+
+    #[test]
+    fn merge_postings_ors_masks() {
+        let sets = vec![list(&["0.1", "0.3"]), list(&["0.2", "0.3"])];
+        let merged = merge_postings(&sets);
+        let rendered: Vec<(String, u64)> = merged
+            .iter()
+            .map(|(d, m)| (d.to_string(), *m))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("0.1".to_owned(), 0b01),
+                ("0.2".to_owned(), 0b10),
+                ("0.3".to_owned(), 0b11),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_mask_widths() {
+        assert_eq!(full_mask(1), 0b1);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+}

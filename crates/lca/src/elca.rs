@@ -1,0 +1,297 @@
+//! ELCA computation — the paper's `getLCA` stage.
+//!
+//! ValidRTF anchors its RTFs at **all interesting LCA nodes**, i.e. the
+//! ELCA set of Xu & Papakonstantinou (EDBT 2008), computed there by the
+//! *Indexed Stack* algorithm. We implement an output-equivalent
+//! single-pass algorithm over the merged, document-ordered keyword-node
+//! stream, maintaining a stack that mirrors the Dewey path of the
+//! current node (one entry per path component).
+//!
+//! Each stack entry tracks two keyword bitmasks for the corresponding
+//! path node:
+//!
+//! * `raw`  — keywords occurring anywhere in the node's subtree
+//!   (decides CA-ness);
+//! * `excl` — keywords occurring in the subtree **excluding** the
+//!   subtrees of CA descendants (decides ELCA-ness: the witness
+//!   condition says a witness shadowed by a CA proper descendant does
+//!   not count).
+//!
+//! When an entry is popped (the scan has left its subtree), it is an
+//! ELCA iff `excl` covers the query; it contributes `raw` to its
+//! parent's `raw`, and to the parent's `excl` **only when it is not
+//! itself CA** (a CA child's occurrences are all shadowed for every
+//! ancestor).
+//!
+//! Complexity: `O(Σ|D_i| · depth)` time, `O(depth)` stack space — the
+//! same asymptotics Indexed Stack achieves on these inputs; the
+//! substitution is documented in `DESIGN.md` §2.
+
+use xks_xmltree::Dewey;
+
+use crate::common::{full_mask, merge_postings};
+
+struct Entry {
+    /// The Dewey component this entry contributes to the current path.
+    component: u32,
+    /// Keywords in the subtree (so far).
+    raw: u64,
+    /// Keywords in the subtree excluding CA-descendant subtrees (so far).
+    excl: u64,
+}
+
+/// Computes the ELCA set of the keyword-node lists, in document order.
+///
+/// `sets[i]` is the sorted Dewey list `D_i`; any empty list (or no lists)
+/// yields an empty result, since no node can cover the query.
+#[must_use]
+pub fn elca_stack(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let full = full_mask(sets.len());
+    let stream = merge_postings(sets);
+
+    let mut stack: Vec<Entry> = Vec::new();
+    let mut results: Vec<Dewey> = Vec::new();
+
+    for (dewey, mask) in stream {
+        let components = dewey.components();
+        // Length of the common prefix between the stack path and this
+        // node's path.
+        let mut common = 0usize;
+        while common < stack.len()
+            && common < components.len()
+            && stack[common].component == components[common]
+        {
+            common += 1;
+        }
+        // Leave the subtrees we are no longer inside.
+        pop_to(&mut stack, common, full, &mut results);
+        // Enter the new path components.
+        for &c in &components[common..] {
+            stack.push(Entry {
+                component: c,
+                raw: 0,
+                excl: 0,
+            });
+        }
+        // The node itself carries `mask`.
+        let top = stack.last_mut().expect("path has at least one component");
+        top.raw |= mask;
+        top.excl |= mask;
+    }
+    pop_to(&mut stack, 0, full, &mut results);
+    results.sort();
+    results
+}
+
+/// Pops stack entries until `stack.len() == target`, finalizing each
+/// popped node: report it when its exclusive mask covers the query, and
+/// fold its masks into the parent.
+fn pop_to(stack: &mut Vec<Entry>, target: usize, full: u64, results: &mut Vec<Dewey>) {
+    while stack.len() > target {
+        let entry = stack.pop().expect("len > target >= 0");
+        if entry.excl & full == full {
+            let path: Vec<u32> = stack
+                .iter()
+                .map(|e| e.component)
+                .chain(std::iter::once(entry.component))
+                .collect();
+            results.push(Dewey::from_components(path));
+        }
+        if let Some(parent) = stack.last_mut() {
+            parent.raw |= entry.raw;
+            if entry.raw & full != full {
+                // Not a CA subtree: its occurrences stay visible to
+                // ancestors.
+                parent.excl |= entry.raw;
+            }
+        }
+    }
+}
+
+/// The candidate + range-minimum-verification ELCA algorithm — a second
+/// fast implementation in the spirit of [12]'s Indexed Stack (smallest
+/// list drives candidate generation; each candidate is verified with
+/// indexed probes instead of re-scans).
+///
+/// How it works:
+///
+/// 1. **Candidates.** Every ELCA `u` has, in each `D_i`, a witness
+///    whose *deepest covering-combination LCA* is exactly `u`
+///    (a deeper one would be a CA node shadowing the witness). So the
+///    set `{deepest-combination-LCA(v) : v ∈ smallest list}` covers all
+///    ELCAs — `O(|S_1| · k)` binary searches.
+/// 2. **Shadow depths.** A node `n` is shadowed w.r.t. an ancestor `u`
+///    iff some CA node sits strictly between them; since every CA node
+///    is an ancestor-or-self of an SLCA, that holds iff
+///    `max_s len(lca(n, s)) > len(u)` over the SLCA set — again a
+///    neighbor (`lm`/`rm`) property, precomputed per posting.
+/// 3. **Verification.** `u` is an ELCA iff every `D_i` holds a witness
+///    in `[u, end(u))` whose shadow depth is `≤ len(u)` — a
+///    range-*minimum* probe over the precomputed depths, `O(1)` per
+///    `(candidate, keyword)` after building one sparse table per list.
+///
+/// Output-equivalent to [`elca_stack`] (differentially tested); the
+/// trade-off is `O(Σ|D_i| log)` preprocessing against the stack's
+/// strictly-streaming pass — the ablation bench compares them.
+#[must_use]
+pub fn elca_candidate_rmq(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    use crate::common::{deepest_combination_len, deepest_lca_len};
+    use crate::rmq::Rmq;
+    use crate::slca::indexed_lookup_eager;
+
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+
+    let slcas = indexed_lookup_eager(sets);
+
+    // Shadow depth per posting, plus one RMQ table per list.
+    let tables: Vec<Rmq> = sets
+        .iter()
+        .map(|list| {
+            let depths: Vec<usize> = list
+                .iter()
+                .map(|n| deepest_lca_len(&slcas, n))
+                .collect();
+            Rmq::new(&depths)
+        })
+        .collect();
+
+    // Candidates from the smallest list.
+    let driver = sets
+        .iter()
+        .min_by_key(|s| s.len())
+        .expect("non-empty sets");
+    let mut candidates: Vec<Dewey> = driver
+        .iter()
+        .map(|v| {
+            Dewey::from_components(v.components()[..deepest_combination_len(v, sets)].to_vec())
+        })
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+
+    // Verify each candidate against every list.
+    let mut out = Vec::with_capacity(candidates.len());
+    'cand: for u in candidates {
+        let Some(ub) = u.subtree_upper_bound() else {
+            continue;
+        };
+        for (list, table) in sets.iter().zip(&tables) {
+            let l = list.partition_point(|d| d < &u);
+            let r = list.partition_point(|d| d < &ub);
+            match table.min(l, r) {
+                Some(min_depth) if min_depth <= u.len() => {}
+                _ => continue 'cand, // empty range or all shadowed
+            }
+        }
+        out.push(u);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_elca;
+
+    fn list(items: &[&str]) -> Vec<Dewey> {
+        items.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    fn strs(v: &[Dewey]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    fn check(sets: &[Vec<Dewey>], expected: &[&str]) {
+        assert_eq!(strs(&elca_stack(sets)), expected, "elca_stack");
+        assert_eq!(strs(&naive_elca(sets)), expected, "naive oracle");
+    }
+
+    #[test]
+    fn paper_q2_two_interesting_lcas() {
+        // Example 3/4: "liu keyword" on Figure 1(a) → {0.2.0, 0.2.0.3.0}.
+        let sets = vec![
+            list(&["0.2.0.0.0.0", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+        ];
+        check(&sets, &["0.2.0", "0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn paper_q3_root_only() {
+        let sets = vec![
+            list(&["0.0"]),
+            list(&["0.0", "0.2.0.1", "0.2.1.1"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+        ];
+        check(&sets, &["0"]);
+    }
+
+    #[test]
+    fn ca_shadowing_blocks_ancestor() {
+        // The subtle case: d = 0.0 is CA but not ELCA; its witnesses are
+        // shadowed for the root, which therefore is not ELCA either.
+        let sets = vec![
+            list(&["0.0.0.0", "0.0.1"]),
+            list(&["0.0.0.1", "0.1"]),
+        ];
+        check(&sets, &["0.0.0"]);
+    }
+
+    #[test]
+    fn independent_witnesses_keep_ancestor() {
+        let sets = vec![
+            list(&["0.0.0", "0.1"]),
+            list(&["0.0.1", "0.2"]),
+        ];
+        check(&sets, &["0", "0.0"]);
+    }
+
+    #[test]
+    fn keyword_node_is_its_own_elca() {
+        let sets = vec![list(&["0.3"]), list(&["0.3"])];
+        check(&sets, &["0.3"]);
+    }
+
+    #[test]
+    fn nested_full_nodes() {
+        // ref-style chain: node contains all keywords, ancestor has
+        // another full child: both ELCAs.
+        let sets = vec![
+            list(&["0.0.0", "0.1.0"]),
+            list(&["0.0.0", "0.1.1"]),
+        ];
+        check(&sets, &["0.0.0", "0.1"]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(elca_stack(&[]).is_empty());
+        let sets = vec![list(&["0.1"]), vec![]];
+        assert!(elca_stack(&sets).is_empty());
+    }
+
+    #[test]
+    fn single_keyword_every_node_elca() {
+        let sets = vec![list(&["0.0", "0.0.0", "0.2"])];
+        check(&sets, &["0.0", "0.0.0", "0.2"]);
+    }
+
+    #[test]
+    fn results_sorted_in_document_order() {
+        let sets = vec![
+            list(&["0.0.0", "0.2.0", "0.1.0"]),
+            list(&["0.0.1", "0.2.1", "0.1.1"]),
+        ];
+        let got = elca_stack(&sets);
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+    }
+}

@@ -1,0 +1,38 @@
+//! LCA computation substrate: SLCA and ELCA algorithms.
+//!
+//! Stage 2 of the paper's pipeline (`getLCA`, Algorithm 1) computes
+//! *all the interesting LCA nodes* of the keyword-node sets `D_1..D_k` —
+//! the ELCA semantics of Xu & Papakonstantinou (EDBT 2008, the "Indexed
+//! Stack" algorithm the paper reuses verbatim). MaxMatch in its original
+//! form instead computes the SLCA subset (Xu & Papakonstantinou, SIGMOD
+//! 2005).
+//!
+//! This crate implements both semantics, each with more than one
+//! algorithm so they can be differential-tested and ablated:
+//!
+//! * [`slca::indexed_lookup_eager`] — binary-search driven SLCA;
+//! * [`slca::scan_eager`] — cursor-scan SLCA (same candidates, different
+//!   lookup strategy);
+//! * [`elca::elca_stack`] — single-pass Dewey-path stack computing the
+//!   ELCA set in merged document order (output-equivalent to Indexed
+//!   Stack; see the module docs for the substitution note);
+//! * [`elca::elca_candidate_rmq`] — a second fast ELCA implementation
+//!   (smallest-list candidates + range-minimum verification, the
+//!   indexed-probing spirit of Indexed Stack);
+//! * [`naive`] — brute-force oracles for both semantics, used by the
+//!   property tests.
+//!
+//! Throughout, the inputs are the sorted Dewey posting lists produced by
+//! `xks-index`, and outputs are sorted in document order.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod common;
+pub mod elca;
+pub mod naive;
+pub mod rmq;
+pub mod slca;
+
+pub use elca::{elca_candidate_rmq, elca_stack};
+pub use slca::{indexed_lookup_eager, scan_eager};

@@ -1,0 +1,172 @@
+//! Brute-force oracles for the SLCA and ELCA semantics.
+//!
+//! These are deliberately simple (quadratic and worse) and are the
+//! ground truth the fast algorithms are differential-tested against.
+//! Definitions, following Xu & Papakonstantinou:
+//!
+//! * `ca`   — nodes whose subtree contains at least one node from every
+//!   `D_i` ("common ancestors" containing the whole query).
+//! * `slca` — CA nodes none of whose proper descendants is a CA node.
+//! * `elca` — nodes `v` with witnesses `n_i ∈ D_i` under `v` such that no
+//!   witness lies in the subtree of a CA node that is a proper
+//!   descendant of `v`. These are the paper's "interesting LCA nodes"
+//!   returned by `getLCA`.
+
+use std::collections::BTreeSet;
+
+use xks_xmltree::Dewey;
+
+/// All candidate ancestors of any keyword node (each CA/ELCA node is an
+/// ancestor-or-self of some keyword node).
+fn candidate_nodes(sets: &[Vec<Dewey>]) -> BTreeSet<Dewey> {
+    let mut cands = BTreeSet::new();
+    for list in sets {
+        for d in list {
+            cands.insert(d.clone());
+            for a in d.ancestors() {
+                cands.insert(a);
+            }
+        }
+    }
+    cands
+}
+
+/// `true` iff the subtree of `v` contains some node of `list`.
+fn subtree_hits(list: &[Dewey], v: &Dewey) -> bool {
+    list.iter().any(|d| v.is_ancestor_or_self(d))
+}
+
+/// The CA set: nodes whose subtree covers every keyword, in document
+/// order.
+#[must_use]
+pub fn naive_ca(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    candidate_nodes(sets)
+        .into_iter()
+        .filter(|v| sets.iter().all(|list| subtree_hits(list, v)))
+        .collect()
+}
+
+/// The SLCA set by definition: CA nodes with no CA proper descendant.
+#[must_use]
+pub fn naive_slca(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    let ca = naive_ca(sets);
+    ca.iter()
+        .filter(|v| !ca.iter().any(|u| v.is_ancestor_of(u)))
+        .cloned()
+        .collect()
+}
+
+/// The ELCA set by the witness definition.
+#[must_use]
+pub fn naive_elca(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    let ca = naive_ca(sets);
+    ca.iter()
+        .filter(|v| {
+            sets.iter().all(|list| {
+                list.iter().any(|n| {
+                    v.is_ancestor_or_self(n)
+                        && !ca
+                            .iter()
+                            .any(|u| v.is_ancestor_of(u) && u.is_ancestor_or_self(n))
+                })
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn list(items: &[&str]) -> Vec<Dewey> {
+        items.iter().map(|s| d(s)).collect()
+    }
+
+    fn strs(v: &[Dewey]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    /// The paper's Example 3 shape: Q2 = "liu keyword" on Figure 1(a).
+    /// D1 = {name 0.2.0.0.0.0, ref 0.2.0.3.0};
+    /// D2 = {title 0.2.0.1, abstract 0.2.0.2, ref 0.2.0.3.0}.
+    fn q2_sets() -> Vec<Vec<Dewey>> {
+        vec![
+            list(&["0.2.0.0.0.0", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+        ]
+    }
+
+    #[test]
+    fn q2_ca_set() {
+        // CA: ref itself, and every ancestor of ref; 0.2.0 also qualifies
+        // via (name, title).
+        let ca = strs(&naive_ca(&q2_sets()));
+        assert_eq!(ca, ["0", "0.2", "0.2.0", "0.2.0.3", "0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn q2_slca_is_ref_only() {
+        assert_eq!(strs(&naive_slca(&q2_sets())), ["0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn q2_elca_matches_paper_example_3() {
+        // Example 3/4: exactly two interesting LCAs — the ref node and
+        // the article 0.2.0. "0.2.0.3 (references)" is CA but has no
+        // witness outside ref; same for 0.2 and 0.
+        assert_eq!(strs(&naive_elca(&q2_sets())), ["0.2.0", "0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn elca_excludes_ca_shadowed_witnesses() {
+        // v → d → e chain: e is full; d adds k1 only; v adds k2 only.
+        // d is CA (raw subtree covers both), so v's k1 witness under d
+        // is shadowed: ELCA = {e} only.
+        let sets = vec![
+            list(&["0.0.0.0", "0.0.1"]), // k1: under e, under d
+            list(&["0.0.0.1", "0.1"]),   // k2: under e, under v
+        ];
+        // Tree: v=0, d=0.0, e=0.0.0 with children 0.0.0.0 (k1), 0.0.0.1
+        // (k2); d child 0.0.1 (k1); v child 0.1 (k2).
+        assert_eq!(strs(&naive_elca(&sets)), ["0.0.0"]);
+        assert_eq!(strs(&naive_slca(&sets)), ["0.0.0"]);
+        let ca = strs(&naive_ca(&sets));
+        assert_eq!(ca, ["0", "0.0", "0.0.0"]);
+    }
+
+    #[test]
+    fn elca_keeps_independent_parent() {
+        // Parent has its own unshadowed witnesses for both keywords.
+        let sets = vec![
+            list(&["0.0.0", "0.1"]), // k1 under c and directly under root
+            list(&["0.0.1", "0.2"]), // k2 under c and directly under root
+        ];
+        // c = 0.0 is full; root also covers via 0.1/0.2 (not under any CA
+        // descendant).
+        assert_eq!(strs(&naive_elca(&sets)), ["0", "0.0"]);
+        assert_eq!(strs(&naive_slca(&sets)), ["0.0"]);
+    }
+
+    #[test]
+    fn single_keyword_semantics() {
+        // k = 1: every keyword node is CA; SLCA = deepest ones; ELCA =
+        // every keyword node (witness = itself, shadowed only if a
+        // descendant is also a keyword node... which makes the ancestor
+        // lose its own occurrence only when it has none of its own).
+        let sets = vec![list(&["0.0", "0.0.0"])];
+        assert_eq!(strs(&naive_slca(&sets)), ["0.0.0"]);
+        assert_eq!(strs(&naive_elca(&sets)), ["0.0", "0.0.0"]);
+    }
+
+    #[test]
+    fn disjoint_subtrees_yield_root_lca() {
+        let sets = vec![list(&["0.0"]), list(&["0.1"])];
+        assert_eq!(strs(&naive_slca(&sets)), ["0"]);
+        assert_eq!(strs(&naive_elca(&sets)), ["0"]);
+    }
+}

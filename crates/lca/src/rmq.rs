@@ -1,0 +1,100 @@
+//! Sparse-table range-minimum queries.
+//!
+//! Substrate for the candidate-verification ELCA algorithm
+//! ([`crate::elca::elca_candidate_rmq`]): `O(n log n)` construction,
+//! `O(1)` per query, immutable after build.
+
+/// A sparse table answering `min(values[l..r])` in constant time.
+#[derive(Debug, Clone)]
+pub struct Rmq {
+    /// `table[j][i]` = min of `values[i .. i + 2^j]`.
+    table: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl Rmq {
+    /// Builds the table over `values`.
+    #[must_use]
+    pub fn new(values: &[usize]) -> Self {
+        let n = values.len();
+        let mut table = vec![values.to_vec()];
+        let mut width = 1usize;
+        while width * 2 <= n {
+            let prev = table.last().expect("at least one level");
+            let mut level = Vec::with_capacity(n - width * 2 + 1);
+            for i in 0..=(n - width * 2) {
+                level.push(prev[i].min(prev[i + width]));
+            }
+            table.push(level);
+            width *= 2;
+        }
+        Rmq { table, len: n }
+    }
+
+    /// Number of underlying values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the table covers no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Minimum of `values[l..r]` (half-open). `None` when the range is
+    /// empty or out of bounds.
+    #[must_use]
+    pub fn min(&self, l: usize, r: usize) -> Option<usize> {
+        if l >= r || r > self.len {
+            return None;
+        }
+        let span = r - l;
+        let j = usize::BITS as usize - 1 - span.leading_zeros() as usize;
+        let level = &self.table[j];
+        Some(level[l].min(level[r - (1 << j)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cases() {
+        let rmq = Rmq::new(&[5, 3, 8, 1, 9, 2]);
+        assert_eq!(rmq.min(0, 6), Some(1));
+        assert_eq!(rmq.min(0, 3), Some(3));
+        assert_eq!(rmq.min(2, 3), Some(8));
+        assert_eq!(rmq.min(4, 6), Some(2));
+        assert_eq!(rmq.min(3, 4), Some(1));
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let rmq = Rmq::new(&[7]);
+        assert_eq!(rmq.min(0, 1), Some(7));
+        assert_eq!(rmq.min(0, 0), None);
+        assert_eq!(rmq.min(1, 1), None);
+        assert_eq!(rmq.min(0, 2), None);
+        let empty = Rmq::new(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.min(0, 1), None);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        // Deterministic pseudo-random values.
+        let values: Vec<usize> = (0..200usize)
+            .map(|i| (i.wrapping_mul(2654435761)) % 1000)
+            .collect();
+        let rmq = Rmq::new(&values);
+        for l in 0..values.len() {
+            for r in (l + 1)..=values.len().min(l + 40) {
+                let expected = *values[l..r].iter().min().unwrap();
+                assert_eq!(rmq.min(l, r), Some(expected), "[{l},{r})");
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! SLCA algorithms (Xu & Papakonstantinou, SIGMOD 2005).
+//!
+//! Both algorithms compute, for each node `v` of the smallest keyword
+//! list, the candidate `slca({v}, S_2, …, S_k)` — the deepest LCA
+//! reachable from `v` using the *closest* match in every other list —
+//! and then drop candidates that are ancestors of other candidates
+//! (`removeAncestorNodes`). They differ only in how the closest matches
+//! are found:
+//!
+//! * [`indexed_lookup_eager`] uses binary search (`lm`/`rm`) per lookup —
+//!   `O(|S_1| · k · log |S_max|)`;
+//! * [`scan_eager`] advances one cursor per list monotonically —
+//!   `O(Σ|S_i|)` total scanning, better when list sizes are comparable.
+//!
+//! The original MaxMatch retrieves its SLCA anchors this way; ValidRTF
+//! replaces this stage with the ELCA computation in [`crate::elca`].
+
+use xks_xmltree::Dewey;
+
+use crate::common::{deeper, left_match, remove_ancestors, right_match};
+
+/// One step of the candidate computation: the deepest LCA of `x` with
+/// the closest match in `list`.
+fn closest_lca(x: &Dewey, list: &[Dewey]) -> Option<Dewey> {
+    let l = left_match(list, x).map(|m| x.lca(m));
+    let r = right_match(list, x).map(|m| x.lca(m));
+    deeper(l, r)
+}
+
+/// The Indexed Lookup Eager SLCA algorithm.
+///
+/// `sets` are the sorted keyword-node lists `D_1..D_k`; the result is the
+/// SLCA set in document order. Empty input (or any empty list) yields an
+/// empty result.
+#[must_use]
+pub fn indexed_lookup_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let driver = sets
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.len())
+        .map(|(i, _)| i)
+        .expect("non-empty sets");
+
+    let mut candidates = Vec::with_capacity(sets[driver].len());
+    'outer: for v in &sets[driver] {
+        let mut x = v.clone();
+        for (i, list) in sets.iter().enumerate() {
+            if i == driver {
+                continue;
+            }
+            match closest_lca(&x, list) {
+                Some(next) => x = next,
+                None => continue 'outer,
+            }
+        }
+        candidates.push(x);
+    }
+    remove_ancestors(candidates)
+}
+
+/// The Scan Eager SLCA algorithm: identical candidates, found with
+/// monotone cursors instead of binary searches.
+#[must_use]
+pub fn scan_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let driver = sets
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.len())
+        .map(|(i, _)| i)
+        .expect("non-empty sets");
+
+    // One cursor per non-driver list pointing at the first element >= the
+    // last probed position. Because driver nodes are processed in
+    // increasing order and the probe anchor `x` never moves left of the
+    // driver node's left neighborhood, cursors only advance.
+    let mut cursors = vec![0usize; sets.len()];
+    let mut candidates = Vec::with_capacity(sets[driver].len());
+
+    'outer: for v in &sets[driver] {
+        let mut x = v.clone();
+        for (i, list) in sets.iter().enumerate() {
+            if i == driver {
+                continue;
+            }
+            // Advance the cursor past everything < v (monotone in v, so
+            // amortized linear over the whole run). The closest match
+            // for the *current anchor* x is then found by a bounded
+            // local scan around the cursor.
+            while cursors[i] < list.len() && list[cursors[i]] < *v {
+                cursors[i] += 1;
+            }
+            let lm = if cursors[i] > 0 {
+                Some(&list[cursors[i] - 1])
+            } else {
+                None
+            };
+            let rm = list.get(cursors[i]);
+            let l = lm.map(|m| x.lca(m));
+            let r = rm.map(|m| x.lca(m));
+            match deeper(l, r) {
+                Some(next) => x = next,
+                None => continue 'outer,
+            }
+        }
+        candidates.push(x);
+    }
+    remove_ancestors(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_slca;
+
+    fn list(items: &[&str]) -> Vec<Dewey> {
+        items.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    fn strs(v: &[Dewey]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    fn check_all(sets: &[Vec<Dewey>], expected: &[&str]) {
+        assert_eq!(strs(&indexed_lookup_eager(sets)), expected, "ILE");
+        assert_eq!(strs(&scan_eager(sets)), expected, "ScanEager");
+        assert_eq!(strs(&naive_slca(sets)), expected, "naive");
+    }
+
+    #[test]
+    fn paper_q2_slca() {
+        let sets = vec![
+            list(&["0.2.0.0.0.0", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+        ];
+        check_all(&sets, &["0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn paper_q3_slca_is_root() {
+        // Q3 on Figure 1(a): VLDB only at 0.0, rest under 0.2 — SLCA = 0.
+        let sets = vec![
+            list(&["0.0"]),
+            list(&["0.0", "0.2.0.1", "0.2.1.1"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+            list(&["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]),
+        ];
+        check_all(&sets, &["0"]);
+    }
+
+    #[test]
+    fn multiple_slcas_across_siblings() {
+        // Two articles, each containing both keywords.
+        let sets = vec![
+            list(&["0.0.0", "0.1.0"]),
+            list(&["0.0.1", "0.1.1"]),
+        ];
+        check_all(&sets, &["0.0", "0.1"]);
+    }
+
+    #[test]
+    fn keyword_node_containing_all() {
+        let sets = vec![list(&["0.3"]), list(&["0.3"])];
+        check_all(&sets, &["0.3"]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(indexed_lookup_eager(&[]).is_empty());
+        assert!(scan_eager(&[]).is_empty());
+        let sets = vec![list(&["0.1"]), vec![]];
+        assert!(indexed_lookup_eager(&sets).is_empty());
+        assert!(scan_eager(&sets).is_empty());
+    }
+
+    #[test]
+    fn single_list_slca_is_deepest_nodes() {
+        let sets = vec![list(&["0.0", "0.0.0", "0.1"])];
+        check_all(&sets, &["0.0.0", "0.1"]);
+    }
+
+    #[test]
+    fn ancestor_candidates_removed() {
+        // Driver nodes produce nested candidates; only deepest survive.
+        let sets = vec![
+            list(&["0.0.0.0", "0.5"]),
+            list(&["0.0.0.1", "0.5.0"]),
+        ];
+        check_all(&sets, &["0.0.0", "0.5"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Differential property tests: every fast algorithm must agree with the
+//! brute-force oracle on random trees and random keyword-node sets.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use xks_lca::naive::{naive_elca, naive_slca};
+use xks_lca::{elca_candidate_rmq, elca_stack, indexed_lookup_eager, scan_eager};
+use xks_xmltree::Dewey;
+
+/// Builds a random tree from parent-choice bytes: node 0 is the root;
+/// node i+1 attaches to the node selected by `choices[i] % (i+1)`.
+/// Returns all node Dewey codes in creation order.
+fn random_tree(choices: &[u8]) -> Vec<Dewey> {
+    let mut nodes: Vec<Dewey> = vec![Dewey::root()];
+    let mut child_count: HashMap<Dewey, u32> = HashMap::new();
+    for &c in choices {
+        let parent = nodes[(c as usize) % nodes.len()].clone();
+        let n = child_count.entry(parent.clone()).or_insert(0);
+        let child = parent.child(*n);
+        *n += 1;
+        nodes.push(child);
+    }
+    nodes
+}
+
+/// Selects the keyword-node lists: keyword `i` matches node `j` when bit
+/// `i` of `marks[j]` is set. Guarantees nothing about non-emptiness.
+fn keyword_sets(nodes: &[Dewey], marks: &[u8], k: usize) -> Vec<Vec<Dewey>> {
+    (0..k)
+        .map(|i| {
+            let mut list: Vec<Dewey> = nodes
+                .iter()
+                .zip(marks.iter().cycle())
+                .filter(|(_, m)| (*m >> i) & 1 == 1)
+                .map(|(d, _)| d.clone())
+                .collect();
+            list.sort();
+            list.dedup();
+            list
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn slca_algorithms_agree_with_oracle(
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+        marks in prop::collection::vec(any::<u8>(), 1..61),
+        k in 1usize..5,
+    ) {
+        let nodes = random_tree(&choices);
+        let sets = keyword_sets(&nodes, &marks, k);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let expected = naive_slca(&sets);
+        prop_assert_eq!(&indexed_lookup_eager(&sets), &expected, "ILE mismatch");
+        prop_assert_eq!(&scan_eager(&sets), &expected, "ScanEager mismatch");
+    }
+
+    #[test]
+    fn elca_stack_agrees_with_oracle(
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+        marks in prop::collection::vec(any::<u8>(), 1..61),
+        k in 1usize..5,
+    ) {
+        let nodes = random_tree(&choices);
+        let sets = keyword_sets(&nodes, &marks, k);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        prop_assert_eq!(elca_stack(&sets), naive_elca(&sets));
+    }
+
+    #[test]
+    fn elca_candidate_rmq_agrees_with_oracle(
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+        marks in prop::collection::vec(any::<u8>(), 1..61),
+        k in 1usize..5,
+    ) {
+        let nodes = random_tree(&choices);
+        let sets = keyword_sets(&nodes, &marks, k);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        prop_assert_eq!(elca_candidate_rmq(&sets), naive_elca(&sets));
+    }
+
+    #[test]
+    fn slca_subset_of_elca(
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+        marks in prop::collection::vec(any::<u8>(), 1..61),
+        k in 1usize..5,
+    ) {
+        // The SLCA nodes are always interesting LCAs (the paper's claim
+        // that RTFs generalize the SLCA fragments).
+        let nodes = random_tree(&choices);
+        let sets = keyword_sets(&nodes, &marks, k);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let slca = indexed_lookup_eager(&sets);
+        let elca = elca_stack(&sets);
+        for s in &slca {
+            prop_assert!(elca.contains(s), "SLCA {} missing from ELCA set", s);
+        }
+    }
+
+    #[test]
+    fn elca_nodes_cover_query(
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+        marks in prop::collection::vec(any::<u8>(), 1..61),
+        k in 1usize..5,
+    ) {
+        // Every reported ELCA's subtree contains every keyword.
+        let nodes = random_tree(&choices);
+        let sets = keyword_sets(&nodes, &marks, k);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        for e in elca_stack(&sets) {
+            for (i, list) in sets.iter().enumerate() {
+                prop_assert!(
+                    list.iter().any(|d| e.is_ancestor_or_self(d)),
+                    "ELCA {} misses keyword {}",
+                    e,
+                    i
+                );
+            }
+        }
+    }
+}

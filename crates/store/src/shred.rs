@@ -1,0 +1,220 @@
+//! The shredder: `XmlTree` → [`ShreddedDoc`].
+//!
+//! Walks the tree once in pre-order to emit the `element` rows (including
+//! the paper's *label number sequence* — the label ids along the root
+//! path, §5.2 footnote 11), once in post-order to compute the per-subtree
+//! `content feature` (cID), and emits one `value` row per interesting
+//! word occurrence at each node (label, text, and attribute words, stop
+//! words removed).
+
+use std::collections::BTreeSet;
+
+use xks_xmltree::content::{content_feature, node_content};
+use xks_xmltree::tokenizer::tokenize_filtered;
+use xks_xmltree::tree::{NodeId, XmlTree};
+
+use crate::tables::{ElementRow, ShreddedDoc, ValueRow, WordSource};
+
+/// Shreds a document into the three tables.
+#[must_use]
+pub fn shred(tree: &XmlTree) -> ShreddedDoc {
+    let mut doc = ShreddedDoc::with_labels(
+        tree.labels().iter().map(|(_, n)| n.to_owned()).collect(),
+    );
+
+    // Subtree content features, computed bottom-up in one pass over the
+    // arena (children always have larger NodeId than their parent in our
+    // arena? Not guaranteed — use explicit post-order accumulation).
+    let features = subtree_features(tree);
+
+    for id in tree.preorder() {
+        let node = tree.node(id);
+        let dewey = node.dewey.to_string();
+        let label_path = label_path(tree, id);
+        doc.elements.push(ElementRow {
+            label: node.label.as_u32(),
+            dewey: dewey.clone(),
+            level: node.dewey.level() as u32,
+            label_path,
+            content_feature: features[id.index()].clone(),
+        });
+
+        for word in tokenize_filtered(tree.label_name(id)) {
+            doc.values.push(ValueRow {
+                label: node.label.as_u32(),
+                dewey: dewey.clone(),
+                source: WordSource::Label,
+                keyword: word,
+            });
+        }
+        if let Some(text) = &node.text {
+            for word in tokenize_filtered(text) {
+                doc.values.push(ValueRow {
+                    label: node.label.as_u32(),
+                    dewey: dewey.clone(),
+                    source: WordSource::Text,
+                    keyword: word,
+                });
+            }
+        }
+        for attr in &node.attributes {
+            for word in
+                tokenize_filtered(&attr.name).chain(tokenize_filtered(&attr.value))
+            {
+                doc.values.push(ValueRow {
+                    label: node.label.as_u32(),
+                    dewey: dewey.clone(),
+                    source: WordSource::Attribute(attr.name.clone()),
+                    keyword: word,
+                });
+            }
+        }
+    }
+
+    doc.rebuild_indexes();
+    doc
+}
+
+/// Label ids on the path root → node, the paper's "label number sequence".
+fn label_path(tree: &XmlTree, id: NodeId) -> Vec<u32> {
+    let mut path: Vec<u32> = tree
+        .ancestors(id)
+        .map(|a| tree.node(a).label.as_u32())
+        .collect();
+    path.reverse();
+    path.push(tree.node(id).label.as_u32());
+    path
+}
+
+/// Computes the `(min, max)` content feature of every subtree with one
+/// post-order pass (no repeated subtree scans).
+fn subtree_features(tree: &XmlTree) -> Vec<Option<(String, String)>> {
+    let mut features: Vec<Option<(String, String)>> = vec![None; tree.len()];
+    // Post-order: process children before parents. Pre-order reversed is
+    // not post-order in general, but a DFS finish-time ordering is easily
+    // obtained by walking pre-order and then iterating in reverse *when
+    // children always follow parents in the visit sequence*, which holds
+    // for pre-order.
+    let order: Vec<NodeId> = tree.preorder().collect();
+    for &id in order.iter().rev() {
+        let own: BTreeSet<String> = node_content(tree, id);
+        let mut min_max = content_feature(&own);
+        for &child in tree.node(id).children() {
+            if let Some((cmin, cmax)) = &features[child.index()] {
+                min_max = Some(match min_max {
+                    None => (cmin.clone(), cmax.clone()),
+                    Some((mut mn, mut mx)) => {
+                        if *cmin < mn {
+                            mn = cmin.clone();
+                        }
+                        if *cmax > mx {
+                            mx = cmax.clone();
+                        }
+                        (mn, mx)
+                    }
+                });
+            }
+        }
+        features[id.index()] = min_max;
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_xmltree::fixtures::publications;
+    use xks_xmltree::TreeBuilder;
+
+    #[test]
+    fn element_rows_cover_all_nodes_in_preorder() {
+        let t = publications();
+        let doc = shred(&t);
+        assert_eq!(doc.elements.len(), t.len());
+        let deweys: Vec<&str> = doc.elements.iter().map(|r| r.dewey.as_str()).collect();
+        let mut sorted = deweys.clone();
+        sorted.sort_by_key(|d| d.parse::<xks_xmltree::Dewey>().unwrap());
+        assert_eq!(deweys, sorted);
+    }
+
+    #[test]
+    fn label_paths_follow_root_path() {
+        let t = publications();
+        let doc = shred(&t);
+        let row = doc
+            .elements
+            .iter()
+            .find(|r| r.dewey == "0.2.0.0.0.0")
+            .unwrap();
+        let names: Vec<&str> = row
+            .label_path
+            .iter()
+            .map(|&l| doc.label_name(l))
+            .collect();
+        assert_eq!(
+            names,
+            ["Publications", "Articles", "article", "authors", "author", "name"]
+        );
+        assert_eq!(row.level, 5);
+    }
+
+    #[test]
+    fn value_rows_distinguish_sources() {
+        let mut b = TreeBuilder::new("article");
+        b.open_with_attrs("ref", &[("venue", "sigmod")]);
+        b.text("skyline");
+        b.close();
+        let t = b.build();
+        let doc = shred(&t);
+        let sources: Vec<(&str, &WordSource)> = doc
+            .values
+            .iter()
+            .filter(|r| r.dewey == "0.0")
+            .map(|r| (r.keyword.as_str(), &r.source))
+            .collect();
+        assert!(sources.contains(&("ref", &WordSource::Label)));
+        assert!(sources.contains(&("skyline", &WordSource::Text)));
+        assert!(sources
+            .iter()
+            .any(|(w, s)| *w == "sigmod" && matches!(s, WordSource::Attribute(a) if a == "venue")));
+        // attribute *name* words are emitted too
+        assert!(sources
+            .iter()
+            .any(|(w, s)| *w == "venue" && matches!(s, WordSource::Attribute(_))));
+    }
+
+    #[test]
+    fn keyword_lookup_matches_fixture_expectations() {
+        let doc = shred(&publications());
+        let liu: Vec<String> = doc
+            .keyword_deweys("liu")
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(liu, ["0.2.0.0.0.0", "0.2.0.3.0"]);
+    }
+
+    #[test]
+    fn content_features_aggregate_subtrees() {
+        let doc = shred(&publications());
+        // Leaf: title of the skyline paper.
+        let title = doc.element(&"0.2.0.1".parse().unwrap()).unwrap();
+        assert_eq!(
+            title.content_feature,
+            Some(("keyword".into(), "xml".into()))
+        );
+        // Interior: the whole document spans "2008" .. "z".
+        let root = doc.element(&"0".parse().unwrap()).unwrap();
+        let (min, max) = root.content_feature.clone().unwrap();
+        assert!(min.as_str() <= "abstract");
+        assert!(max.as_str() >= "xml");
+    }
+
+    #[test]
+    fn stop_words_do_not_reach_value_table() {
+        let doc = shred(&publications());
+        assert_eq!(doc.keyword_frequency("with"), 0);
+        assert_eq!(doc.keyword_frequency("for"), 0);
+        assert!(doc.keyword_frequency("xml") > 0);
+    }
+}

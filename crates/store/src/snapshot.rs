@@ -1,0 +1,114 @@
+//! Snapshot persistence for shredded documents.
+//!
+//! Stands in for the paper's PostgreSQL storage: a shredded corpus can be
+//! saved once and reloaded by benchmarks without re-parsing/re-shredding
+//! the XML.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::tables::ShreddedDoc;
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file error.
+    Io(io::Error),
+    /// Malformed snapshot contents.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Format(e) => write!(f, "snapshot format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Format(e)
+    }
+}
+
+/// Writes `doc` to `path` as JSON.
+pub fn save(doc: &ShreddedDoc, path: &Path) -> Result<(), SnapshotError> {
+    let json = serde_json::to_string(doc)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a shredded document from `path`, rebuilding derived indexes.
+pub fn load(path: &Path) -> Result<ShreddedDoc, SnapshotError> {
+    let json = fs::read_to_string(path)?;
+    let mut doc: ShreddedDoc = serde_json::from_str(&json)?;
+    doc.rebuild_indexes();
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shred::shred;
+    use xks_xmltree::fixtures::{publications, team};
+
+    #[test]
+    fn save_load_round_trip() {
+        let doc = shred(&publications());
+        let dir = std::env::temp_dir().join("xks-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pubs.json");
+        save(&doc, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(doc.labels, loaded.labels);
+        assert_eq!(doc.elements, loaded.elements);
+        assert_eq!(doc.values, loaded.values);
+        // Derived lookups survive the round trip.
+        assert_eq!(
+            doc.keyword_deweys("keyword"),
+            loaded.keyword_deweys("keyword")
+        );
+        assert!(loaded.element(&"0.2.0".parse().unwrap()).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("xks-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(load(&path), Err(SnapshotError::Format(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("xks-store-test/definitely-missing.json");
+        assert!(matches!(load(&path), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn team_round_trip_preserves_stats() {
+        let doc = shred(&team());
+        let dir = std::env::temp_dir().join("xks-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("team.json");
+        save(&doc, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.keyword_node_count("position"), 3);
+        assert_eq!(loaded.keyword_frequency("forward"), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! Programmatic tree construction.
+//!
+//! [`TreeBuilder`] offers a push/pop interface for building [`XmlTree`]s
+//! in code — used by the paper fixtures, the data generators, and the
+//! random-tree generators in tests.
+
+use crate::tree::{Attribute, NodeId, XmlTree};
+
+/// Stack-based builder for [`XmlTree`].
+///
+/// ```
+/// use xks_xmltree::builder::TreeBuilder;
+///
+/// let mut b = TreeBuilder::new("team");
+/// b.open("player");
+/// b.leaf("name", "Gassol");
+/// b.leaf("position", "forward");
+/// b.close();
+/// let tree = b.build();
+/// assert_eq!(tree.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct TreeBuilder {
+    tree: XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Starts a document whose root element has `root_label`.
+    #[must_use]
+    pub fn new(root_label: &str) -> Self {
+        let mut tree = XmlTree::new();
+        let label = tree.intern_label(root_label);
+        let root = tree.push_node(label, None, None, Vec::new());
+        TreeBuilder {
+            tree,
+            stack: vec![root],
+        }
+    }
+
+    /// The node currently open (innermost).
+    #[must_use]
+    pub fn current(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Opens a child element and makes it current.
+    pub fn open(&mut self, label: &str) -> NodeId {
+        let parent = self.current();
+        let label = self.tree.intern_label(label);
+        let id = self.tree.push_node(label, Some(parent), None, Vec::new());
+        self.stack.push(id);
+        id
+    }
+
+    /// Opens a child element carrying attributes.
+    pub fn open_with_attrs(&mut self, label: &str, attrs: &[(&str, &str)]) -> NodeId {
+        let parent = self.current();
+        let label = self.tree.intern_label(label);
+        let attributes = attrs
+            .iter()
+            .map(|(n, v)| Attribute {
+                name: (*n).to_owned(),
+                value: (*v).to_owned(),
+            })
+            .collect();
+        let id = self
+            .tree
+            .push_node(label, Some(parent), None, attributes);
+        self.stack.push(id);
+        id
+    }
+
+    /// Sets (or appends to) the text of the current element.
+    pub fn text(&mut self, text: &str) {
+        let id = self.current();
+        let node = &mut self.tree_mut_node(id).text;
+        match node {
+            Some(existing) => {
+                existing.push(' ');
+                existing.push_str(text);
+            }
+            None => *node = Some(text.to_owned()),
+        }
+    }
+
+    /// Convenience: `open(label)`, `text(value)`, `close()`.
+    pub fn leaf(&mut self, label: &str, value: &str) -> NodeId {
+        let id = self.open(label);
+        self.text(value);
+        self.close();
+        id
+    }
+
+    /// Convenience: empty child element with no text.
+    pub fn empty(&mut self, label: &str) -> NodeId {
+        let id = self.open(label);
+        self.close();
+        id
+    }
+
+    /// Closes the current element. Panics if only the root is open.
+    pub fn close(&mut self) {
+        assert!(self.stack.len() > 1, "cannot close the root element");
+        self.stack.pop();
+    }
+
+    /// Finishes the document. Panics if elements besides the root are
+    /// still open (catches builder misuse early).
+    #[must_use]
+    pub fn build(self) -> XmlTree {
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "unclosed elements at build(): depth {}",
+            self.stack.len()
+        );
+        self.tree
+    }
+
+    fn tree_mut_node(&mut self, id: NodeId) -> &mut crate::tree::Node {
+        // Internal accessor: NodeIds handed out by this builder are
+        // always valid for `self.tree`.
+        self.tree.node_mut(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = TreeBuilder::new("a");
+        b.open("b");
+        b.open("c");
+        b.text("hello");
+        b.close();
+        b.close();
+        b.empty("d");
+        let t = b.build();
+        let fp = t.fingerprint();
+        assert_eq!(fp.len(), 4);
+        assert_eq!(fp[2].1, "c");
+        assert_eq!(fp[2].2.as_deref(), Some("hello"));
+        assert_eq!(fp[3].0, "0.1");
+    }
+
+    #[test]
+    fn text_appends() {
+        let mut b = TreeBuilder::new("a");
+        b.text("one");
+        b.text("two");
+        let t = b.build();
+        assert_eq!(t.node(t.root()).text.as_deref(), Some("one two"));
+    }
+
+    #[test]
+    fn attributes_recorded() {
+        let mut b = TreeBuilder::new("a");
+        b.open_with_attrs("item", &[("id", "x7"), ("kind", "auction")]);
+        b.close();
+        let t = b.build();
+        let item = t.node_by_dewey(&"0.0".parse().unwrap()).unwrap();
+        let attrs = &t.node(item).attributes;
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].name, "id");
+        assert_eq!(attrs[1].value, "auction");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed elements")]
+    fn build_rejects_unclosed() {
+        let mut b = TreeBuilder::new("a");
+        b.open("b");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot close the root")]
+    fn close_rejects_root() {
+        let mut b = TreeBuilder::new("a");
+        b.close();
+    }
+}

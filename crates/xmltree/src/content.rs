@@ -1,0 +1,131 @@
+//! Node content sets.
+//!
+//! For a node `v` the paper defines the content `Cv` as the word set
+//! implied in `v`'s **label, text and attributes** (§1), and for a subtree
+//! the *tree content set* `TCv = ⋃ Cv'` over the keyword nodes of the
+//! subtree (Definition 3). A node is a *keyword node* for query `Q` when
+//! `Cv ∩ Q ≠ ∅`.
+
+use std::collections::BTreeSet;
+
+use crate::tokenizer::tokenize_filtered;
+use crate::tree::{NodeId, XmlTree};
+
+/// The content word set `Cv` of one node: words from its label, its text,
+/// and its attribute names/values, lowercased and stop-word filtered.
+///
+/// A `BTreeSet` keeps the words in lexical order, which is exactly what
+/// the `cID = (min, max)` content feature of §4.1 needs.
+#[must_use]
+pub fn node_content(tree: &XmlTree, id: NodeId) -> BTreeSet<String> {
+    let node = tree.node(id);
+    let mut words: BTreeSet<String> = BTreeSet::new();
+    words.extend(tokenize_filtered(tree.label_name(id)));
+    if let Some(text) = &node.text {
+        words.extend(tokenize_filtered(text));
+    }
+    for attr in &node.attributes {
+        words.extend(tokenize_filtered(&attr.name));
+        words.extend(tokenize_filtered(&attr.value));
+    }
+    words
+}
+
+/// The tree content set of the subtree rooted at `id`: union of the
+/// contents of **all** nodes below (and including) `id`.
+///
+/// Definition 3 restricts the union to *keyword* nodes of the RTF; the
+/// full-subtree variant here is the superset used when no query is in
+/// scope (e.g. by the store shredder to compute content features). The
+/// query-restricted variant lives in `validrtf::node_data`.
+#[must_use]
+pub fn tree_content(tree: &XmlTree, id: NodeId) -> BTreeSet<String> {
+    let mut words = BTreeSet::new();
+    for n in tree.preorder_from(id) {
+        words.extend(node_content(tree, n));
+    }
+    words
+}
+
+/// `true` iff node `id` contains at least one of `keywords` (each already
+/// normalized lowercase) — the paper's *keyword node* predicate.
+#[must_use]
+pub fn is_keyword_node(tree: &XmlTree, id: NodeId, keywords: &[String]) -> bool {
+    let content = node_content(tree, id);
+    keywords.iter().any(|k| content.contains(k))
+}
+
+/// The `(min, max)` word pair of a content set — the paper's `cID`
+/// content feature (§4.1). `None` for an empty set.
+#[must_use]
+pub fn content_feature(words: &BTreeSet<String>) -> Option<(String, String)> {
+    let min = words.iter().next()?.clone();
+    let max = words.iter().next_back()?.clone();
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    fn tree() -> XmlTree {
+        let mut b = TreeBuilder::new("article");
+        b.leaf("title", "Efficient Skyline Querying with Variable User Preferences");
+        b.open_with_attrs("ref", &[("type", "journal")]);
+        b.text("XML keyword search");
+        b.close();
+        b.build()
+    }
+
+    #[test]
+    fn content_includes_label_text_attributes() {
+        let t = tree();
+        let r = t.node_by_dewey(&"0.1".parse().unwrap()).unwrap();
+        let c = node_content(&t, r);
+        for w in ["ref", "type", "journal", "xml", "keyword", "search"] {
+            assert!(c.contains(w), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn content_filters_stop_words() {
+        let t = tree();
+        let title = t.node_by_dewey(&"0.0".parse().unwrap()).unwrap();
+        let c = node_content(&t, title);
+        assert!(!c.contains("with"));
+        assert!(c.contains("skyline"));
+    }
+
+    #[test]
+    fn tree_content_is_union() {
+        let t = tree();
+        let c = tree_content(&t, t.root());
+        for w in ["article", "title", "skyline", "ref", "xml", "search"] {
+            assert!(c.contains(w), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn keyword_node_predicate() {
+        let t = tree();
+        let title = t.node_by_dewey(&"0.0".parse().unwrap()).unwrap();
+        let kws = vec!["skyline".to_owned(), "nonexistent".to_owned()];
+        assert!(is_keyword_node(&t, title, &kws));
+        let kws2 = vec!["xml".to_owned()];
+        assert!(!is_keyword_node(&t, title, &kws2));
+    }
+
+    #[test]
+    fn feature_is_lexical_min_max() {
+        let words: BTreeSet<String> = ["keyword", "match", "relevant", "search", "xml"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(
+            content_feature(&words),
+            Some(("keyword".to_owned(), "xml".to_owned()))
+        );
+        assert_eq!(content_feature(&BTreeSet::new()), None);
+    }
+}

@@ -1,0 +1,365 @@
+//! Dewey codes: hierarchical node identifiers compatible with pre-order.
+//!
+//! The paper (footnote 2 and footnote 5) identifies every node of an XML
+//! tree by its Dewey code, e.g. `0.2.0.1`: the root is `0`, and each
+//! component after that is the ordinal of the child along the path from
+//! the root. Dewey codes have two properties that every algorithm in this
+//! workspace relies on:
+//!
+//! 1. lexicographic order on components equals the pre-order (document
+//!    order) of the tree, and
+//! 2. the lowest common ancestor of two nodes is the longest common
+//!    prefix of their codes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A Dewey code — the path of child ordinals from the root to a node.
+///
+/// The root of a document is `Dewey::root()`, printed as `0`. A child is
+/// derived with [`Dewey::child`], the parent with [`Dewey::parent`].
+///
+/// `Ord` is the pre-order (document order) relation used throughout the
+/// paper: for two distinct nodes `u`, `v`, `u < v` iff `u` appears before
+/// `v` in a left-to-right depth-first traversal. Note that an ancestor
+/// precedes all of its descendants.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dewey {
+    components: Vec<u32>,
+}
+
+impl Dewey {
+    /// The code of the document root, `0`.
+    #[must_use]
+    pub fn root() -> Self {
+        Dewey {
+            components: vec![0],
+        }
+    }
+
+    /// An empty code (the *virtual* parent of the root). Mostly useful as
+    /// a sentinel; no real node carries it.
+    #[must_use]
+    pub fn empty() -> Self {
+        Dewey {
+            components: Vec::new(),
+        }
+    }
+
+    /// Builds a code directly from components, e.g. `[0, 2, 0, 1]` for
+    /// `0.2.0.1`.
+    #[must_use]
+    pub fn from_components(components: Vec<u32>) -> Self {
+        Dewey { components }
+    }
+
+    /// The components of the code.
+    #[must_use]
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Number of components; the root has length 1.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` only for the sentinel produced by [`Dewey::empty`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Depth of the node: the root is at level 0.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.components.len().saturating_sub(1)
+    }
+
+    /// The code of this node's `ordinal`-th child (0-based).
+    #[must_use]
+    pub fn child(&self, ordinal: u32) -> Self {
+        let mut components = Vec::with_capacity(self.components.len() + 1);
+        components.extend_from_slice(&self.components);
+        components.push(ordinal);
+        Dewey { components }
+    }
+
+    /// The parent code, or `None` for the root (and the empty sentinel).
+    #[must_use]
+    pub fn parent(&self) -> Option<Self> {
+        if self.components.len() <= 1 {
+            return None;
+        }
+        Some(Dewey {
+            components: self.components[..self.components.len() - 1].to_vec(),
+        })
+    }
+
+    /// The ordinal of this node among its siblings (its last component).
+    #[must_use]
+    pub fn ordinal(&self) -> Option<u32> {
+        self.components.last().copied()
+    }
+
+    /// `true` iff `self` is a **proper** ancestor of `other`
+    /// (the paper's `u ≺a v`).
+    #[must_use]
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// `true` iff `self` is an ancestor of `other` or equal to it
+    /// ("ancestor-or-self", the dispatch relation used by `getRTF`).
+    #[must_use]
+    pub fn is_ancestor_or_self(&self, other: &Dewey) -> bool {
+        self.components.len() <= other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// `true` iff `self` is a proper descendant of `other`.
+    #[must_use]
+    pub fn is_descendant_of(&self, other: &Dewey) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// The lowest common ancestor of two codes: their longest common
+    /// prefix. For codes of the same document this is never empty.
+    #[must_use]
+    pub fn lca(&self, other: &Dewey) -> Dewey {
+        let n = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Dewey {
+            components: self.components[..n].to_vec(),
+        }
+    }
+
+    /// The LCA of a non-empty slice of codes; `None` on an empty slice.
+    #[must_use]
+    pub fn lca_of_all(codes: &[Dewey]) -> Option<Dewey> {
+        let mut iter = codes.iter();
+        let first = iter.next()?.clone();
+        Some(iter.fold(first, |acc, d| acc.lca(d)))
+    }
+
+    /// Iterator over all **proper** ancestors, nearest first
+    /// (parent, grandparent, …, root).
+    pub fn ancestors(&self) -> impl Iterator<Item = Dewey> + '_ {
+        let mut len = self.components.len();
+        std::iter::from_fn(move || {
+            if len <= 1 {
+                return None;
+            }
+            len -= 1;
+            Some(Dewey {
+                components: self.components[..len].to_vec(),
+            })
+        })
+    }
+
+    /// Iterator over the path from `stop` (exclusive) down to `self`
+    /// (inclusive); `stop` must be an ancestor-or-self of `self`.
+    /// Used by the constructing step of `pruneRTF`, which walks every
+    /// node on the path from a keyword node up to the RTF anchor.
+    pub fn path_from(&self, stop: &Dewey) -> impl Iterator<Item = Dewey> + '_ {
+        debug_assert!(stop.is_ancestor_or_self(self));
+        let mut len = stop.components.len();
+        let end = self.components.len();
+        std::iter::from_fn(move || {
+            if len >= end {
+                return None;
+            }
+            len += 1;
+            Some(Dewey {
+                components: self.components[..len].to_vec(),
+            })
+        })
+    }
+
+    /// The first Dewey code (in pre-order) that is **not** a descendant
+    /// of `self` and sorts after `self`'s whole subtree. Useful for
+    /// binary-search range scans over sorted Dewey lists.
+    ///
+    /// Returns `None` when no such code exists with the same code length
+    /// budget (i.e. the last component is `u32::MAX`, which generators
+    /// never produce).
+    #[must_use]
+    pub fn subtree_upper_bound(&self) -> Option<Dewey> {
+        let mut components = self.components.clone();
+        let last = components.last_mut()?;
+        *last = last.checked_add(1)?;
+        Some(Dewey { components })
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "ε");
+        }
+        let mut first = true;
+        for c in &self.components {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dewey({self})")
+    }
+}
+
+/// Error returned when parsing a Dewey code from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeweyError {
+    text: String,
+}
+
+impl fmt::Display for ParseDeweyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Dewey code: {:?}", self.text)
+    }
+}
+
+impl std::error::Error for ParseDeweyError {}
+
+impl FromStr for Dewey {
+    type Err = ParseDeweyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Dewey::empty());
+        }
+        let components: Result<Vec<u32>, _> = s.split('.').map(str::parse).collect();
+        components
+            .map(Dewey::from_components)
+            .map_err(|_| ParseDeweyError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().expect("valid dewey")
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "0.2.0.1", "1.0.3", "0.0.0.0"] {
+            assert_eq!(d(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("0.a.1".parse::<Dewey>().is_err());
+        assert!("0..1".parse::<Dewey>().is_err());
+        assert!("-1".parse::<Dewey>().is_err());
+    }
+
+    #[test]
+    fn empty_sentinel() {
+        let e = Dewey::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.to_string(), "ε");
+        assert_eq!("".parse::<Dewey>().unwrap(), e);
+    }
+
+    #[test]
+    fn preorder_ordering() {
+        // Ancestors precede descendants; siblings by ordinal.
+        assert!(d("0") < d("0.0"));
+        assert!(d("0.0") < d("0.1"));
+        assert!(d("0.0.5") < d("0.1"));
+        assert!(d("0.2.0.1") < d("0.2.0.3.0"));
+        assert!(d("0.2.0.3.0") < d("0.2.1"));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let root = Dewey::root();
+        let c = root.child(2).child(0);
+        assert_eq!(c.to_string(), "0.2.0");
+        assert_eq!(c.parent().unwrap().to_string(), "0.2");
+        assert_eq!(root.parent(), None);
+        assert_eq!(c.ordinal(), Some(0));
+        assert_eq!(c.level(), 2);
+    }
+
+    #[test]
+    fn ancestor_relations() {
+        assert!(d("0").is_ancestor_of(&d("0.2.0")));
+        assert!(!d("0.2").is_ancestor_of(&d("0.2")));
+        assert!(d("0.2").is_ancestor_or_self(&d("0.2")));
+        assert!(!d("0.1").is_ancestor_of(&d("0.2.0")));
+        assert!(d("0.2.0").is_descendant_of(&d("0")));
+        // A longer code is never an ancestor of a shorter one.
+        assert!(!d("0.2.0").is_ancestor_of(&d("0.2")));
+    }
+
+    #[test]
+    fn lca_is_longest_common_prefix() {
+        assert_eq!(d("0.2.0.1").lca(&d("0.2.0.3.0")), d("0.2.0"));
+        assert_eq!(d("0.0").lca(&d("0.2.1")), d("0"));
+        assert_eq!(d("0.2").lca(&d("0.2")), d("0.2"));
+        // LCA with an ancestor is the ancestor itself.
+        assert_eq!(d("0.2.0.1").lca(&d("0.2")), d("0.2"));
+    }
+
+    #[test]
+    fn lca_of_all_nodes() {
+        let codes = vec![d("0.2.0.1"), d("0.2.0.2"), d("0.2.0.3.0")];
+        assert_eq!(Dewey::lca_of_all(&codes), Some(d("0.2.0")));
+        assert_eq!(Dewey::lca_of_all(&[]), None);
+        assert_eq!(Dewey::lca_of_all(&[d("0.5")]), Some(d("0.5")));
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let anc: Vec<String> = d("0.2.0.1").ancestors().map(|a| a.to_string()).collect();
+        assert_eq!(anc, ["0.2.0", "0.2", "0"]);
+        assert_eq!(Dewey::root().ancestors().count(), 0);
+    }
+
+    #[test]
+    fn path_from_anchor() {
+        let path: Vec<String> = d("0.2.0.1")
+            .path_from(&d("0"))
+            .map(|a| a.to_string())
+            .collect();
+        assert_eq!(path, ["0.2", "0.2.0", "0.2.0.1"]);
+        // path from self is empty
+        assert_eq!(d("0.2").path_from(&d("0.2")).count(), 0);
+    }
+
+    #[test]
+    fn subtree_upper_bound_bracket() {
+        let ub = d("0.2.0").subtree_upper_bound().unwrap();
+        assert_eq!(ub, d("0.2.1"));
+        assert!(d("0.2.0.9.9") < ub);
+        assert!(d("0.2.0") < ub);
+        assert!(ub <= d("0.2.1"));
+    }
+
+    #[test]
+    fn ordering_matches_component_lexicographic() {
+        let mut v = [d("0.2.1"), d("0"), d("0.2.0.3.0"), d("0.0"), d("0.2")];
+        v.sort();
+        let s: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert_eq!(s, ["0", "0.0", "0.2", "0.2.0.3.0", "0.2.1"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for XML parsing.
+
+use std::fmt;
+
+/// A parse failure with byte offset and line/column context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset in the input where the problem was detected.
+    pub offset: usize,
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// 1-based column of the problem.
+    pub column: usize,
+}
+
+/// Kinds of XML parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof(&'static str),
+    /// A character that is not legal at this position.
+    UnexpectedChar {
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// The character found instead.
+        found: char,
+    },
+    /// `</b>` closing a different element than the open `<a>`.
+    MismatchedCloseTag {
+        /// Name of the element that was open.
+        open: String,
+        /// Name in the close tag.
+        close: String,
+    },
+    /// A close tag with no matching open tag.
+    UnbalancedCloseTag(String),
+    /// More than one top-level element, or text outside the root.
+    TrailingContent,
+    /// The document contains no root element.
+    NoRootElement,
+    /// `&name;` with an unknown entity name.
+    UnknownEntity(String),
+    /// `&#...;` that is not a valid character reference.
+    BadCharReference(String),
+    /// An attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// An element or attribute name is empty or malformed.
+    BadName(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            ParseErrorKind::UnexpectedChar { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            ParseErrorKind::MismatchedCloseTag { open, close } => {
+                write!(f, "mismatched close tag </{close}> for <{open}>")
+            }
+            ParseErrorKind::UnbalancedCloseTag(name) => {
+                write!(f, "close tag </{name}> without matching open tag")
+            }
+            ParseErrorKind::TrailingContent => write!(f, "content after the root element"),
+            ParseErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ParseErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            ParseErrorKind::BadCharReference(text) => {
+                write!(f, "bad character reference &#{text};")
+            }
+            ParseErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            ParseErrorKind::BadName(name) => write!(f, "malformed name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

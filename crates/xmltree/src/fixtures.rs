@@ -1,0 +1,309 @@
+//! The paper's running-example documents, reconstructed.
+//!
+//! Figure 1(a) — the *Publications* instance — and Figure 1(b):(1) — the
+//! *team* segment borrowed from the MaxMatch paper — are never given as
+//! raw XML, but Examples 1–7 pin them down almost completely: node
+//! Dewey codes and labels, the keyword-node sets `D_i` of Example 6, the
+//! key numbers 15/8/7 of Example 7 and §4.1, and the fragments of
+//! Figures 2–3. This module rebuilds both documents so that **every one
+//! of those published facts holds** on our trees; the corresponding
+//! assertions live in the tests below and in `tests/paper_examples.rs`
+//! at the workspace root.
+//!
+//! One deliberate deviation: the paper's worked cID values (e.g.
+//! `(Chen, XML)` for node `0.2.0`) exclude element labels from the
+//! content sets, while Definition 3 + the Figure 1(b) walk-through
+//! include them (`TC_{0.1.0} = {position, forward}` counts the label
+//! `position`). We follow the definition, so our cID for `0.2.0` is
+//! `(abstract, xml)` — the *pruning decisions* are identical either way
+//! because cIDs only ever compare between same-label siblings.
+
+use crate::builder::TreeBuilder;
+use crate::tree::XmlTree;
+
+/// The paper's five sample keyword queries (Figure 1(b):(2)),
+/// reconstructed from the worked examples. Index 0 is `Q1`.
+pub const PAPER_QUERIES: [&str; 5] = [
+    // Q1: Example 2's false-positive demonstration on Figure 1(a).
+    "wong fu dynamic skyline query",
+    // Q2: Example 1's SLCA-vs-LCA demonstration; also Example 3's query.
+    "liu keyword",
+    // Q3: the running example of Section 4 (result = Figure 2(d)).
+    "vldb title xml keyword search",
+    // Q4: Example 2's redundancy demonstration on Figure 1(b):(1).
+    "grizzlies position",
+    // Q5: Example 2's positive example on Figure 1(b):(1).
+    "grizzlies gassol position",
+];
+
+/// Builds the Figure 1(a) *Publications* document.
+///
+/// ```text
+/// 0        Publications
+/// 0.0        title        "VLDB"
+/// 0.1        year         "2008"
+/// 0.2        Articles
+/// 0.2.0        article                       (the XML-keyword-search paper)
+/// 0.2.0.0        authors
+/// 0.2.0.0.0        author
+/// 0.2.0.0.0.0        name   "Liu"
+/// 0.2.0.1        title    "Relevant keyword match search in XML"
+/// 0.2.0.2        abstract "... keyword search ... XML data ..."
+/// 0.2.0.3        references
+/// 0.2.0.3.0        ref    "Liu and Chen: ... XML keyword search"
+/// 0.2.1        article                       (the skyline paper)
+/// 0.2.1.0        authors
+/// 0.2.1.0.0        author
+/// 0.2.1.0.0.0        name   "Wong"
+/// 0.2.1.0.1        author
+/// 0.2.1.0.1.0        name   "Fu"
+/// 0.2.1.1        title    "Efficient Skyline Query with Variable User
+///                          Preferences on Nominal Attributes"
+/// 0.2.1.2        abstract "... dynamic skyline query ..."
+/// ```
+#[must_use]
+pub fn publications() -> XmlTree {
+    let mut b = TreeBuilder::new("Publications");
+    b.leaf("title", "VLDB");
+    b.leaf("year", "2008");
+    b.open("Articles");
+    {
+        // 0.2.0 — the XML keyword search paper by Liu.
+        b.open("article");
+        b.open("authors");
+        b.open("author");
+        b.leaf("name", "Liu");
+        b.close(); // author
+        b.close(); // authors
+        b.leaf("title", "Relevant keyword match search in XML");
+        b.leaf(
+            "abstract",
+            "An effective approach to keyword search in XML data with ranked fragments",
+        );
+        b.open("references");
+        b.leaf(
+            "ref",
+            "Liu and Chen: Reasoning and identifying relevant matches for XML keyword search",
+        );
+        b.close(); // references
+        b.close(); // article
+
+        // 0.2.1 — the skyline paper by Wong & Fu.
+        b.open("article");
+        b.open("authors");
+        b.open("author");
+        b.leaf("name", "Wong");
+        b.close();
+        b.open("author");
+        b.leaf("name", "Fu");
+        b.close();
+        b.close(); // authors
+        b.leaf(
+            "title",
+            "Efficient Skyline Query with Variable User Preferences on Nominal Attributes",
+        );
+        b.leaf(
+            "abstract",
+            "We propose dynamic skyline query processing under variable preferences",
+        );
+        b.close(); // article
+    }
+    b.close(); // Articles
+    b.build()
+}
+
+/// Builds the Figure 1(b):(1) *team* segment (from the MaxMatch paper).
+///
+/// ```text
+/// 0        team
+/// 0.0        name      "Grizzlies"
+/// 0.1        players
+/// 0.1.0        player
+/// 0.1.0.0        name      "Gassol"
+/// 0.1.0.1        position  "forward"
+/// 0.1.1        player
+/// 0.1.1.0        name      "Miller"
+/// 0.1.1.1        position  "guard"
+/// 0.1.2        player
+/// 0.1.2.0        name      "Warrick"
+/// 0.1.2.1        position  "forward"
+/// ```
+///
+/// The two `forward` positions are the redundancy Example 2 / Figure 3(d)
+/// hinge on; `Gassol` (the paper's spelling) drives the positive example.
+#[must_use]
+pub fn team() -> XmlTree {
+    let mut b = TreeBuilder::new("team");
+    b.leaf("name", "Grizzlies");
+    b.open("players");
+    for (name, position) in [
+        ("Gassol", "forward"),
+        ("Miller", "guard"),
+        ("Warrick", "forward"),
+    ] {
+        b.open("player");
+        b.leaf("name", name);
+        b.leaf("position", position);
+        b.close();
+    }
+    b.close();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{is_keyword_node, node_content};
+    use crate::dewey::Dewey;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn keyword_nodes(tree: &XmlTree, keyword: &str) -> Vec<String> {
+        let kws = vec![keyword.to_owned()];
+        tree.preorder()
+            .filter(|&id| is_keyword_node(tree, id, &kws))
+            .map(|id| tree.dewey(id).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn publications_layout_matches_paper_deweys() {
+        let t = publications();
+        for (dewey, label) in [
+            ("0", "Publications"),
+            ("0.2", "Articles"),
+            ("0.2.0", "article"),
+            ("0.2.0.0.0.0", "name"),
+            ("0.2.0.1", "title"),
+            ("0.2.0.2", "abstract"),
+            ("0.2.0.3", "references"),
+            ("0.2.0.3.0", "ref"),
+            ("0.2.1", "article"),
+            ("0.2.1.0", "authors"),
+            ("0.2.1.0.0.0", "name"),
+            ("0.2.1.0.1.0", "name"),
+            ("0.2.1.1", "title"),
+            ("0.2.1.2", "abstract"),
+        ] {
+            let id = t
+                .node_by_dewey(&d(dewey))
+                .unwrap_or_else(|| panic!("missing node {dewey}"));
+            assert_eq!(t.label_name(id), label, "label of {dewey}");
+        }
+    }
+
+    #[test]
+    fn example6_keyword_node_sets_for_q3() {
+        // Example 6: Q3 = "VLDB title XML keyword search" on Figure 1(a).
+        let t = publications();
+        assert_eq!(keyword_nodes(&t, "vldb"), ["0.0"], "D1 (vldb)");
+        assert_eq!(
+            keyword_nodes(&t, "title"),
+            ["0.0", "0.2.0.1", "0.2.1.1"],
+            "D2 (title)"
+        );
+        for kw in ["xml", "keyword", "search"] {
+            assert_eq!(
+                keyword_nodes(&t, kw),
+                ["0.2.0.1", "0.2.0.2", "0.2.0.3.0"],
+                "D for {kw}"
+            );
+        }
+    }
+
+    #[test]
+    fn example3_keyword_node_sets_for_q2() {
+        // Example 3: Q = "Liu keyword": D1 = {name 0.2.0.0.0.0, ref
+        // 0.2.0.3.0}; D2 = {title 0.2.0.1, ref 0.2.0.3.0, abstract 0.2.0.2}.
+        let t = publications();
+        assert_eq!(keyword_nodes(&t, "liu"), ["0.2.0.0.0.0", "0.2.0.3.0"]);
+        assert_eq!(
+            keyword_nodes(&t, "keyword"),
+            ["0.2.0.1", "0.2.0.2", "0.2.0.3.0"]
+        );
+    }
+
+    #[test]
+    fn q1_keyword_nodes_match_example2() {
+        // Q1 = "Wong Fu dynamic skyline query": exactly the four keyword
+        // nodes of Figure 3(b), all inside article 0.2.1.
+        let t = publications();
+        assert_eq!(keyword_nodes(&t, "wong"), ["0.2.1.0.0.0"]);
+        assert_eq!(keyword_nodes(&t, "fu"), ["0.2.1.0.1.0"]);
+        assert_eq!(keyword_nodes(&t, "dynamic"), ["0.2.1.2"]);
+        assert_eq!(keyword_nodes(&t, "skyline"), ["0.2.1.1", "0.2.1.2"]);
+        assert_eq!(keyword_nodes(&t, "query"), ["0.2.1.1", "0.2.1.2"]);
+    }
+
+    #[test]
+    fn title_content_set_matches_section_4_1() {
+        // §4.1: the sorted tree content set of node 0.2.0.1 "could be
+        // {keyword, match, relevant, search, XML}" with cID (keyword, XML).
+        // Ours adds the label word "title", which does not disturb the
+        // (min,max) pair.
+        let t = publications();
+        let id = t.node_by_dewey(&d("0.2.0.1")).unwrap();
+        let c = node_content(&t, id);
+        for w in ["keyword", "match", "relevant", "search", "xml", "title"] {
+            assert!(c.contains(w), "missing {w}");
+        }
+        assert_eq!(c.iter().next().unwrap(), "keyword");
+        assert_eq!(c.iter().next_back().unwrap(), "xml");
+    }
+
+    #[test]
+    fn team_layout_matches_paper() {
+        let t = team();
+        for (dewey, label) in [
+            ("0", "team"),
+            ("0.0", "name"),
+            ("0.1", "players"),
+            ("0.1.0", "player"),
+            ("0.1.1", "player"),
+            ("0.1.2", "player"),
+        ] {
+            let id = t.node_by_dewey(&d(dewey)).unwrap();
+            assert_eq!(t.label_name(id), label);
+        }
+        // The duplicated "forward" value Figure 3(d) hinges on.
+        let p0 = t.node_by_dewey(&d("0.1.0.1")).unwrap();
+        let p2 = t.node_by_dewey(&d("0.1.2.1")).unwrap();
+        assert_eq!(t.node(p0).text.as_deref(), Some("forward"));
+        assert_eq!(t.node(p2).text.as_deref(), Some("forward"));
+        let p1 = t.node_by_dewey(&d("0.1.1.1")).unwrap();
+        assert_eq!(t.node(p1).text.as_deref(), Some("guard"));
+    }
+
+    #[test]
+    fn team_keyword_nodes_for_q4_q5() {
+        let t = team();
+        assert_eq!(keyword_nodes(&t, "grizzlies"), ["0.0"]);
+        assert_eq!(keyword_nodes(&t, "gassol"), ["0.1.0.0"]);
+        assert_eq!(
+            keyword_nodes(&t, "position"),
+            ["0.1.0.1", "0.1.1.1", "0.1.2.1"]
+        );
+    }
+
+    #[test]
+    fn q3_has_no_stray_matches_outside_expected_sets() {
+        // Guard against fixture drift: no node outside D1..D5 contains a
+        // Q3 keyword (this is what makes the root the only LCA).
+        let t = publications();
+        let all: Vec<String> = ["vldb", "title", "xml", "keyword", "search"]
+            .iter()
+            .flat_map(|k| keyword_nodes(&t, k))
+            .collect();
+        for dcode in &all {
+            assert!(
+                [
+                    "0.0", "0.2.0.1", "0.2.0.2", "0.2.0.3.0", "0.2.1.1"
+                ]
+                .contains(&dcode.as_str()),
+                "unexpected keyword node {dcode}"
+            );
+        }
+    }
+}

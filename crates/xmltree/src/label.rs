@@ -1,0 +1,135 @@
+//! Interned element labels.
+//!
+//! The paper's XML model assigns every node a label `λ(v) ∈ Σ`. Labels
+//! repeat heavily (every `article` element shares one label), so we intern
+//! them: each distinct string gets a dense [`LabelId`] and all node-level
+//! structures store the id. This also mirrors the paper's relational
+//! `label(label, ID)` table (§5.2), which `xks-store` re-exposes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned label string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The numeric value of the id.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The id as an index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional label interner: string → [`LabelId`] → string.
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    by_name: HashMap<String, LabelId>,
+    names: Vec<String>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("label table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`. Panics on a foreign id.
+    #[must_use]
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no label has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("article");
+        let b = t.intern("title");
+        let a2 = t.intern("article");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let mut t = LabelTable::new();
+        let id = t.intern("Publications");
+        assert_eq!(t.name(id), "Publications");
+        assert_eq!(t.get("Publications"), Some(id));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = LabelTable::new();
+        let ids: Vec<LabelId> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        assert_eq!(ids, vec![LabelId(0), LabelId(1), LabelId(2)]);
+        let collected: Vec<(LabelId, &str)> = t.iter().collect();
+        assert_eq!(
+            collected,
+            vec![(LabelId(0), "a"), (LabelId(1), "b"), (LabelId(2), "c")]
+        );
+    }
+
+    #[test]
+    fn labels_are_case_sensitive() {
+        let mut t = LabelTable::new();
+        assert_ne!(t.intern("Article"), t.intern("article"));
+    }
+}

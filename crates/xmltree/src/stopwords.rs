@@ -1,0 +1,65 @@
+//! Embedded English stop-word list.
+//!
+//! The paper filters stop words with Lucene's English analyzer (§5.2,
+//! citing the classic list at syger.com). We embed the standard Lucene
+//! `ENGLISH_STOP_WORDS_SET` (33 words) plus the handful of extras the
+//! syger list adds, which is what the paper's setup effectively used.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The stop-word list (lowercase).
+pub const STOP_WORDS: &[&str] = &[
+    // Lucene ENGLISH_STOP_WORDS_SET
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
+    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
+    "these", "they", "this", "to", "was", "will", "with",
+    // common extras from the syger list used by the paper
+    "about", "after", "all", "also", "am", "any", "because", "been", "before", "being",
+    "between", "both", "can", "could", "did", "do", "does", "doing", "down", "during",
+    "each", "few", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "him", "his", "how", "i", "its", "just", "me", "more", "most", "my", "nor",
+    "now", "off", "once", "only", "other", "our", "ours", "out", "over", "own", "same",
+    "she", "should", "so", "some", "than", "them", "through", "too", "under", "until",
+    "up", "very", "we", "were", "what", "when", "where", "which", "while", "who", "whom",
+    "why", "would", "you", "your", "yours",
+];
+
+fn stop_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOP_WORDS.iter().copied().collect())
+}
+
+/// `true` iff `word` (already lowercase) is a stop word.
+#[must_use]
+pub fn is_stop_word(word: &str) -> bool {
+    stop_set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_words_are_stopped() {
+        for w in ["the", "a", "and", "of", "with", "is"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_kept() {
+        for w in ["xml", "keyword", "skyline", "vldb", "gassol", "position"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut seen = HashSet::new();
+        for w in STOP_WORDS {
+            assert_eq!(*w, w.to_lowercase(), "{w} not lowercase");
+            assert!(seen.insert(*w), "{w} duplicated");
+        }
+    }
+}

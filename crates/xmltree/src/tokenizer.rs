@@ -1,0 +1,73 @@
+//! Word tokenization.
+//!
+//! The paper defines the content `Cv` of a node as "the word set implied
+//! in v's label, text and attributes" and matches query keywords against
+//! those words case-insensitively (e.g. keyword `vldb` matches text
+//! "VLDB"). This module extracts lowercase word tokens from text the same
+//! way: maximal alphanumeric runs, lowercased, with optional stop-word
+//! filtering (the paper pipes text through Lucene's stop-word filter,
+//! §5.2).
+
+use crate::stopwords::is_stop_word;
+
+/// Splits `text` into lowercase word tokens (maximal runs of
+/// alphanumeric characters). No stop-word filtering.
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+}
+
+/// Like [`tokenize`] but drops English stop words, matching the paper's
+/// Lucene/stop-word preprocessing.
+pub fn tokenize_filtered(text: &str) -> impl Iterator<Item = String> + '_ {
+    tokenize(text).filter(|w| !is_stop_word(w))
+}
+
+/// Normalizes a single query keyword the same way document words are
+/// normalized, so index lookups compare like with like.
+#[must_use]
+pub fn normalize_keyword(word: &str) -> String {
+    word.trim().to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric() {
+        let words: Vec<String> = tokenize("Efficient Skyline-Querying, 2008!").collect();
+        assert_eq!(words, ["efficient", "skyline", "querying", "2008"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        let words: Vec<String> = tokenize("VLDB XML").collect();
+        assert_eq!(words, ["vldb", "xml"]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("  ,,  ").count(), 0);
+    }
+
+    #[test]
+    fn filtered_drops_stop_words() {
+        let words: Vec<String> =
+            tokenize_filtered("the dynamic skyline query with a twist").collect();
+        assert_eq!(words, ["dynamic", "skyline", "query", "twist"]);
+    }
+
+    #[test]
+    fn normalize_keyword_trims_and_lowercases() {
+        assert_eq!(normalize_keyword("  VLDB "), "vldb");
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let words: Vec<String> = tokenize("Rémi Gilleron").collect();
+        assert_eq!(words, ["rémi", "gilleron"]);
+    }
+}

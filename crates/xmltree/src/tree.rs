@@ -1,0 +1,355 @@
+//! The arena XML tree model `T = (r, V, E, Σ, λ)`.
+//!
+//! Nodes live in a flat arena indexed by [`NodeId`]; every node carries its
+//! interned label, its Dewey code, optional text value, and attributes.
+//! Following the paper's model (§1), text is a *property of the element
+//! node* (footnote 1: "this is different from the XML model in \[1\], in
+//! which there is an independent node for each text value").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dewey::Dewey;
+use crate::label::{LabelId, LabelTable};
+
+/// Index of a node in an [`XmlTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One XML attribute (`name="value"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: String,
+}
+
+/// A node of the XML tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Interned label `λ(v)`.
+    pub label: LabelId,
+    /// Dewey code of the node (unique; compatible with pre-order).
+    pub dewey: Dewey,
+    /// Concatenated text content directly under this element, if any.
+    pub text: Option<String>,
+    /// Attributes in document order.
+    pub attributes: Vec<Attribute>,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Child node ids in document order.
+    #[must_use]
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Parent node id, `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// `true` when the node has no element children.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// An XML document tree.
+///
+/// Construction goes through [`TreeBuilder`](crate::builder::TreeBuilder)
+/// or the parser; the tree itself is immutable afterwards except for the
+/// explicit structural-edit API used by the axiomatic-property tests
+/// ([`XmlTree::insert_subtree`]).
+#[derive(Debug, Clone, Default)]
+pub struct XmlTree {
+    labels: LabelTable,
+    nodes: Vec<Node>,
+    by_dewey: HashMap<Dewey, NodeId>,
+    root: Option<NodeId>,
+}
+
+impl XmlTree {
+    /// Creates an empty tree (no root yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The root node id. Panics when the tree is empty.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root.expect("XmlTree has no root")
+    }
+
+    /// `true` when the tree has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Number of nodes in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The label interner of this tree.
+    #[must_use]
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Immutable access to a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The label string of a node.
+    #[must_use]
+    pub fn label_name(&self, id: NodeId) -> &str {
+        self.labels.name(self.node(id).label)
+    }
+
+    /// Looks a node up by Dewey code.
+    #[must_use]
+    pub fn node_by_dewey(&self, dewey: &Dewey) -> Option<NodeId> {
+        self.by_dewey.get(dewey).copied()
+    }
+
+    /// The Dewey code of a node.
+    #[must_use]
+    pub fn dewey(&self, id: NodeId) -> &Dewey {
+        &self.node(id).dewey
+    }
+
+    /// Pre-order iterator over all node ids starting at the root.
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: self.root.into_iter().collect(),
+        }
+    }
+
+    /// Pre-order iterator over the subtree rooted at `id` (inclusive).
+    pub fn preorder_from(&self, id: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Iterator over proper ancestors of `id`, nearest first.
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.node(id).parent;
+        std::iter::from_fn(move || {
+            let id = cur?;
+            cur = self.node(id).parent;
+            Some(id)
+        })
+    }
+
+    /// Depth of `id` (root = 0).
+    #[must_use]
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.node(id).dewey.level()
+    }
+
+    // ---------------------------------------------------------------
+    // Internal construction API (used by the builder, parser, and the
+    // structural-edit entry point below).
+    // ---------------------------------------------------------------
+
+    pub(crate) fn intern_label(&mut self, name: &str) -> LabelId {
+        self.labels.intern(name)
+    }
+
+    pub(crate) fn push_node(
+        &mut self,
+        label: LabelId,
+        parent: Option<NodeId>,
+        text: Option<String>,
+        attributes: Vec<Attribute>,
+    ) -> NodeId {
+        let dewey = match parent {
+            None => {
+                assert!(self.root.is_none(), "tree already has a root");
+                Dewey::root()
+            }
+            Some(p) => {
+                let ordinal = self.nodes[p.index()].children.len() as u32;
+                self.nodes[p.index()].dewey.child(ordinal)
+            }
+        };
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+        self.nodes.push(Node {
+            label,
+            dewey: dewey.clone(),
+            text,
+            attributes,
+            parent,
+            children: Vec::new(),
+        });
+        match parent {
+            None => self.root = Some(id),
+            Some(p) => self.nodes[p.index()].children.push(id),
+        }
+        self.by_dewey.insert(dewey, id);
+        id
+    }
+
+    /// Appends a new element as the **last child** of `parent`, returning
+    /// its id. This is the data-insertion primitive the axiomatic
+    /// data-monotonicity / data-consistency properties are stated over
+    /// (Liu & Chen §1): appending keeps every existing Dewey code valid.
+    pub fn insert_subtree(
+        &mut self,
+        parent: NodeId,
+        label: &str,
+        text: Option<&str>,
+    ) -> NodeId {
+        let label = self.intern_label(label);
+        self.push_node(label, Some(parent), text.map(str::to_owned), Vec::new())
+    }
+
+    /// Collects `(dewey, label, text)` triples of the whole tree in
+    /// pre-order — a cheap structural fingerprint used by tests.
+    #[must_use]
+    pub fn fingerprint(&self) -> Vec<(String, String, Option<String>)> {
+        self.preorder()
+            .map(|id| {
+                let n = self.node(id);
+                (
+                    n.dewey.to_string(),
+                    self.labels.name(n.label).to_owned(),
+                    n.text.clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for XmlTree {
+    /// Indented outline (label, dewey, text) — handy in test failures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for id in self.preorder() {
+            let n = self.node(id);
+            let indent = "  ".repeat(n.dewey.level());
+            write!(f, "{indent}{} [{}]", self.labels.name(n.label), n.dewey)?;
+            if let Some(t) = &n.text {
+                write!(f, " {t:?}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Pre-order traversal iterator. See [`XmlTree::preorder`].
+pub struct Preorder<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = &self.tree.node(id).children;
+        self.stack.extend(children.iter().rev());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    fn sample() -> XmlTree {
+        let mut b = TreeBuilder::new("Publications");
+        b.open("Conference");
+        b.text("VLDB title 2008");
+        b.close();
+        b.open("Articles");
+        b.open("article");
+        b.leaf("title", "XML keyword search");
+        b.close();
+        b.close();
+        b.build()
+    }
+
+    #[test]
+    fn deweys_follow_structure() {
+        let t = sample();
+        let fp = t.fingerprint();
+        let codes: Vec<&str> = fp.iter().map(|(d, _, _)| d.as_str()).collect();
+        assert_eq!(codes, ["0", "0.0", "0.1", "0.1.0", "0.1.0.0"]);
+    }
+
+    #[test]
+    fn preorder_matches_dewey_order() {
+        let t = sample();
+        let deweys: Vec<Dewey> = t.preorder().map(|id| t.dewey(id).clone()).collect();
+        let mut sorted = deweys.clone();
+        sorted.sort();
+        assert_eq!(deweys, sorted);
+    }
+
+    #[test]
+    fn lookup_by_dewey() {
+        let t = sample();
+        let id = t.node_by_dewey(&"0.1.0.0".parse().unwrap()).unwrap();
+        assert_eq!(t.label_name(id), "title");
+        assert_eq!(t.node(id).text.as_deref(), Some("XML keyword search"));
+        assert!(t.node_by_dewey(&"0.9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let t = sample();
+        let id = t.node_by_dewey(&"0.1.0.0".parse().unwrap()).unwrap();
+        let labels: Vec<&str> = t.ancestors(id).map(|a| t.label_name(a)).collect();
+        assert_eq!(labels, ["article", "Articles", "Publications"]);
+    }
+
+    #[test]
+    fn insert_subtree_appends_with_fresh_dewey() {
+        let mut t = sample();
+        let articles = t.node_by_dewey(&"0.1".parse().unwrap()).unwrap();
+        let before = t.len();
+        let new = t.insert_subtree(articles, "article", None);
+        assert_eq!(t.len(), before + 1);
+        assert_eq!(t.dewey(new).to_string(), "0.1.1");
+        assert_eq!(t.node(new).parent(), Some(articles));
+        // Existing nodes untouched.
+        assert!(t.node_by_dewey(&"0.1.0.0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn display_outline_contains_labels() {
+        let t = sample();
+        let s = t.to_string();
+        assert!(s.contains("Publications [0]"));
+        assert!(s.contains("  article [0.1.0]"));
+    }
+}

@@ -1,0 +1,152 @@
+//! XML serialization (the inverse of the parser).
+//!
+//! Used by the data generators to materialize corpora to disk and by
+//! round-trip tests that pin parser correctness.
+
+use std::fmt::Write as _;
+
+use crate::tree::{NodeId, XmlTree};
+
+/// Serializes the whole tree to an XML string (no declaration, children
+/// indented two spaces per level).
+#[must_use]
+pub fn to_xml(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), 0, true, &mut out);
+    out
+}
+
+/// Serializes the whole tree compactly (no indentation or newlines) —
+/// the form round-trip tests use, since indentation introduces
+/// whitespace-only text that normalization drops.
+#[must_use]
+pub fn to_xml_compact(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), 0, false, &mut out);
+    out
+}
+
+fn write_node(tree: &XmlTree, id: NodeId, depth: usize, pretty: bool, out: &mut String) {
+    let node = tree.node(id);
+    let label = tree.label_name(id);
+    if pretty {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push('<');
+    out.push_str(label);
+    for attr in &node.attributes {
+        let _ = write!(out, " {}=\"{}\"", attr.name, escape_attr(&attr.value));
+    }
+    if node.text.is_none() && node.children().is_empty() {
+        out.push_str("/>");
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    if let Some(text) = &node.text {
+        out.push_str(&escape_text(text));
+    }
+    if !node.children().is_empty() {
+        if pretty {
+            out.push('\n');
+        }
+        for &child in node.children() {
+            write_node(tree, child, depth + 1, pretty, out);
+        }
+        if pretty {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+    if pretty {
+        out.push('\n');
+    }
+}
+
+/// Escapes `<`, `&`, and `>` in character data.
+#[must_use]
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `<`, `&`, and `"` in attribute values (values are serialized
+/// double-quoted).
+#[must_use]
+pub fn escape_attr(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let mut b = TreeBuilder::new("pub");
+        b.open_with_attrs("article", &[("year", "2008")]);
+        b.leaf("title", "XML <keyword> & search");
+        b.close();
+        b.empty("misc");
+        let t = b.build();
+        let xml = to_xml_compact(&t);
+        let t2 = parse(&xml).unwrap();
+        assert_eq!(t.fingerprint(), t2.fingerprint());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let mut b = TreeBuilder::new("a");
+        b.open("b");
+        b.empty("c");
+        b.close();
+        let t = b.build();
+        let xml = to_xml(&t);
+        assert!(xml.contains("\n  <b>"));
+        assert!(xml.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn pretty_round_trip_preserves_structure() {
+        let mut b = TreeBuilder::new("root");
+        b.open("x");
+        b.leaf("y", "value text");
+        b.close();
+        let t = b.build();
+        let t2 = parse(&to_xml(&t)).unwrap();
+        assert_eq!(t.fingerprint(), t2.fingerprint());
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests tying Dewey-code arithmetic to actual tree structure.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use xks_xmltree::{Dewey, TreeBuilder, XmlTree};
+
+/// Builds a random tree from parent-choice bytes and returns it.
+fn tree_from_choices(choices: &[u8]) -> XmlTree {
+    // children[i] lists the creation indices attached to node i.
+    let n = choices.len() + 1;
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &c) in choices.iter().enumerate() {
+        children[(c as usize) % (i + 1)].push(i + 1);
+    }
+    fn emit(b: &mut TreeBuilder, children: &[Vec<usize>], node: usize) {
+        for &c in &children[node] {
+            b.open("n");
+            emit(b, children, c);
+            b.close();
+        }
+    }
+    let mut b = TreeBuilder::new("n");
+    emit(&mut b, &children, 0);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Dewey order of the nodes equals the pre-order traversal
+    /// order of the tree they identify.
+    #[test]
+    fn dewey_order_is_preorder(choices in prop::collection::vec(any::<u8>(), 0..50)) {
+        let tree = tree_from_choices(&choices);
+        let visited: Vec<Dewey> = tree.preorder().map(|id| tree.dewey(id).clone()).collect();
+        let mut sorted = visited.clone();
+        sorted.sort();
+        prop_assert_eq!(visited, sorted);
+    }
+
+    /// `Dewey::lca` equals the structural LCA found by walking parent
+    /// pointers.
+    #[test]
+    fn dewey_lca_matches_structural_lca(
+        choices in prop::collection::vec(any::<u8>(), 1..50),
+        pick_a in any::<u16>(),
+        pick_b in any::<u16>(),
+    ) {
+        let tree = tree_from_choices(&choices);
+        let ids: Vec<_> = tree.preorder().collect();
+        let a = ids[pick_a as usize % ids.len()];
+        let b = ids[pick_b as usize % ids.len()];
+
+        // Structural LCA via ancestor sets.
+        let mut anc: HashMap<_, ()> = HashMap::new();
+        anc.insert(a, ());
+        for x in tree.ancestors(a) {
+            anc.insert(x, ());
+        }
+        let mut cur = b;
+        let structural = loop {
+            if anc.contains_key(&cur) {
+                break cur;
+            }
+            cur = tree.node(cur).parent().expect("root is common");
+        };
+
+        let dewey_lca = tree.dewey(a).lca(tree.dewey(b));
+        prop_assert_eq!(&dewey_lca, tree.dewey(structural));
+    }
+
+    /// Ancestor relations from codes agree with parent-pointer walks.
+    #[test]
+    fn dewey_ancestry_matches_structure(
+        choices in prop::collection::vec(any::<u8>(), 1..50),
+        pick_a in any::<u16>(),
+        pick_b in any::<u16>(),
+    ) {
+        let tree = tree_from_choices(&choices);
+        let ids: Vec<_> = tree.preorder().collect();
+        let a = ids[pick_a as usize % ids.len()];
+        let b = ids[pick_b as usize % ids.len()];
+        let structurally = tree.ancestors(b).any(|x| x == a);
+        prop_assert_eq!(
+            tree.dewey(a).is_ancestor_of(tree.dewey(b)),
+            structurally
+        );
+    }
+
+    /// Round-trip through the dotted string form is lossless.
+    #[test]
+    fn dewey_string_round_trip(components in prop::collection::vec(0u32..1000, 1..10)) {
+        let d = Dewey::from_components(components);
+        let parsed: Dewey = d.to_string().parse().expect("own display parses");
+        prop_assert_eq!(d, parsed);
+    }
+
+    /// `subtree_upper_bound` brackets exactly the subtree in sorted
+    /// order.
+    #[test]
+    fn subtree_upper_bound_brackets(choices in prop::collection::vec(any::<u8>(), 1..50)) {
+        let tree = tree_from_choices(&choices);
+        for id in tree.preorder() {
+            let d = tree.dewey(id);
+            let Some(ub) = d.subtree_upper_bound() else { continue };
+            for other in tree.preorder() {
+                let o = tree.dewey(other);
+                let inside = d.is_ancestor_or_self(o);
+                let in_range = o >= d && *o < ub;
+                prop_assert_eq!(inside, in_range, "{} vs [{}, {})", o, d, ub);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Demonstrates the four axiomatic XKS properties on a live document:
+//! insert data and extend queries, watching result counts and contents
+//! obey monotonicity and consistency.
+//!
+//! ```sh
+//! cargo run --example axioms_demo
+//! ```
+
+use xks::core::axioms::{
+    check_data_consistency, check_data_monotonicity, check_query_consistency,
+    check_query_monotonicity, Algorithm,
+};
+use xks::core::{valid_rtf, SearchEngine};
+use xks::index::Query;
+use xks::xmltree::fixtures::publications;
+
+fn main() {
+    let before = publications();
+    let engine = SearchEngine::new(before.clone());
+    let query = Query::parse("xml keyword").unwrap();
+
+    let base = engine.search(&query, xks::core::AlgorithmKind::ValidRtf);
+    println!(
+        "query {:?} on the Figure 1(a) instance: {} result(s)",
+        query.to_string(),
+        base.fragments.len()
+    );
+
+    // Perturbation 1: insert a new article containing both keywords.
+    let mut after = before.clone();
+    let articles = after.node_by_dewey(&"0.2".parse().unwrap()).unwrap();
+    let art = after.insert_subtree(articles, "article", None);
+    let title = after.insert_subtree(art, "title", Some("XML keyword search revisited"));
+    let inserted = after.dewey(title).clone();
+
+    let engine2 = SearchEngine::new(after.clone());
+    let grown = engine2.search(&query, xks::core::AlgorithmKind::ValidRtf);
+    println!(
+        "after inserting {} (a new matching article): {} result(s)",
+        inserted,
+        grown.fragments.len()
+    );
+
+    let algo = valid_rtf as Algorithm;
+    println!(
+        "  data monotonicity: {:?}",
+        check_data_monotonicity(algo, &before, &after, &query)
+    );
+    println!(
+        "  data consistency : {:?}",
+        check_data_consistency(algo, &before, &after, &inserted, &query)
+    );
+
+    // Perturbation 2: extend the query.
+    let extended = query.with_keyword("liu").unwrap();
+    let narrowed = engine.search(&extended, xks::core::AlgorithmKind::ValidRtf);
+    println!(
+        "extending the query to {:?}: {} result(s)",
+        extended.to_string(),
+        narrowed.fragments.len()
+    );
+    println!(
+        "  query monotonicity: {:?}",
+        check_query_monotonicity(algo, &before, &query, &extended)
+    );
+    println!(
+        "  query consistency : {:?}",
+        check_query_consistency(algo, &before, &extended, "liu")
+    );
+}

@@ -1,0 +1,44 @@
+//! Bibliography search over the DBLP-alike corpus: runs the paper's
+//! Figure 5(a)/6(a) workload at a configurable scale and prints the
+//! per-query comparison (time, RTF count, CFR/APR ratios).
+//!
+//! ```sh
+//! cargo run --release --example dblp_search            # 20k records
+//! cargo run --release --example dblp_search -- 100000  # bigger corpus
+//! ```
+
+use xks::core::SearchEngine;
+use xks::datagen::queries::dblp_workload;
+use xks::datagen::{generate_dblp, DblpConfig};
+use xks::index::Query;
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+
+    eprintln!("generating DBLP-alike corpus with {records} records…");
+    let tree = generate_dblp(&DblpConfig::with_records(records, 2009));
+    eprintln!("  {} nodes", tree.len());
+    let engine = SearchEngine::new(tree);
+
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>6} {:>7} {:>7}",
+        "query", "RTFs", "ValidRTF", "MaxMatch", "CFR", "APR'", "MaxAPR"
+    );
+    for (abbrev, keywords) in dblp_workload() {
+        let query = Query::parse(&keywords).expect("workload query parses");
+        let cmp = engine.compare(&query);
+        println!(
+            "{:<10} {:>6} {:>12} {:>12} {:>6.2} {:>7.3} {:>7.3}",
+            abbrev,
+            cmp.rtf_count,
+            format!("{:?}", cmp.valid_rtf_time),
+            format!("{:?}", cmp.max_match_time),
+            cmp.effectiveness.cfr,
+            cmp.effectiveness.apr_prime,
+            cmp.effectiveness.max_apr,
+        );
+    }
+}

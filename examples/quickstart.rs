@@ -1,0 +1,72 @@
+//! Quickstart: parse an XML document, run a keyword query, print the
+//! meaningful fragments.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! cargo run --example quickstart -- "skyline query"
+//! ```
+
+use xks::core::{AlgorithmKind, SearchEngine};
+use xks::index::Query;
+use xks::xmltree::parse;
+
+const SAMPLE: &str = r#"
+<Publications>
+  <title>VLDB</title>
+  <year>2008</year>
+  <Articles>
+    <article>
+      <authors><author><name>Liu</name></author></authors>
+      <title>Relevant keyword match search in XML</title>
+      <abstract>An effective approach to keyword search in XML data</abstract>
+      <references>
+        <ref>Liu and Chen: Reasoning about relevant matches for XML keyword search</ref>
+      </references>
+    </article>
+    <article>
+      <authors>
+        <author><name>Wong</name></author>
+        <author><name>Fu</name></author>
+      </authors>
+      <title>Efficient Skyline Query with Variable User Preferences</title>
+      <abstract>We propose dynamic skyline query processing</abstract>
+    </article>
+  </Articles>
+</Publications>
+"#;
+
+fn main() {
+    let query_text = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xml keyword search".to_owned());
+
+    let tree = parse(SAMPLE).expect("sample document parses");
+    println!("Document ({} nodes):\n{tree}", tree.len());
+
+    let engine = SearchEngine::new(tree);
+    let query = match Query::parse(&query_text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("bad query: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("Query: {query}\n");
+    for (name, kind) in [
+        ("ValidRTF", AlgorithmKind::ValidRtf),
+        ("MaxMatch (revised)", AlgorithmKind::MaxMatchRtf),
+    ] {
+        let result = engine.search(&query, kind);
+        println!(
+            "== {name}: {} meaningful fragment(s) in {:?}",
+            result.fragments.len(),
+            result.timings.total()
+        );
+        for frag in &result.fragments {
+            println!("-- fragment anchored at {}:", frag.anchor);
+            print!("{}", frag.render(engine.tree()));
+        }
+        println!();
+    }
+}

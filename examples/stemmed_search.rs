@@ -1,0 +1,65 @@
+//! Loose (stemmed) matching end to end: reproduces the paper's
+//! Lucene-style behaviour where the query keyword "query" matches the
+//! title word "Querying" (Example 2), using the opt-in light stemmer.
+//!
+//! ```sh
+//! cargo run --example stemmed_search
+//! ```
+
+use xks::core::{get_rtf, prune, Fragment, Policy};
+use xks::index::{InvertedIndex, Query};
+use xks::lca::elca_stack;
+use xks::xmltree::stem::light_stem;
+
+const DOC: &str = r#"
+<library>
+  <book>
+    <title>Efficient Skyline Querying with Variable User Preferences</title>
+    <topics>ranking algorithms</topics>
+  </book>
+  <book>
+    <title>Answering Keyword Queries on XML Trees</title>
+    <topics>searching indexes</topics>
+  </book>
+  <book>
+    <title>Stream Processing Systems</title>
+    <topics>windows operators</topics>
+  </book>
+</library>
+"#;
+
+fn main() {
+    let tree = xks::xmltree::parse(DOC).expect("sample parses");
+
+    // Exact matching: "query" finds nothing (the corpus says Querying /
+    // Queries).
+    let exact = InvertedIndex::build(&tree);
+    let q_exact = Query::parse("query xml").unwrap();
+    println!(
+        "exact matching:   'query' postings = {}, resolves = {}",
+        exact.postings("query").len(),
+        exact.resolve(&q_exact).is_some()
+    );
+
+    // Stemmed matching: normalize both sides with the same stemmer.
+    let stemmed = InvertedIndex::build_with(&tree, light_stem);
+    let q_stemmed =
+        Query::from_words(["query", "xml"].iter().map(|w| light_stem(w))).unwrap();
+    println!(
+        "stemmed matching: 'query' postings = {}",
+        stemmed.postings("query").len()
+    );
+
+    let sets = stemmed.resolve(&q_stemmed).expect("stemmed query resolves");
+    let anchors = elca_stack(sets.sets());
+    let fragments: Vec<Fragment> = get_rtf(&anchors, &sets)
+        .iter()
+        .map(|r| prune(&Fragment::construct(&tree, r), Policy::ValidContributor))
+        .collect();
+
+    println!("\n{} meaningful fragment(s) for {:?}:", fragments.len(), q_stemmed.to_string());
+    for frag in &fragments {
+        println!("# anchor {}", frag.anchor);
+        print!("{}", frag.render(&tree));
+    }
+}

@@ -1,0 +1,47 @@
+//! Auction-site search over the XMark-alike ladder: runs the Figure
+//! 5(b–d)/6(b–d) workload on all three dataset sizes.
+//!
+//! ```sh
+//! cargo run --release --example xmark_search            # base 150 items
+//! cargo run --release --example xmark_search -- 400     # bigger ladder
+//! ```
+
+use xks::core::SearchEngine;
+use xks::datagen::queries::xmark_workload;
+use xks::datagen::{generate_xmark, XmarkConfig, XmarkSize};
+use xks::index::Query;
+
+fn main() {
+    let base_items: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150);
+
+    for size in [XmarkSize::Standard, XmarkSize::Data1, XmarkSize::Data2] {
+        eprintln!("generating XMark-alike {size:?} (base {base_items} items/region)…");
+        let tree = generate_xmark(&XmarkConfig::sized(size, base_items, 2009));
+        eprintln!("  {} nodes", tree.len());
+        let engine = SearchEngine::new(tree);
+
+        println!("== {size:?}");
+        println!(
+            "{:<8} {:>6} {:>12} {:>12} {:>6} {:>7} {:>7}",
+            "query", "RTFs", "ValidRTF", "MaxMatch", "CFR", "APR'", "MaxAPR"
+        );
+        for (abbrev, keywords) in xmark_workload() {
+            let query = Query::parse(&keywords).expect("workload query parses");
+            let cmp = engine.compare(&query);
+            println!(
+                "{:<8} {:>6} {:>12} {:>12} {:>6.2} {:>7.3} {:>7.3}",
+                abbrev,
+                cmp.rtf_count,
+                format!("{:?}", cmp.valid_rtf_time),
+                format!("{:?}", cmp.max_match_time),
+                cmp.effectiveness.cfr,
+                cmp.effectiveness.apr_prime,
+                cmp.effectiveness.max_apr,
+            );
+        }
+        println!();
+    }
+}

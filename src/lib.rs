@@ -1,0 +1,23 @@
+//! # xks — XML keyword search with Relaxed Tightest Fragments
+//!
+//! Facade crate for the workspace reproducing *"Retrieving Meaningful
+//! Relaxed Tightest Fragments for XML Keyword Search"* (EDBT 2009).
+//! Re-exports every member crate under one roof; see the individual
+//! crates for details:
+//!
+//! * [`xmltree`] — XML model, parser, Dewey codes, tokenization;
+//! * [`store`] — relational-style shredding (label/element/value tables);
+//! * [`index`] — inverted keyword index and query resolution;
+//! * [`lca`] — SLCA and ELCA algorithms;
+//! * [`core`] — RTFs, valid contributor, ValidRTF & MaxMatch, metrics,
+//!   axioms (crate `validrtf`);
+//! * [`datagen`] — DBLP-alike / XMark-alike corpora and workloads.
+
+#![deny(missing_docs)]
+
+pub use validrtf as core;
+pub use xks_datagen as datagen;
+pub use xks_index as index;
+pub use xks_lca as lca;
+pub use xks_store as store;
+pub use xks_xmltree as xmltree;

@@ -1,0 +1,205 @@
+//! `xks` — command-line XML keyword search.
+//!
+//! ```text
+//! xks search <file.xml> "<keywords>" [--algo valid|maxmatch|slca] [--limit N] [--xml]
+//! xks compare <file.xml> "<keywords>"
+//! xks stats <file.xml> [--top N]
+//! xks shred <file.xml> <out.json>
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use xks::core::engine::{AlgorithmKind, SearchEngine};
+use xks::index::Query;
+use xks::xmltree::XmlTree;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "search" => cmd_search(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "shred" => cmd_shred(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xks: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  xks search  <file.xml> \"<keywords>\" [--algo valid|maxmatch|slca] [--limit N] [--xml] [--rank]
+  xks compare <file.xml> \"<keywords>\"
+  xks stats   <file.xml> [--top N]
+  xks shred   <file.xml> <out.json>";
+
+fn load_tree(path: &str) -> Result<XmlTree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    xks::xmltree::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn parse_query(text: &str) -> Result<Query, String> {
+    Query::parse(text).map_err(|e| format!("bad query: {e}"))
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let [file, keywords] = positional.as_slice() else {
+        return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
+    };
+    let algo = match flags.get_str("algo").unwrap_or("valid") {
+        "valid" => AlgorithmKind::ValidRtf,
+        "maxmatch" => AlgorithmKind::MaxMatchRtf,
+        "slca" => AlgorithmKind::MaxMatchSlca,
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    let limit = flags.get_usize("limit")?.unwrap_or(usize::MAX);
+    let as_xml = flags.has("xml");
+    let ranked = flags.has("rank");
+
+    let tree = load_tree(file)?;
+    let engine = SearchEngine::new(tree);
+    let query = parse_query(keywords)?;
+    let mut out = engine.search(&query, algo);
+    if ranked {
+        let order = xks::core::rank(&out.fragments, query.len(), &xks::core::RankWeights::default());
+        out.fragments = order.iter().map(|r| out.fragments[r.index].clone()).collect();
+    }
+
+    eprintln!(
+        "{} fragment(s) in {:?} ({:?} after keyword retrieval)",
+        out.fragments.len(),
+        out.timings.total(),
+        out.timings.algorithm_time()
+    );
+    for frag in out.fragments.iter().take(limit) {
+        println!("# anchor {}", frag.anchor);
+        if as_xml {
+            println!("{}", frag.to_xml(engine.tree()));
+        } else {
+            print!("{}", frag.render(engine.tree()));
+        }
+    }
+    if out.fragments.len() > limit {
+        eprintln!("… {} more (raise --limit)", out.fragments.len() - limit);
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (positional, _) = split_flags(args)?;
+    let [file, keywords] = positional.as_slice() else {
+        return Err(format!("compare needs <file.xml> and <keywords>\n{USAGE}"));
+    };
+    let tree = load_tree(file)?;
+    let engine = SearchEngine::new(tree);
+    let query = parse_query(keywords)?;
+    let cmp = engine.compare(&query);
+    println!("RTFs      : {}", cmp.rtf_count);
+    println!("ValidRTF  : {:?}", cmp.valid_rtf_time);
+    println!("MaxMatch  : {:?}", cmp.max_match_time);
+    println!("CFR       : {:.3}", cmp.effectiveness.cfr);
+    println!("APR       : {:.3}", cmp.effectiveness.apr);
+    println!("APR'      : {:.3}", cmp.effectiveness.apr_prime);
+    println!("Max APR   : {:.3}", cmp.effectiveness.max_apr);
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let [file] = positional.as_slice() else {
+        return Err(format!("stats needs <file.xml>\n{USAGE}"));
+    };
+    let top = flags.get_usize("top")?.unwrap_or(20);
+    let tree = load_tree(file)?;
+    let index = xks::index::InvertedIndex::build(&tree);
+    println!("nodes          : {}", tree.len());
+    println!("distinct labels: {}", tree.labels().len());
+    println!("vocabulary     : {}", index.vocabulary_size());
+    let mut freqs: Vec<(&str, usize)> = index.frequencies().collect();
+    freqs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("top {top} words by keyword-node count:");
+    for (word, n) in freqs.into_iter().take(top) {
+        println!("  {word:<24} {n}");
+    }
+    Ok(())
+}
+
+fn cmd_shred(args: &[String]) -> Result<(), String> {
+    let (positional, _) = split_flags(args)?;
+    let [file, out] = positional.as_slice() else {
+        return Err(format!("shred needs <file.xml> and <out.json>\n{USAGE}"));
+    };
+    let tree = load_tree(file)?;
+    let doc = xks::store::shred(&tree);
+    xks::store::snapshot::save(&doc, Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "shredded {} elements / {} value rows -> {out}",
+        doc.elements.len(),
+        doc.values.len()
+    );
+    Ok(())
+}
+
+// -- tiny flag parser ---------------------------------------------------
+
+struct Flags(Vec<(String, Option<String>)>);
+
+impl Flags {
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|(n, _)| n == name)
+    }
+    fn get_str(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+    fn get_usize(&self, name: &str) -> Result<Option<usize>, String> {
+        match self.get_str(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+/// Splits positional arguments from `--flag [value]` pairs. Flags taking
+/// values: `algo`, `limit`, `top`.
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    const VALUED: [&str; 3] = ["algo", "limit", "top"];
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if VALUED.contains(&name) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                flags.push((name.to_owned(), Some(v.clone())));
+            } else {
+                flags.push((name.to_owned(), None));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, Flags(flags)))
+}

@@ -1,0 +1,119 @@
+//! Property tests for the four axiomatic XKS properties (§4.3 analysis
+//! claim (2)): data/query monotonicity and data/query consistency, for
+//! ValidRTF and for the revised MaxMatch, over random documents, random
+//! queries, random insertions and random query extensions.
+
+use proptest::prelude::*;
+use xks::core::axioms::{
+    check_data_consistency, check_data_monotonicity, check_query_consistency,
+    check_query_monotonicity, Algorithm,
+};
+use xks::core::{max_match_rtf, valid_rtf};
+use xks::datagen::random_tree::{random_document, word, RandomDocConfig};
+use xks::index::Query;
+
+const ALGORITHMS: [(&str, Algorithm); 2] = [
+    ("valid_rtf", valid_rtf as Algorithm),
+    ("max_match_rtf", max_match_rtf as Algorithm),
+];
+
+fn doc(nodes: usize, seed: u64) -> xks::xmltree::XmlTree {
+    random_document(&RandomDocConfig {
+        nodes,
+        labels: 3,
+        words: 4,
+        max_words_per_node: 2,
+        seed,
+    })
+}
+
+fn query(k: usize) -> Query {
+    let words: Vec<String> = (0..k).map(word).collect();
+    Query::from_words(&words).expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn data_monotonicity(
+        nodes in 2usize..40,
+        seed in any::<u64>(),
+        k in 1usize..4,
+        parent_pick in any::<u64>(),
+        kw_pick in 0usize..4,
+        label_pick in 0usize..3,
+    ) {
+        let before = doc(nodes, seed);
+        let mut after = before.clone();
+        let parent = xks::datagen::random_tree::random_node(&after, parent_pick);
+        after.insert_subtree(
+            parent,
+            &format!("l{label_pick}"),
+            Some(&word(kw_pick)),
+        );
+        let q = query(k);
+        for (name, algo) in ALGORITHMS {
+            let out = check_data_monotonicity(algo, &before, &after, &q);
+            prop_assert!(out.holds(), "{name}: {out:?}\ntree before:\n{before}");
+        }
+    }
+
+    #[test]
+    fn query_monotonicity(
+        nodes in 2usize..40,
+        seed in any::<u64>(),
+        k in 1usize..3,
+    ) {
+        let tree = doc(nodes, seed);
+        let base = query(k);
+        let ext = base.with_keyword(&word(k)).expect("extends");
+        for (name, algo) in ALGORITHMS {
+            let out = check_query_monotonicity(algo, &tree, &base, &ext);
+            prop_assert!(out.holds(), "{name}: {out:?}\ntree:\n{tree}");
+        }
+    }
+
+    #[test]
+    fn data_consistency(
+        nodes in 2usize..40,
+        seed in any::<u64>(),
+        k in 1usize..4,
+        parent_pick in any::<u64>(),
+        kw_pick in 0usize..4,
+        label_pick in 0usize..3,
+    ) {
+        let before = doc(nodes, seed);
+        let mut after = before.clone();
+        let parent = xks::datagen::random_tree::random_node(&after, parent_pick);
+        let inserted = after.insert_subtree(
+            parent,
+            &format!("l{label_pick}"),
+            Some(&word(kw_pick)),
+        );
+        let inserted_dewey = after.dewey(inserted).clone();
+        let q = query(k);
+        for (name, algo) in ALGORITHMS {
+            let out = check_data_consistency(algo, &before, &after, &inserted_dewey, &q);
+            prop_assert!(
+                out.holds(),
+                "{name}: {out:?}\ntree before:\n{before}\ninserted {inserted_dewey}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_consistency(
+        nodes in 2usize..40,
+        seed in any::<u64>(),
+        k in 1usize..3,
+    ) {
+        let tree = doc(nodes, seed);
+        let added = word(k);
+        let ext = query(k).with_keyword(&added).expect("extends");
+        for (name, algo) in ALGORITHMS {
+            let out = check_query_consistency(algo, &tree, &ext, &added);
+            prop_assert!(out.holds(), "{name}: {out:?}\ntree:\n{tree}");
+        }
+    }
+}

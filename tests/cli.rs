@@ -1,0 +1,96 @@
+//! Black-box tests of the `xks` CLI binary.
+
+use std::process::Command;
+
+fn xks() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xks"))
+}
+
+fn sample_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xks-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("team.xml");
+    std::fs::write(
+        &path,
+        "<team><name>Grizzlies</name><players>\
+         <player><name>Gassol</name><position>forward</position></player>\
+         <player><name>Miller</name><position>guard</position></player>\
+         <player><name>Warrick</name><position>forward</position></player>\
+         </players></team>",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn search_demonstrates_deduplication() {
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["grizzlies position", "--xml"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The duplicate forward player is pruned: exactly two positions.
+    assert_eq!(stdout.matches("<position>").count(), 2, "{stdout}");
+    assert!(stdout.contains("forward") && stdout.contains("guard"));
+}
+
+#[test]
+fn search_maxmatch_keeps_duplicates() {
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["grizzlies position", "--xml", "--algo", "maxmatch"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("<position>").count(), 3, "{stdout}");
+}
+
+#[test]
+fn compare_prints_effectiveness() {
+    let out = xks()
+        .args(["compare"])
+        .arg(sample_file())
+        .args(["grizzlies position"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CFR"), "{stdout}");
+    assert!(stdout.contains("Max APR"), "{stdout}");
+}
+
+#[test]
+fn stats_reports_counts() {
+    let out = xks().args(["stats"]).arg(sample_file()).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nodes          : 12"), "{stdout}");
+}
+
+#[test]
+fn shred_writes_snapshot() {
+    let out_path = std::env::temp_dir().join("xks-cli-test/tables.json");
+    let out = xks()
+        .args(["shred"])
+        .arg(sample_file())
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = xks::store::snapshot::load(&out_path).expect("valid snapshot");
+    assert_eq!(doc.element_count(), 12);
+    std::fs::remove_file(&out_path).unwrap();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    for args in [vec![], vec!["searchx"], vec!["search", "/missing.xml", "kw"]] {
+        let out = xks().args(&args).output().unwrap();
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the §5.1 effectiveness metrics.
+
+use proptest::prelude::*;
+use xks::core::prune::{prune, Policy};
+use xks::core::{effectiveness, get_rtf, Fragment};
+use xks::datagen::random_tree::{random_document, word, RandomDocConfig};
+use xks::index::{InvertedIndex, Query};
+use xks::lca::elca_stack;
+
+fn fragment_pairs(
+    nodes: usize,
+    labels: usize,
+    seed: u64,
+    k: usize,
+) -> Vec<(Fragment, Fragment)> {
+    let tree = random_document(&RandomDocConfig {
+        nodes,
+        labels,
+        words: 4,
+        max_words_per_node: 2,
+        seed,
+    });
+    let index = InvertedIndex::build(&tree);
+    let keywords: Vec<String> = (0..k).map(word).collect();
+    let query = Query::from_words(&keywords).expect("non-empty");
+    let Some(sets) = index.resolve(&query) else {
+        return Vec::new();
+    };
+    let anchors = elca_stack(sets.sets());
+    get_rtf(&anchors, &sets)
+        .iter()
+        .map(|r| {
+            let raw = Fragment::construct(&tree, r);
+            (
+                prune(&raw, Policy::ValidContributor),
+                prune(&raw, Policy::Contributor),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ratios_are_bounded(
+        nodes in 2usize..40,
+        labels in 1usize..4,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let pairs = fragment_pairs(nodes, labels, seed, k);
+        let eff = effectiveness(&pairs);
+        prop_assert!((0.0..=1.0).contains(&eff.cfr), "cfr {}", eff.cfr);
+        prop_assert!((0.0..=1.0).contains(&eff.apr), "apr {}", eff.apr);
+        prop_assert!((0.0..=1.0).contains(&eff.apr_prime), "apr' {}", eff.apr_prime);
+        prop_assert!((0.0..=1.0).contains(&eff.max_apr), "max {}", eff.max_apr);
+        prop_assert!(eff.common_count <= eff.rtf_count);
+    }
+
+    #[test]
+    fn cfr_one_implies_no_pruning_ratio(
+        nodes in 2usize..40,
+        labels in 1usize..4,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let pairs = fragment_pairs(nodes, labels, seed, k);
+        let eff = effectiveness(&pairs);
+        if eff.cfr == 1.0 {
+            prop_assert_eq!(eff.apr, 0.0);
+            prop_assert_eq!(eff.max_apr, 0.0);
+        }
+        // And the converse relation: a positive Max APR requires some
+        // differing fragment.
+        if eff.max_apr > 0.0 {
+            prop_assert!(eff.cfr < 1.0);
+        }
+    }
+
+    #[test]
+    fn apr_prime_never_exceeds_apr_with_two_plus_diffs(
+        nodes in 2usize..40,
+        labels in 1usize..4,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        // Removing the maximum from an average cannot increase it.
+        let pairs = fragment_pairs(nodes, labels, seed, k);
+        let eff = effectiveness(&pairs);
+        let differing = eff.rtf_count - eff.common_count;
+        if differing > 1 {
+            prop_assert!(
+                eff.apr_prime <= eff.apr + 1e-12,
+                "apr' {} > apr {}",
+                eff.apr_prime,
+                eff.apr
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Parser robustness and round-trip properties.
+
+use proptest::prelude::*;
+use xks::datagen::random_tree::{random_document, RandomDocConfig};
+use xks::xmltree::writer::{to_xml, to_xml_compact};
+use xks::xmltree::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary input must never panic the parser — every outcome is a
+    /// clean `Ok`/`Err`.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary *angle-bracket-rich* soup (more likely to reach deep
+    /// parser states than plain ASCII).
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "<a>", "</a>", "<b x='1'>", "</b>", "<!--", "-->", "<![CDATA[", "]]>",
+                "<?pi", "?>", "&amp;", "&#x41;", "&bogus;", "text", "<", ">", "\"", "'",
+                "<a/>", "<!DOCTYPE x>", "=",
+            ]),
+            0..30,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = parse(&input);
+    }
+
+    /// Compact serialization of a random document parses back to the
+    /// identical structure.
+    #[test]
+    fn compact_round_trip(
+        nodes in 1usize..60,
+        labels in 1usize..6,
+        words in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let tree = random_document(&RandomDocConfig {
+            nodes, labels, words, max_words_per_node: 3, seed,
+        });
+        let xml = to_xml_compact(&tree);
+        let back = parse(&xml).expect("own output parses");
+        prop_assert_eq!(tree.fingerprint(), back.fingerprint());
+    }
+
+    /// Pretty serialization too — indentation must not introduce
+    /// phantom text nodes.
+    #[test]
+    fn pretty_round_trip(
+        nodes in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let tree = random_document(&RandomDocConfig {
+            nodes, labels: 4, words: 5, max_words_per_node: 2, seed,
+        });
+        let xml = to_xml(&tree);
+        let back = parse(&xml).expect("own output parses");
+        prop_assert_eq!(tree.fingerprint(), back.fingerprint());
+    }
+}

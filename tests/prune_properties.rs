@@ -1,0 +1,167 @@
+//! Property tests for the pruning step: structural invariants plus the
+//! Definition 4 postconditions, on random documents.
+
+use proptest::prelude::*;
+use xks::core::prune::{prune, Policy};
+use xks::core::{get_rtf, Fragment};
+use xks::datagen::random_tree::{random_document, word, RandomDocConfig};
+use xks::index::{InvertedIndex, Query};
+use xks::lca::elca_stack;
+use xks::xmltree::XmlTree;
+
+fn raw_fragments(tree: &XmlTree, k: usize) -> Vec<Fragment> {
+    let index = InvertedIndex::build(tree);
+    let keywords: Vec<String> = (0..k).map(word).collect();
+    let query = Query::from_words(&keywords).expect("non-empty");
+    let Some(sets) = index.resolve(&query) else {
+        return Vec::new();
+    };
+    let anchors = elca_stack(sets.sets());
+    get_rtf(&anchors, &sets)
+        .iter()
+        .map(|r| Fragment::construct(tree, r))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pruning_structural_invariants(
+        nodes in 2usize..50,
+        labels in 1usize..4,
+        words in 2usize..5,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let tree = random_document(&RandomDocConfig {
+            nodes, labels, words, max_words_per_node: 2, seed,
+        });
+        for raw in raw_fragments(&tree, k) {
+            for policy in [Policy::ValidContributor, Policy::Contributor] {
+                let pruned = prune(&raw, policy);
+                // Subset of the raw fragment, anchor retained.
+                prop_assert!(pruned.contains(&raw.anchor));
+                prop_assert!(pruned.len() <= raw.len());
+                for n in pruned.iter() {
+                    prop_assert!(raw.contains(&n.dewey), "{} not in raw", n.dewey);
+                    // Connectivity: parent of every non-anchor node kept.
+                    if n.dewey != pruned.anchor {
+                        let parent = n.dewey.parent().expect("non-anchor has parent");
+                        prop_assert!(pruned.contains(&parent), "orphan {}", n.dewey);
+                    }
+                    // Children links point at kept nodes only.
+                    for c in &n.children {
+                        prop_assert!(pruned.contains(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_contributor_postconditions(
+        nodes in 2usize..50,
+        labels in 1usize..4,
+        words in 2usize..5,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        // Definition 4 on the *output*: among kept same-label siblings,
+        // no strict keyword-set subset and no (equal kset, equal cID)
+        // duplicate pair.
+        let tree = random_document(&RandomDocConfig {
+            nodes, labels, words, max_words_per_node: 2, seed,
+        });
+        for raw in raw_fragments(&tree, k) {
+            let pruned = prune(&raw, Policy::ValidContributor);
+            for n in pruned.iter() {
+                for group in pruned.label_groups(&n.dewey) {
+                    let children = &group.children;
+                    for a in children {
+                        for b in children {
+                            if a.dewey == b.dewey {
+                                continue;
+                            }
+                            prop_assert!(
+                                !a.kset.is_strict_subset(b.kset),
+                                "kept child {} strictly covered by kept sibling {}",
+                                a.dewey,
+                                b.dewey
+                            );
+                            prop_assert!(
+                                !(a.kset == b.kset && a.cid == b.cid),
+                                "kept duplicates {} / {}",
+                                a.dewey,
+                                b.dewey
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contributor_postconditions(
+        nodes in 2usize..50,
+        labels in 1usize..4,
+        words in 2usize..5,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        // MaxMatch's postcondition: among *all* kept siblings (any
+        // label), no strict keyword-set subset pair.
+        let tree = random_document(&RandomDocConfig {
+            nodes, labels, words, max_words_per_node: 2, seed,
+        });
+        for raw in raw_fragments(&tree, k) {
+            let pruned = prune(&raw, Policy::Contributor);
+            for n in pruned.iter() {
+                let children: Vec<_> = n
+                    .children
+                    .iter()
+                    .map(|c| pruned.node(c).expect("kept child"))
+                    .collect();
+                for a in &children {
+                    for b in &children {
+                        prop_assert!(
+                            a.dewey == b.dewey || !a.kset.is_strict_subset(b.kset),
+                            "kept child {} strictly covered by kept sibling {}",
+                            a.dewey,
+                            b.dewey
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_contributor_keeps_unique_labels(
+        nodes in 2usize..50,
+        words in 2usize..5,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        // Rule 1: when all children of a node have distinct labels,
+        // ValidRTF prunes nothing below that node (only whole subtrees
+        // pruned higher up can remove them).
+        let tree = random_document(&RandomDocConfig {
+            // Large label alphabet → most sibling labels distinct.
+            nodes, labels: 64, words, max_words_per_node: 2, seed,
+        });
+        for raw in raw_fragments(&tree, k) {
+            let pruned = prune(&raw, Policy::ValidContributor);
+            // All raw groups have counter 1 (labels unique with high
+            // probability — verify, skip otherwise).
+            let all_unique = raw.iter().all(|n| {
+                raw.label_groups(&n.dewey)
+                    .iter()
+                    .all(|g| g.counter() == 1)
+            });
+            prop_assume!(all_unique);
+            prop_assert_eq!(pruned.len(), raw.len(), "rule 1 must keep everything");
+        }
+    }
+}

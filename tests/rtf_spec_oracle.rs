@@ -1,0 +1,111 @@
+//! Differential test of §4.3 analysis claim (1): the `getLCA → getRTF`
+//! pipeline retrieves exactly the RTFs characterized by Definitions 1–2.
+//!
+//! The executable specification (`validrtf::spec`) enumerates `ECT_Q`
+//! and filters it by the three RTF conditions — exponential, so inputs
+//! are kept tiny; the pipeline must agree on anchors *and* keyword-node
+//! partitions for every random document and query.
+
+use proptest::prelude::*;
+use xks::core::spec::spec_rtfs;
+use xks::core::{get_rtf, Rtf};
+use xks::datagen::random_tree::{random_document, word, RandomDocConfig};
+use xks::index::{InvertedIndex, Query};
+use xks::lca::elca_stack;
+use xks::xmltree::Dewey;
+
+fn pipeline_rtfs(sets: &xks::index::KeywordNodeSets) -> Vec<Rtf> {
+    let anchors = elca_stack(sets.sets());
+    get_rtf(&anchors, sets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn get_rtf_matches_definition_2(
+        nodes in 2usize..14,
+        labels in 1usize..4,
+        words in 2usize..5,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        let tree = random_document(&RandomDocConfig {
+            nodes,
+            labels,
+            words,
+            max_words_per_node: 2,
+            seed,
+        });
+        let index = InvertedIndex::build(&tree);
+        let keywords: Vec<String> = (0..k).map(word).collect();
+        let query = Query::from_words(&keywords).expect("non-empty");
+        let Some(sets) = index.resolve(&query) else {
+            // Some keyword absent: both sides must return nothing.
+            prop_assert!(spec_rtfs(&[]).expect("empty ok").is_empty());
+            return Ok(());
+        };
+        // Keep the enumeration tractable.
+        prop_assume!(sets.sets().iter().all(|s| s.len() <= 5));
+
+        let Some(spec) = spec_rtfs(sets.sets()) else {
+            return Ok(()); // oversized, skipped
+        };
+        let got = pipeline_rtfs(&sets);
+
+        let got_view: Vec<(&Dewey, Vec<&Dewey>)> = got
+            .iter()
+            .map(|r| (&r.anchor, r.knodes.iter().map(|(d, _)| d).collect()))
+            .collect();
+        let want_view: Vec<(&Dewey, Vec<&Dewey>)> = spec
+            .iter()
+            .map(|s| (&s.anchor, s.nodes.iter().collect()))
+            .collect();
+        prop_assert_eq!(
+            got_view,
+            want_view,
+            "pipeline vs Definition 2 on tree:\n{}",
+            tree
+        );
+    }
+
+    #[test]
+    fn rtf_partitions_are_disjoint_and_covering(
+        nodes in 2usize..30,
+        labels in 1usize..4,
+        words in 2usize..5,
+        seed in any::<u64>(),
+        k in 1usize..4,
+    ) {
+        // Requirements (2)/(3) of §2: partitions are pairwise disjoint,
+        // and each covers the whole query.
+        let tree = random_document(&RandomDocConfig {
+            nodes,
+            labels,
+            words,
+            max_words_per_node: 2,
+            seed,
+        });
+        let index = InvertedIndex::build(&tree);
+        let keywords: Vec<String> = (0..k).map(word).collect();
+        let query = Query::from_words(&keywords).expect("non-empty");
+        let Some(sets) = index.resolve(&query) else { return Ok(()); };
+
+        let rtfs = pipeline_rtfs(&sets);
+        let mut seen: Vec<&Dewey> = Vec::new();
+        for r in &rtfs {
+            prop_assert!(
+                r.keyword_union().covers_query(k),
+                "partition at {} does not cover the query",
+                r.anchor
+            );
+            for (d, _) in &r.knodes {
+                prop_assert!(!seen.contains(&d), "keyword node {} in two partitions", d);
+                seen.push(d);
+            }
+            // Anchor is the LCA of its partition (uniqueness requirement).
+            let deweys: Vec<Dewey> = r.keyword_deweys();
+            prop_assert_eq!(Dewey::lca_of_all(&deweys).unwrap(), r.anchor.clone());
+        }
+    }
+}
