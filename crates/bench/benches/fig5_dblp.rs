@@ -20,16 +20,12 @@ fn bench_fig5_dblp(c: &mut Criterion) {
 
     for (abbrev, keywords) in dblp_workload() {
         let query = Query::parse(&keywords).expect("workload query parses");
-        group.bench_with_input(
-            BenchmarkId::new("maxmatch", abbrev),
-            &query,
-            |b, query| b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("validrtf", abbrev),
-            &query,
-            |b, query| b.iter(|| engine.search(query, AlgorithmKind::ValidRtf)),
-        );
+        group.bench_with_input(BenchmarkId::new("maxmatch", abbrev), &query, |b, query| {
+            b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf))
+        });
+        group.bench_with_input(BenchmarkId::new("validrtf", abbrev), &query, |b, query| {
+            b.iter(|| engine.search(query, AlgorithmKind::ValidRtf))
+        });
     }
     group.finish();
 }

@@ -23,16 +23,12 @@ fn panel(c: &mut Criterion, group_name: &str, size: XmarkSize) {
 
     for (abbrev, keywords) in xmark_workload() {
         let query = Query::parse(&keywords).expect("workload query parses");
-        group.bench_with_input(
-            BenchmarkId::new("maxmatch", abbrev),
-            &query,
-            |b, query| b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("validrtf", abbrev),
-            &query,
-            |b, query| b.iter(|| engine.search(query, AlgorithmKind::ValidRtf)),
-        );
+        group.bench_with_input(BenchmarkId::new("maxmatch", abbrev), &query, |b, query| {
+            b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf))
+        });
+        group.bench_with_input(BenchmarkId::new("validrtf", abbrev), &query, |b, query| {
+            b.iter(|| engine.search(query, AlgorithmKind::ValidRtf))
+        });
     }
     group.finish();
 }

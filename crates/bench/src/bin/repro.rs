@@ -73,7 +73,10 @@ fn main() {
         if !want(name) {
             continue;
         }
-        eprintln!("[repro] building {}-alike at {scale:?}…", dataset_name(size));
+        eprintln!(
+            "[repro] building {}-alike at {scale:?}…",
+            dataset_name(size)
+        );
         let engine = xmark_engine(scale, size);
         if freq_only {
             frequency_table_xmark(&engine, size);
@@ -86,7 +89,10 @@ fn main() {
 
 /// §5.1 keyword table: paper frequency vs planted (scaled) frequency.
 fn frequency_table_dblp(engine: &SearchEngine) {
-    println!("\n## Keyword frequencies — dblp ({} nodes)", engine.tree().len());
+    println!(
+        "\n## Keyword frequencies — dblp ({} nodes)",
+        engine.tree().len()
+    );
     println!("{:<16} {:>10} {:>10}", "keyword", "paper", "generated");
     for (kw, paper) in PAPER_DBLP_FREQS {
         println!(
@@ -158,7 +164,10 @@ fn timed(engine: &SearchEngine, query: &Query) -> (Duration, Duration) {
                 .algorithm_time(),
         );
     }
-    (average_discarding_first(&valid), average_discarding_first(&mm))
+    (
+        average_discarding_first(&valid),
+        average_discarding_first(&mm),
+    )
 }
 
 fn average_discarding_first(times: &[Duration]) -> Duration {

@@ -61,7 +61,10 @@ pub const HARNESS_SEED: u64 = 2009;
 /// Builds the DBLP-alike engine.
 #[must_use]
 pub fn dblp_engine(scale: Scale) -> SearchEngine {
-    let tree = generate_dblp(&DblpConfig::with_records(scale.dblp_records(), HARNESS_SEED));
+    let tree = generate_dblp(&DblpConfig::with_records(
+        scale.dblp_records(),
+        HARNESS_SEED,
+    ));
     SearchEngine::new(tree)
 }
 

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the subset of criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`], [`criterion_main!`] — backed by a simple
+//! warm-up + timed-sampling loop that prints mean/min/max per benchmark.
+//!
+//! Under `cargo test` (which runs bench targets with `--test`) every
+//! benchmark executes exactly one iteration, matching criterion's
+//! smoke-test behavior.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's historical export.
+pub use std::hint::black_box;
+
+/// Measurement throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting samples until the measurement budget
+    /// or the sample count is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: run untimed iterations until the warm-up budget is
+        // spent (at least one).
+        let warm_up = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_up.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let budget = Instant::now();
+        while self.samples.len() < self.sample_size
+            && (budget.elapsed() < self.measurement_time || self.samples.is_empty())
+        {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration (accepted for API compatibility; the
+    /// harness warms up with a fixed iteration count).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates throughput (printed alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            smoke_test: self.criterion.smoke_test,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if self.criterion.smoke_test {
+            println!("bench {}/{id}: ok (smoke test, 1 iteration)", self.name);
+            return;
+        }
+        if samples.is_empty() {
+            println!("bench {}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(b)) if !mean.is_zero() => {
+                let mbps = b as f64 / mean.as_secs_f64() / 1_000_000.0;
+                format!("  {mbps:.1} MB/s")
+            }
+            Some(Throughput::Elements(e)) if !mean.is_zero() => {
+                let eps = e as f64 / mean.as_secs_f64();
+                format!("  {eps:.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){throughput}",
+            self.name,
+            samples.len(),
+        );
+    }
+}
+
+/// The bench harness entry object.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; real criterion
+        // then runs each benchmark once, and so do we.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("ungrouped").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a bench group function list, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion { smoke_test: false };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn smoke_test_single_iteration() {
+        let mut c = Criterion { smoke_test: true };
+        let mut runs = 0u32;
+        c.benchmark_group("g")
+            .sample_size(50)
+            .bench_function("once", |b| b.iter(|| runs += 1));
+        // 1 smoke iteration, no warm-up.
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

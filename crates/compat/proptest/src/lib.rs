@@ -1,0 +1,389 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest's API that the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (`#![proptest_config(..)]`, `#[test]` fns
+//!   with `name in strategy` bindings);
+//! * [`Strategy`] implementations for integer ranges, `any::<T>()`,
+//!   `prop::collection::vec`, `prop::sample::select`, and simple
+//!   `".{a,b}"` regex string literals;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed, failing cases are **not shrunk** (the
+//! panic message reports the case number so a failure is reproducible),
+//! and rejected cases ([`prop_assume!`]) simply skip to the next case.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use rand::rngs::StdRng;
+
+/// Test-runner configuration (`cases` is the only knob the workspace
+/// uses).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Marker returned by a case body that hit [`crate::prop_assume!`].
+    #[derive(Debug)]
+    pub struct Rejected;
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+fn uniform_usize(rng: &mut StdRng, lo: usize, hi_exclusive: usize) -> usize {
+    use rand::Rng as _;
+    assert!(lo < hi_exclusive, "empty strategy range");
+    rng.gen_range(lo..hi_exclusive)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Values constructible "from anywhere" via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::RngCore as _;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        use rand::RngCore as _;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy: unconstrained values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from `&'static str` regex literals.
+///
+/// Supports the `".{lo,hi}"` shape the workspace uses (arbitrary chars,
+/// length in `[lo, hi]`); any other pattern falls back to a short
+/// arbitrary string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = uniform_usize(rng, lo, hi + 1);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn arbitrary_char(rng: &mut StdRng) -> char {
+    use rand::Rng as _;
+    // Mix of ASCII (most likely to stress parsers) and wider planes.
+    match rng.gen_range(0u32..10) {
+        0..=6 => char::from(rng.gen_range(0x20u8..0x7F)),
+        7 => char::from(rng.gen_range(0u8..0x20)),
+        8 => char::from_u32(rng.gen_range(0x80u32..0x800)).unwrap_or('\u{FFFD}'),
+        _ => {
+            let c = rng.gen_range(0x800u32..0x1_0000);
+            char::from_u32(c).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// The `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{uniform_usize, Strategy};
+        use rand::rngs::StdRng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        /// `vec(element, lo..hi)` — vectors of `element` samples.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                lo: len.start,
+                hi_exclusive: len.end,
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = uniform_usize(rng, self.lo, self.hi_exclusive);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{uniform_usize, Strategy};
+        use rand::rngs::StdRng;
+
+        /// Strategy choosing uniformly from a fixed set.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        /// `select(options)` — one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty options");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut StdRng) -> T {
+                self.0[uniform_usize(rng, 0, self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{any, prop, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Builds the runner's generator from a case seed (used by the
+/// [`proptest!`] expansion; consumers don't depend on `rand` directly).
+#[must_use]
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    use rand::SeedableRng as _;
+    StdRng::seed_from_u64(seed)
+}
+
+/// Deterministic per-test seed: FNV-1a of the test path, mixed with the
+/// case index by the runner.
+#[must_use]
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns [$cfg] $($rest)*);
+    };
+    (@fns [$cfg:expr]) => {};
+    (@fns [$cfg:expr]
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let case_seed = base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = $crate::rng_from_seed(case_seed);
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::test_runner::Rejected> {
+                            { $body }
+                            ::core::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match outcome {
+                    // Pass, or rejected by prop_assume! — move on.
+                    ::core::result::Result::Ok(_) => {}
+                    ::core::result::Result::Err(payload) => {
+                        // Identify the failing case so it is
+                        // reproducible (the rng seed is derived from
+                        // the test path and case index alone).
+                        eprintln!(
+                            "proptest {}: case {} of {} failed (case seed {:#x})",
+                            concat!(module_path!(), "::", stringify!($name)),
+                            case + 1,
+                            config.cases,
+                            case_seed,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@fns [$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns [$crate::test_runner::Config::default()] $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_strategy_length(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn select_picks_member(s in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn regex_shape_string(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u8..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn run_generated_tests() {
+        ranges_respect_bounds();
+        vec_strategy_length();
+        select_picks_member();
+        regex_shape_string();
+        assume_skips_cases();
+        default_config_works();
+    }
+
+    #[test]
+    fn seed_is_stable_and_name_dependent() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

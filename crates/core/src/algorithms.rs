@@ -25,6 +25,7 @@ use xks_xmltree::XmlTree;
 use crate::fragment::Fragment;
 use crate::prune::{prune, Policy};
 use crate::rtf::{get_rtf, Rtf};
+use crate::source::CorpusSource;
 
 /// Which anchor semantics stage 2 uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,29 +132,106 @@ pub fn run_from_sets(
     }
 }
 
+/// Like [`run`] but over a [`CorpusSource`] (shredded tables or an
+/// opened on-disk index) instead of a parsed tree + in-memory index.
+/// The staged pipeline is identical; only where node facts come from
+/// differs, so results are byte-identical across backends storing the
+/// same shredded corpus.
+#[must_use]
+pub fn run_source(
+    source: &dyn CorpusSource,
+    query: &Query,
+    anchors: AnchorSemantics,
+    policy: Policy,
+) -> Option<RunOutput> {
+    let mut timings = StageTimings::default();
+
+    let t0 = Instant::now();
+    let sets = source.resolve(query)?;
+    timings.get_keyword_nodes = t0.elapsed();
+
+    Some(run_from_sets_source(
+        source, &sets, anchors, policy, timings,
+    ))
+}
+
+/// Like [`run_from_sets`] but over a [`CorpusSource`].
+#[must_use]
+pub fn run_from_sets_source(
+    source: &dyn CorpusSource,
+    sets: &KeywordNodeSets,
+    anchors: AnchorSemantics,
+    policy: Policy,
+    mut timings: StageTimings,
+) -> RunOutput {
+    let t = Instant::now();
+    let anchor_nodes = match anchors {
+        AnchorSemantics::AllLca => elca_stack(sets.sets()),
+        AnchorSemantics::SlcaOnly => indexed_lookup_eager(sets.sets()),
+    };
+    timings.get_lca = t.elapsed();
+
+    let t = Instant::now();
+    let rtfs = get_rtf(&anchor_nodes, sets);
+    timings.get_rtf = t.elapsed();
+
+    let t = Instant::now();
+    let raw: Vec<Fragment> = rtfs
+        .iter()
+        .map(|r| Fragment::construct_from_source(source, r))
+        .collect();
+    let fragments: Vec<Fragment> = raw.iter().map(|f| prune(f, policy)).collect();
+    timings.prune_rtf = t.elapsed();
+
+    RunOutput {
+        fragments,
+        raw,
+        rtfs,
+        timings,
+    }
+}
+
 /// ValidRTF (Algorithm 1): meaningful RTFs at all interesting LCA nodes,
 /// valid-contributor pruning.
 #[must_use]
 pub fn valid_rtf(tree: &XmlTree, index: &InvertedIndex, query: &Query) -> Vec<Fragment> {
-    run(tree, index, query, AnchorSemantics::AllLca, Policy::ValidContributor)
-        .map(|o| o.fragments)
-        .unwrap_or_default()
+    run(
+        tree,
+        index,
+        query,
+        AnchorSemantics::AllLca,
+        Policy::ValidContributor,
+    )
+    .map(|o| o.fragments)
+    .unwrap_or_default()
 }
 
 /// Revised MaxMatch: same RTFs, contributor pruning.
 #[must_use]
 pub fn max_match_rtf(tree: &XmlTree, index: &InvertedIndex, query: &Query) -> Vec<Fragment> {
-    run(tree, index, query, AnchorSemantics::AllLca, Policy::Contributor)
-        .map(|o| o.fragments)
-        .unwrap_or_default()
+    run(
+        tree,
+        index,
+        query,
+        AnchorSemantics::AllLca,
+        Policy::Contributor,
+    )
+    .map(|o| o.fragments)
+    .unwrap_or_default()
 }
 
 /// Original MaxMatch: SLCA anchors, contributor pruning.
 #[must_use]
 pub fn max_match_slca(tree: &XmlTree, index: &InvertedIndex, query: &Query) -> Vec<Fragment> {
-    run(tree, index, query, AnchorSemantics::SlcaOnly, Policy::Contributor)
-        .map(|o| o.fragments)
-        .unwrap_or_default()
+    run(
+        tree,
+        index,
+        query,
+        AnchorSemantics::SlcaOnly,
+        Policy::Contributor,
+    )
+    .map(|o| o.fragments)
+    .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -139,8 +139,7 @@ pub fn check_data_consistency_strict(
     inserted: &Dewey,
     query: &Query,
 ) -> AxiomOutcome {
-    if let AxiomOutcome::Violated(v) =
-        check_data_consistency(algo, before, after, inserted, query)
+    if let AxiomOutcome::Violated(v) = check_data_consistency(algo, before, after, inserted, query)
     {
         return AxiomOutcome::Violated(v);
     }
@@ -175,9 +174,8 @@ pub fn check_query_consistency(
     let fragments = run(algo, tree, extended);
     for f in &fragments {
         let has_match = f.iter().any(|n| {
-            tree.node_by_dewey(&n.dewey).is_some_and(|id| {
-                node_content(tree, id).contains(added_keyword)
-            })
+            tree.node_by_dewey(&n.dewey)
+                .is_some_and(|id| node_content(tree, id).contains(added_keyword))
         });
         if !has_match {
             return AxiomOutcome::Violated(format!(
@@ -209,9 +207,7 @@ mod tests {
         let art = after.insert_subtree(articles, "article", None);
         after.insert_subtree(art, "title", Some("XML keyword search revisited"));
         for algo in [valid_rtf as Algorithm, max_match_rtf as Algorithm] {
-            assert!(
-                check_data_monotonicity(algo, &before, &after, &q("xml keyword")).holds()
-            );
+            assert!(check_data_monotonicity(algo, &before, &after, &q("xml keyword")).holds());
         }
     }
 
@@ -234,14 +230,9 @@ mod tests {
         let title = after.insert_subtree(art, "title", Some("XML keyword search revisited"));
         let inserted = after.dewey(title).clone();
         for algo in [valid_rtf as Algorithm, max_match_rtf as Algorithm] {
-            assert!(check_data_consistency(
-                algo,
-                &before,
-                &after,
-                &inserted,
-                &q("xml keyword")
-            )
-            .holds());
+            assert!(
+                check_data_consistency(algo, &before, &after, &inserted, &q("xml keyword")).holds()
+            );
         }
     }
 
@@ -281,8 +272,7 @@ mod tests {
         let query = q("w0 w1 w2");
 
         for algo in [valid_rtf as Algorithm, max_match_rtf as Algorithm] {
-            let strict =
-                check_data_consistency_strict(algo, &before, &after, &inserted, &query);
+            let strict = check_data_consistency_strict(algo, &before, &after, &inserted, &query);
             assert!(
                 matches!(strict, AxiomOutcome::Violated(ref m) if m.contains("gained")),
                 "expected strict violation, got {strict:?}"

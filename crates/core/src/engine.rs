@@ -7,10 +7,11 @@ use std::time::Duration;
 use xks_index::{InvertedIndex, Query};
 use xks_xmltree::XmlTree;
 
-use crate::algorithms::{run, AnchorSemantics, RunOutput, StageTimings};
+use crate::algorithms::{run, run_source, AnchorSemantics, RunOutput, StageTimings};
 use crate::fragment::Fragment;
 use crate::metrics::{effectiveness, Effectiveness};
 use crate::prune::Policy;
+use crate::source::CorpusSource;
 
 /// Which end-to-end algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,43 +63,93 @@ pub struct Comparison {
     pub effectiveness: Effectiveness,
 }
 
+/// The storage behind an engine: a parsed tree with its in-memory
+/// inverted index, or any [`CorpusSource`] backend (shredded tables,
+/// an `xks-persist` on-disk index, …).
+#[derive(Debug)]
+enum Backend {
+    Tree { tree: XmlTree, index: InvertedIndex },
+    Source(Box<dyn CorpusSource>),
+}
+
 /// Document + index, ready to answer keyword queries.
 #[derive(Debug)]
 pub struct SearchEngine {
-    tree: XmlTree,
-    index: InvertedIndex,
+    backend: Backend,
 }
 
 impl SearchEngine {
-    /// Builds the engine (index construction happens here).
+    /// Builds the engine from a parsed tree (index construction happens
+    /// here).
     #[must_use]
     pub fn new(tree: XmlTree) -> Self {
         let index = InvertedIndex::build(&tree);
-        SearchEngine { tree, index }
+        SearchEngine {
+            backend: Backend::Tree { tree, index },
+        }
+    }
+
+    /// Builds the engine over a [`CorpusSource`] backend. ValidRTF /
+    /// MaxMatch then run against the source's stored postings and node
+    /// facts — identical results to the tree path for the same corpus,
+    /// without requiring the parsed document in memory.
+    #[must_use]
+    pub fn from_source(source: impl CorpusSource + 'static) -> Self {
+        SearchEngine {
+            backend: Backend::Source(Box::new(source)),
+        }
     }
 
     /// The underlying document.
+    ///
+    /// # Panics
+    /// Panics for engines built with [`SearchEngine::from_source`]
+    /// (there is no parsed tree); use [`SearchEngine::corpus`] instead.
     #[must_use]
     pub fn tree(&self) -> &XmlTree {
-        &self.tree
+        match &self.backend {
+            Backend::Tree { tree, .. } => tree,
+            Backend::Source(_) => {
+                panic!("SearchEngine::tree() on a source-backed engine")
+            }
+        }
     }
 
     /// The underlying inverted index.
+    ///
+    /// # Panics
+    /// Panics for engines built with [`SearchEngine::from_source`];
+    /// use [`SearchEngine::corpus`] instead.
     #[must_use]
     pub fn index(&self) -> &InvertedIndex {
-        &self.index
+        match &self.backend {
+            Backend::Tree { index, .. } => index,
+            Backend::Source(_) => {
+                panic!("SearchEngine::index() on a source-backed engine")
+            }
+        }
+    }
+
+    /// The corpus source for source-backed engines (`None` for
+    /// tree-backed ones).
+    #[must_use]
+    pub fn corpus(&self) -> Option<&dyn CorpusSource> {
+        match &self.backend {
+            Backend::Tree { .. } => None,
+            Backend::Source(source) => Some(source.as_ref()),
+        }
     }
 
     /// Runs one algorithm on one query.
     #[must_use]
     pub fn search(&self, query: &Query, kind: AlgorithmKind) -> SearchResult {
-        match run(
-            &self.tree,
-            &self.index,
-            query,
-            kind.anchor(),
-            kind.policy(),
-        ) {
+        let output = match &self.backend {
+            Backend::Tree { tree, index } => run(tree, index, query, kind.anchor(), kind.policy()),
+            Backend::Source(source) => {
+                run_source(source.as_ref(), query, kind.anchor(), kind.policy())
+            }
+        };
+        match output {
             Some(RunOutput {
                 fragments, timings, ..
             }) => SearchResult { fragments, timings },

@@ -21,6 +21,7 @@ use xks_xmltree::{Dewey, LabelId, XmlTree};
 
 use crate::keyset::KeySet;
 use crate::rtf::Rtf;
+use crate::source::CorpusSource;
 
 /// The `cID` content feature: lexical `(min, max)` of a tree content
 /// set (§4.1). `None` when no keyword-node content is below the node.
@@ -119,6 +120,65 @@ impl Fragment {
         }
 
         // Children links (document order is free from BTreeMap order).
+        let deweys: Vec<Dewey> = nodes.keys().cloned().collect();
+        for d in &deweys {
+            if d == &rtf.anchor {
+                continue;
+            }
+            let parent = d.parent().expect("non-anchor fragment node has parent");
+            nodes
+                .get_mut(&parent)
+                .expect("parent present by construction")
+                .children
+                .push(d.clone());
+        }
+
+        Fragment {
+            anchor: rtf.anchor.clone(),
+            nodes,
+        }
+    }
+
+    /// Builds the fragment for one RTF from a [`CorpusSource`] — the
+    /// same constructing step as [`Fragment::construct`], but reading
+    /// node facts (label, own-content feature) from the storage
+    /// abstraction instead of the parsed tree. Used by the engine when
+    /// it runs over shredded tables or an on-disk index.
+    ///
+    /// Panics if the RTF references a Dewey code the corpus does not
+    /// contain (keyword nodes always come from the same corpus, so this
+    /// indicates a corrupted index).
+    #[must_use]
+    pub fn construct_from_source<S: CorpusSource + ?Sized>(source: &S, rtf: &Rtf) -> Self {
+        let mut nodes: BTreeMap<Dewey, FragNode> = BTreeMap::new();
+
+        ensure_source_node(source, &mut nodes, &rtf.anchor);
+
+        for (kd, mask) in &rtf.knodes {
+            // One element fetch per keyword node: the record supplies
+            // both the cid and (when the node is new) the FragNode —
+            // a lookup is a paged binary search on disk backends.
+            let element = source_element(source, kd);
+            let cid = element.keyword_cid.clone();
+            {
+                let n = nodes
+                    .entry(kd.clone())
+                    .or_insert_with(|| frag_node_from(kd, &element));
+                n.is_keyword = true;
+                n.kset = n.kset.union(*mask);
+                n.cid = merge_cid(n.cid.take(), cid.clone());
+            }
+            let ancestors: Vec<Dewey> = kd
+                .ancestors()
+                .take_while(|a| rtf.anchor.is_ancestor_or_self(a))
+                .collect();
+            for a in ancestors {
+                let n = ensure_source_node(source, &mut nodes, &a);
+                n.kset = n.kset.union(*mask);
+                n.cid = merge_cid(n.cid.take(), cid.clone());
+            }
+        }
+
         let deweys: Vec<Dewey> = nodes.keys().cloned().collect();
         for d in &deweys {
             if d == &rtf.anchor {
@@ -287,6 +347,26 @@ impl Fragment {
         Some(out)
     }
 
+    /// Renders the fragment as an indented outline resolving labels
+    /// through a [`CorpusSource`]. Unlike [`Fragment::render`] no
+    /// original text is available (shredded stores keep keywords, not
+    /// raw text), so keyword nodes are marked with `*`.
+    #[must_use]
+    pub fn render_source<S: CorpusSource + ?Sized>(&self, source: &S) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let base = self.anchor.level();
+        for n in self.iter() {
+            let indent = "  ".repeat(n.dewey.level() - base);
+            let label = source
+                .label_name(n.label.as_u32())
+                .unwrap_or_else(|| n.label.to_string());
+            let marker = if n.is_keyword { " *" } else { "" };
+            let _ = writeln!(out, "{indent}{label} [{}]{marker}", n.dewey);
+        }
+        out
+    }
+
     /// Renders the fragment as an indented outline using the source
     /// tree's label table (for examples and debugging).
     #[must_use]
@@ -314,6 +394,38 @@ impl Fragment {
 fn tree_node(tree: &XmlTree, dewey: &Dewey) -> xks_xmltree::NodeId {
     tree.node_by_dewey(dewey)
         .unwrap_or_else(|| panic!("RTF references node {dewey} missing from the tree"))
+}
+
+fn source_element<S: CorpusSource + ?Sized>(
+    source: &S,
+    dewey: &Dewey,
+) -> crate::source::SourceElement {
+    source
+        .element(dewey)
+        .unwrap_or_else(|| panic!("RTF references node {dewey} missing from the corpus"))
+}
+
+fn frag_node_from(dewey: &Dewey, element: &crate::source::SourceElement) -> FragNode {
+    FragNode {
+        dewey: dewey.clone(),
+        label: LabelId(element.label),
+        kset: KeySet::EMPTY,
+        cid: None,
+        is_keyword: false,
+        children: Vec::new(),
+    }
+}
+
+fn ensure_source_node<'m, S: CorpusSource + ?Sized>(
+    source: &S,
+    nodes: &'m mut BTreeMap<Dewey, FragNode>,
+    dewey: &Dewey,
+) -> &'m mut FragNode {
+    if !nodes.contains_key(dewey) {
+        let element = source_element(source, dewey);
+        nodes.insert(dewey.clone(), frag_node_from(dewey, &element));
+    }
+    nodes.get_mut(dewey).expect("inserted above")
 }
 
 fn ensure_node<'m>(
@@ -347,9 +459,7 @@ fn render_klist(kset: KeySet, k: usize) -> String {
 /// Exact for `(min, max)` of a union of sets.
 fn merge_cid(a: Cid, b: Cid) -> Cid {
     match (a, b) {
-        (Some((amin, amax)), Some((bmin, bmax))) => {
-            Some((amin.min(bmin), amax.max(bmax)))
-        }
+        (Some((amin, amax)), Some((bmin, bmax))) => Some((amin.min(bmin), amax.max(bmax))),
         (Some(x), None) | (None, Some(x)) => Some(x),
         (None, None) => None,
     }
@@ -387,8 +497,16 @@ mod tests {
         assert_eq!(
             got,
             [
-                "0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0",
-                "0.2.1", "0.2.1.1"
+                "0",
+                "0.0",
+                "0.2",
+                "0.2.0",
+                "0.2.0.1",
+                "0.2.0.2",
+                "0.2.0.3",
+                "0.2.0.3.0",
+                "0.2.1",
+                "0.2.1.1"
             ]
         );
     }
@@ -485,7 +603,10 @@ mod tests {
         assert!(info.contains("label=Articles"), "{info}");
         assert!(info.contains("kList=0 1 1 1 1"), "{info}");
         assert!(info.contains("knum=15"), "{info}");
-        assert!(info.contains("[article]: counter=2 chkList=[8, 15]"), "{info}");
+        assert!(
+            info.contains("[article]: counter=2 chkList=[8, 15]"),
+            "{info}"
+        );
         assert!(frag.render_node_info(&tree, &d("0.9"), 5).is_none());
     }
 

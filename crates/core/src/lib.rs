@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod prune;
 pub mod rank;
 pub mod rtf;
+pub mod source;
 pub mod spec;
 
 pub use algorithms::{max_match_rtf, max_match_slca, valid_rtf};
@@ -59,3 +60,4 @@ pub use metrics::{effectiveness, Effectiveness};
 pub use prune::{prune, Policy};
 pub use rank::{rank, RankWeights, RankedFragment};
 pub use rtf::{get_rtf, get_rtf_unchecked, Rtf};
+pub use source::{CorpusSource, MemoryCorpus, SourceElement};

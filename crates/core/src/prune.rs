@@ -171,7 +171,16 @@ mod tests {
         let pruned = prune(&frags[0], Policy::ValidContributor);
         assert_eq!(
             deweys(&pruned),
-            ["0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0"]
+            [
+                "0",
+                "0.0",
+                "0.2",
+                "0.2.0",
+                "0.2.0.1",
+                "0.2.0.2",
+                "0.2.0.3",
+                "0.2.0.3.0"
+            ]
         );
     }
 
@@ -195,7 +204,15 @@ mod tests {
         // Figure 3(c): everything else survives.
         assert_eq!(
             deweys(&mm),
-            ["0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0", "0.2.1.0.1", "0.2.1.0.1.0", "0.2.1.2"]
+            [
+                "0.2.1",
+                "0.2.1.0",
+                "0.2.1.0.0",
+                "0.2.1.0.0.0",
+                "0.2.1.0.1",
+                "0.2.1.0.1.0",
+                "0.2.1.2"
+            ]
         );
     }
 

@@ -202,7 +202,11 @@ mod tests {
 
     #[test]
     fn every_rtf_covers_the_query() {
-        for q in ["liu keyword", "vldb title xml keyword search", "skyline query"] {
+        for q in [
+            "liu keyword",
+            "vldb title xml keyword search",
+            "skyline query",
+        ] {
             let sets = resolve(q);
             let anchors = elca_stack(sets.sets());
             for rtf in get_rtf(&anchors, &sets) {
@@ -234,10 +238,7 @@ mod tests {
         let q = Query::parse("k1 k2").unwrap();
         let sets = KeywordNodeSets::new(
             q,
-            vec![
-                vec![d("0.0.0.0"), d("0.0.1")],
-                vec![d("0.0.0.1"), d("0.1")],
-            ],
+            vec![vec![d("0.0.0.0"), d("0.0.1")], vec![d("0.0.0.1"), d("0.1")]],
         );
         let anchors = elca_stack(sets.sets());
         assert_eq!(anchors, vec![d("0.0.0")]);
@@ -294,7 +295,11 @@ mod tests {
         // The literal variant's partition violates the spec oracle.
         let spec = crate::spec::spec_rtfs(sets.sets()).unwrap();
         assert_eq!(spec.len(), 2);
-        assert_eq!(spec[0].nodes.len(), 2, "spec agrees with the checked variant");
+        assert_eq!(
+            spec[0].nodes.len(),
+            2,
+            "spec agrees with the checked variant"
+        );
     }
 
     #[test]
@@ -304,10 +309,7 @@ mod tests {
         // the independent-witness shape: ELCA = {0, 0.0}.
         let sets = KeywordNodeSets::new(
             q,
-            vec![
-                vec![d("0.0.0"), d("0.1")],
-                vec![d("0.0.1"), d("0.2")],
-            ],
+            vec![vec![d("0.0.0"), d("0.1")], vec![d("0.0.1"), d("0.2")]],
         );
         let anchors = elca_stack(sets.sets());
         assert_eq!(anchors, vec![d("0"), d("0.0")]);

@@ -1,0 +1,248 @@
+//! Corpus-source abstraction: one interface over every storage backend.
+//!
+//! The paper's algorithms only ever ask two questions of the storage
+//! layer (§5.2: everything else is derived from the shredded tables):
+//!
+//! 1. *keyword → sorted Dewey codes* of its keyword nodes
+//!    (`getKeywordNodes`), and
+//! 2. *Dewey → node facts* — label, level, and the content feature of
+//!    the node's own content `Cv` (what `pruneRTF`'s constructing step
+//!    seeds keyword nodes with).
+//!
+//! [`CorpusSource`] captures exactly that, so ValidRTF/MaxMatch run
+//! identically over the in-memory [`ShreddedDoc`] tables (via
+//! [`MemoryCorpus`]) or an `xks-persist` on-disk index opened with a
+//! buffer pool — see [`crate::engine::SearchEngine::from_source`] and
+//! [`crate::algorithms::run_source`].
+
+use std::collections::HashMap;
+
+use xks_index::{KeywordNodeSets, Query};
+use xks_store::ShreddedDoc;
+use xks_xmltree::Dewey;
+
+use crate::fragment::Cid;
+
+/// The per-node facts a fragment constructor needs from storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceElement {
+    /// Label id (resolve via [`CorpusSource::label_name`]).
+    pub label: u32,
+    /// Depth of the node (root = 0).
+    pub level: u32,
+    /// Content feature of the node's **own** content `Cv` — the
+    /// `(min, max)` word pair seeding keyword nodes in the
+    /// constructing step (§4.1). `None` for content-free nodes.
+    pub keyword_cid: Cid,
+    /// Content feature of the node's whole subtree — the `element`
+    /// table's `cID` column (§5.2).
+    pub subtree_cid: Cid,
+}
+
+/// A read-only corpus: the storage interface of Algorithm 1.
+///
+/// Implementations must present postings **sorted in document order and
+/// deduplicated**, and label ids consistent between
+/// [`CorpusSource::element`] and [`CorpusSource::label_name`].
+pub trait CorpusSource: std::fmt::Debug {
+    /// Sorted Dewey codes of the keyword nodes for `keyword`
+    /// (empty when the keyword is absent).
+    fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey>;
+
+    /// The stored facts for one node, `None` if `dewey` is not in the
+    /// corpus.
+    fn element(&self, dewey: &Dewey) -> Option<SourceElement>;
+
+    /// The label string for a label id, `None` for a foreign id.
+    fn label_name(&self, label: u32) -> Option<String>;
+
+    /// Number of element nodes in the corpus.
+    fn node_count(&self) -> usize;
+
+    /// Resolves a query to its `D_1..D_k` keyword-node sets
+    /// (`getKeywordNodes`); `None` when some keyword has no match.
+    fn resolve(&self, query: &Query) -> Option<KeywordNodeSets> {
+        let mut sets = Vec::with_capacity(query.len());
+        for kw in query.keywords() {
+            let list = self.keyword_deweys(kw);
+            if list.is_empty() {
+                return None;
+            }
+            sets.push(list);
+        }
+        Some(KeywordNodeSets::new(query.clone(), sets))
+    }
+}
+
+macro_rules! delegate_corpus_source {
+    ($($ptr:ident),*) => {$(
+        /// Delegation so engines can share a source with outside
+        /// observers (e.g. keep reading an index reader's stats while a
+        /// `SearchEngine` owns it).
+        impl<S: CorpusSource + ?Sized> CorpusSource for $ptr<S> {
+            fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+                (**self).keyword_deweys(keyword)
+            }
+            fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+                (**self).element(dewey)
+            }
+            fn label_name(&self, label: u32) -> Option<String> {
+                (**self).label_name(label)
+            }
+            fn node_count(&self) -> usize {
+                (**self).node_count()
+            }
+            fn resolve(&self, query: &Query) -> Option<KeywordNodeSets> {
+                (**self).resolve(query)
+            }
+        }
+    )*};
+}
+
+use std::rc::Rc;
+use std::sync::Arc;
+delegate_corpus_source!(Box, Rc, Arc);
+
+/// The in-memory backend: shredded tables plus the derived own-content
+/// features (the shredder stores subtree features only; the keyword-node
+/// seed needs the node's own `Cv` feature, so we compute it once from
+/// the `value` table here).
+#[derive(Debug)]
+pub struct MemoryCorpus {
+    doc: ShreddedDoc,
+    own_features: HashMap<String, (String, String)>,
+}
+
+impl MemoryCorpus {
+    /// Wraps a shredded document (derived lookups must already be
+    /// rebuilt, which [`xks_store::shred`] and the snapshot loader do).
+    #[must_use]
+    pub fn new(doc: ShreddedDoc) -> Self {
+        let own_features = own_content_features(&doc);
+        MemoryCorpus { doc, own_features }
+    }
+
+    /// The wrapped tables.
+    #[must_use]
+    pub fn doc(&self) -> &ShreddedDoc {
+        &self.doc
+    }
+}
+
+/// Computes each node's own-content `(min, max)` feature from the
+/// `value` table (the node's value rows *are* its content set `Cv`).
+#[must_use]
+pub fn own_content_features(doc: &ShreddedDoc) -> HashMap<String, (String, String)> {
+    let mut features: HashMap<String, (String, String)> = HashMap::new();
+    for row in &doc.values {
+        match features.get_mut(&row.dewey) {
+            None => {
+                features.insert(
+                    row.dewey.clone(),
+                    (row.keyword.clone(), row.keyword.clone()),
+                );
+            }
+            Some((min, max)) => {
+                if row.keyword < *min {
+                    min.clone_from(&row.keyword);
+                }
+                if row.keyword > *max {
+                    max.clone_from(&row.keyword);
+                }
+            }
+        }
+    }
+    features
+}
+
+impl CorpusSource for MemoryCorpus {
+    fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+        self.doc.keyword_deweys(keyword)
+    }
+
+    fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+        let key = dewey.to_string();
+        let row = self.doc.element(dewey)?;
+        Some(SourceElement {
+            label: row.label,
+            level: row.level,
+            keyword_cid: self.own_features.get(&key).cloned(),
+            subtree_cid: row.content_feature.clone(),
+        })
+    }
+
+    fn label_name(&self, label: u32) -> Option<String> {
+        self.doc.labels.get(label as usize).cloned()
+    }
+
+    fn node_count(&self) -> usize {
+        self.doc.element_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_store::shred;
+    use xks_xmltree::fixtures::publications;
+
+    fn corpus() -> MemoryCorpus {
+        MemoryCorpus::new(shred(&publications()))
+    }
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn keyword_deweys_match_tables() {
+        let c = corpus();
+        let liu: Vec<String> = c
+            .keyword_deweys("liu")
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(liu, ["0.2.0.0.0.0", "0.2.0.3.0"]);
+        assert!(c.keyword_deweys("unobtainium").is_empty());
+    }
+
+    #[test]
+    fn element_exposes_own_and_subtree_features() {
+        let c = corpus();
+        // Leaf title node: own content = subtree content.
+        let title = c.element(&d("0.2.0.1")).unwrap();
+        assert_eq!(title.keyword_cid, Some(("keyword".into(), "xml".into())));
+        assert_eq!(title.subtree_cid, Some(("keyword".into(), "xml".into())));
+        assert_eq!(c.label_name(title.label).as_deref(), Some("title"));
+        // Interior node: own feature spans only its own words, the
+        // subtree feature spans all descendants.
+        let articles = c.element(&d("0.2")).unwrap();
+        assert_eq!(
+            articles.keyword_cid,
+            Some(("articles".into(), "articles".into()))
+        );
+        let (smin, smax) = articles.subtree_cid.clone().unwrap();
+        assert!(smin.as_str() < "articles" || smax.as_str() > "articles");
+        assert!(c.element(&d("0.9.9")).is_none());
+    }
+
+    #[test]
+    fn resolve_builds_keyword_node_sets() {
+        let c = corpus();
+        let q = Query::parse("liu keyword").unwrap();
+        let sets = c.resolve(&q).unwrap();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets.set(0).len(), 2);
+        assert!(c
+            .resolve(&Query::parse("liu unobtainium").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn label_name_bounds() {
+        let c = corpus();
+        assert!(c.label_name(0).is_some());
+        assert!(c.label_name(9999).is_none());
+        assert!(c.node_count() > 10);
+    }
+}

@@ -112,9 +112,7 @@ mod tests {
     fn count_keyword(tree: &XmlTree, kw: &str) -> usize {
         let kws = vec![kw.to_owned()];
         tree.preorder()
-            .filter(|&id| {
-                xks_xmltree::content::is_keyword_node(tree, id, &kws)
-            })
+            .filter(|&id| xks_xmltree::content::is_keyword_node(tree, id, &kws))
             .count()
     }
 
@@ -207,7 +205,11 @@ mod fidelity_tests {
                 .expect("known keyword")
         };
         // Compare ratios between well-above-floor keyword pairs.
-        for (a, b) in [("data", "xml"), ("algorithm", "similarity"), ("efficient", "vldb")] {
+        for (a, b) in [
+            ("data", "xml"),
+            ("algorithm", "similarity"),
+            ("efficient", "vldb"),
+        ] {
             let got = count(a) / count(b);
             let want = paper(a) / paper(b);
             assert!(

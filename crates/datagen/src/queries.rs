@@ -56,9 +56,9 @@ pub const DBLP_QUERIES: &[&str] = &[
 /// The 25 XMark query abbreviations of Figures 5(b–d)/6(b–d), shared by
 /// all three dataset sizes.
 pub const XMARK_QUERIES: &[&str] = &[
-    "at", "ad", "av", "cm", "do", "vd", "tcm", "cms", "iel", "sdc", "vdo", "atcm", "cmsu",
-    "suie", "iadm", "vdoi", "tcmsu", "uiel", "atcms", "atcmd", "atcmv", "atcdv", "atcdve",
-    "atcmve", "dtcmvo",
+    "at", "ad", "av", "cm", "do", "vd", "tcm", "cms", "iel", "sdc", "vdo", "atcm", "cmsu", "suie",
+    "iadm", "vdoi", "tcmsu", "uiel", "atcms", "atcmd", "atcmv", "atcdv", "atcdve", "atcmve",
+    "dtcmvo",
 ];
 
 /// Expands an abbreviation into the keyword string, e.g. `"vdo"` →

@@ -95,9 +95,7 @@ pub fn random_document(cfg: &RandomDocConfig) -> XmlTree {
 fn maybe_text(b: &mut TreeBuilder, rng: &mut StdRng, cfg: &RandomDocConfig) {
     let n = rng.gen_range(0..=cfg.max_words_per_node);
     if n > 0 {
-        let words: Vec<String> = (0..n)
-            .map(|_| word(rng.gen_range(0..cfg.words)))
-            .collect();
+        let words: Vec<String> = (0..n).map(|_| word(rng.gen_range(0..cfg.words))).collect();
         b.text(&words.join(" "));
     }
 }

@@ -10,29 +10,136 @@ use rand::Rng;
 
 /// Filler words (computing-flavoured, none of them a §5.1 keyword).
 pub const BACKGROUND: &[&str] = &[
-    "adaptive", "analysis", "approach", "architecture", "attributes", "balanced", "bitmap",
-    "buffer", "cache", "calculus", "client", "cluster", "compression", "concurrent",
-    "consistency", "cost", "declarative", "dependency", "design", "digital", "distributed",
-    "document", "engine", "evaluation", "execution", "expressive", "federated", "filter",
-    "formal", "framework", "functional", "graph", "hash", "heuristic", "hybrid", "incremental",
-    "indexing", "integration", "interactive", "interface", "join", "language", "lattice",
-    "learning", "locking", "logic", "maintenance", "management", "mediator", "memory",
-    "mining", "model", "network", "normalization", "optimization", "parallel", "parser",
-    "partition", "performance", "persistent", "physical", "pipeline", "planner", "predicate",
-    "processing", "protocol", "ranking", "recovery", "relational", "replication", "robust",
-    "sampling", "scalable", "schema", "secure", "semantic", "server", "spatial", "storage",
-    "stream", "structure", "summarization", "symbolic", "synthesis", "temporal", "topology",
-    "transaction", "transformation", "traversal", "tuning", "update", "validation", "vector",
-    "view", "virtual", "visualization", "warehouse", "wavelet", "workload", "wrapper",
+    "adaptive",
+    "analysis",
+    "approach",
+    "architecture",
+    "attributes",
+    "balanced",
+    "bitmap",
+    "buffer",
+    "cache",
+    "calculus",
+    "client",
+    "cluster",
+    "compression",
+    "concurrent",
+    "consistency",
+    "cost",
+    "declarative",
+    "dependency",
+    "design",
+    "digital",
+    "distributed",
+    "document",
+    "engine",
+    "evaluation",
+    "execution",
+    "expressive",
+    "federated",
+    "filter",
+    "formal",
+    "framework",
+    "functional",
+    "graph",
+    "hash",
+    "heuristic",
+    "hybrid",
+    "incremental",
+    "indexing",
+    "integration",
+    "interactive",
+    "interface",
+    "join",
+    "language",
+    "lattice",
+    "learning",
+    "locking",
+    "logic",
+    "maintenance",
+    "management",
+    "mediator",
+    "memory",
+    "mining",
+    "model",
+    "network",
+    "normalization",
+    "optimization",
+    "parallel",
+    "parser",
+    "partition",
+    "performance",
+    "persistent",
+    "physical",
+    "pipeline",
+    "planner",
+    "predicate",
+    "processing",
+    "protocol",
+    "ranking",
+    "recovery",
+    "relational",
+    "replication",
+    "robust",
+    "sampling",
+    "scalable",
+    "schema",
+    "secure",
+    "semantic",
+    "server",
+    "spatial",
+    "storage",
+    "stream",
+    "structure",
+    "summarization",
+    "symbolic",
+    "synthesis",
+    "temporal",
+    "topology",
+    "transaction",
+    "transformation",
+    "traversal",
+    "tuning",
+    "update",
+    "validation",
+    "vector",
+    "view",
+    "virtual",
+    "visualization",
+    "warehouse",
+    "wavelet",
+    "workload",
+    "wrapper",
 ];
 
 /// Author-style surnames for bibliography records (again disjoint from
 /// the query keywords — note the paper's `henry` keyword *is* a person
 /// name, which is why it is planted rather than listed here).
 pub const SURNAMES: &[&str] = &[
-    "abiteboul", "bernstein", "ceri", "dewitt", "fagin", "garcia", "halevy", "ioannidis",
-    "jagadish", "kossmann", "lenzerini", "maier", "naughton", "ooi", "papadias", "ramakrishnan",
-    "stonebraker", "tanaka", "ullman", "vianu", "widom", "yu", "zaniolo", "zhang",
+    "abiteboul",
+    "bernstein",
+    "ceri",
+    "dewitt",
+    "fagin",
+    "garcia",
+    "halevy",
+    "ioannidis",
+    "jagadish",
+    "kossmann",
+    "lenzerini",
+    "maier",
+    "naughton",
+    "ooi",
+    "papadias",
+    "ramakrishnan",
+    "stonebraker",
+    "tanaka",
+    "ullman",
+    "vianu",
+    "widom",
+    "yu",
+    "zaniolo",
+    "zhang",
 ];
 
 /// Very-high-frequency filler words, chosen at the alphabetic extremes

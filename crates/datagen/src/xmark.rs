@@ -84,7 +84,14 @@ impl XmarkConfig {
     }
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 const INTERESTS: [&str; 5] = ["music", "travel", "books", "cinema", "sports"];
 
 /// Generates the corpus.
@@ -249,7 +256,13 @@ mod tests {
             .collect();
         assert_eq!(
             sections,
-            ["regions", "people", "open_auctions", "closed_auctions", "categories"]
+            [
+                "regions",
+                "people",
+                "open_auctions",
+                "closed_auctions",
+                "categories"
+            ]
         );
     }
 

@@ -58,7 +58,10 @@ impl InvertedIndex {
                 if seen.contains(&norm) {
                     continue; // normalization can merge distinct words
                 }
-                postings.entry(norm.clone()).or_default().push(dewey.clone());
+                postings
+                    .entry(norm.clone())
+                    .or_default()
+                    .push(dewey.clone());
                 seen.push(norm);
             }
         }
@@ -309,10 +312,7 @@ mod tests {
     fn from_postings_sorts_and_dedups() {
         let d = |s: &str| s.parse::<Dewey>().unwrap();
         let i = InvertedIndex::from_postings(
-            vec![(
-                "w".to_owned(),
-                vec![d("0.2"), d("0.1"), d("0.2"), d("0.0")],
-            )],
+            vec![("w".to_owned(), vec![d("0.2"), d("0.1"), d("0.2"), d("0.0")])],
             4,
         );
         let got: Vec<String> = i.postings("w").iter().map(ToString::to_string).collect();
@@ -342,9 +342,7 @@ mod build_with_tests {
         // Three surface forms of one stem inside a single text: the
         // posting list must contain the node once.
         let tree = parse("<a><t>query queries querying</t></a>").unwrap();
-        let idx = InvertedIndex::build_with(&tree, |w| {
-            xks_xmltree::stem::light_stem(w)
-        });
+        let idx = InvertedIndex::build_with(&tree, xks_xmltree::stem::light_stem);
         assert_eq!(idx.postings("query").len(), 1);
     }
 

@@ -167,10 +167,8 @@ mod tests {
     fn merge_postings_ors_masks() {
         let sets = vec![list(&["0.1", "0.3"]), list(&["0.2", "0.3"])];
         let merged = merge_postings(&sets);
-        let rendered: Vec<(String, u64)> = merged
-            .iter()
-            .map(|(d, m)| (d.to_string(), *m))
-            .collect();
+        let rendered: Vec<(String, u64)> =
+            merged.iter().map(|(d, m)| (d.to_string(), *m)).collect();
         assert_eq!(
             rendered,
             vec![

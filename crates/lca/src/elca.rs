@@ -152,19 +152,13 @@ pub fn elca_candidate_rmq(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
     let tables: Vec<Rmq> = sets
         .iter()
         .map(|list| {
-            let depths: Vec<usize> = list
-                .iter()
-                .map(|n| deepest_lca_len(&slcas, n))
-                .collect();
+            let depths: Vec<usize> = list.iter().map(|n| deepest_lca_len(&slcas, n)).collect();
             Rmq::new(&depths)
         })
         .collect();
 
     // Candidates from the smallest list.
-    let driver = sets
-        .iter()
-        .min_by_key(|s| s.len())
-        .expect("non-empty sets");
+    let driver = sets.iter().min_by_key(|s| s.len()).expect("non-empty sets");
     let mut candidates: Vec<Dewey> = driver
         .iter()
         .map(|v| {
@@ -237,19 +231,13 @@ mod tests {
     fn ca_shadowing_blocks_ancestor() {
         // The subtle case: d = 0.0 is CA but not ELCA; its witnesses are
         // shadowed for the root, which therefore is not ELCA either.
-        let sets = vec![
-            list(&["0.0.0.0", "0.0.1"]),
-            list(&["0.0.0.1", "0.1"]),
-        ];
+        let sets = vec![list(&["0.0.0.0", "0.0.1"]), list(&["0.0.0.1", "0.1"])];
         check(&sets, &["0.0.0"]);
     }
 
     #[test]
     fn independent_witnesses_keep_ancestor() {
-        let sets = vec![
-            list(&["0.0.0", "0.1"]),
-            list(&["0.0.1", "0.2"]),
-        ];
+        let sets = vec![list(&["0.0.0", "0.1"]), list(&["0.0.1", "0.2"])];
         check(&sets, &["0", "0.0"]);
     }
 
@@ -263,10 +251,7 @@ mod tests {
     fn nested_full_nodes() {
         // ref-style chain: node contains all keywords, ancestor has
         // another full child: both ELCAs.
-        let sets = vec![
-            list(&["0.0.0", "0.1.0"]),
-            list(&["0.0.0", "0.1.1"]),
-        ];
+        let sets = vec![list(&["0.0.0", "0.1.0"]), list(&["0.0.0", "0.1.1"])];
         check(&sets, &["0.0.0", "0.1"]);
     }
 

@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn multiple_slcas_across_siblings() {
         // Two articles, each containing both keywords.
-        let sets = vec![
-            list(&["0.0.0", "0.1.0"]),
-            list(&["0.0.1", "0.1.1"]),
-        ];
+        let sets = vec![list(&["0.0.0", "0.1.0"]), list(&["0.0.1", "0.1.1"])];
         check_all(&sets, &["0.0", "0.1"]);
     }
 
@@ -188,10 +185,7 @@ mod tests {
     #[test]
     fn ancestor_candidates_removed() {
         // Driver nodes produce nested candidates; only deepest survive.
-        let sets = vec![
-            list(&["0.0.0.0", "0.5"]),
-            list(&["0.0.0.1", "0.5.0"]),
-        ];
+        let sets = vec![list(&["0.0.0.0", "0.5"]), list(&["0.0.0.1", "0.5.0"])];
         check_all(&sets, &["0.0.0", "0.5"]);
     }
 }

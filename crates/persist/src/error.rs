@@ -1,0 +1,91 @@
+//! Typed errors for the on-disk index.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong opening or reading an `.xks` index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying file-system error.
+    Io(io::Error),
+    /// The file does not start with the `XKSP` magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not one this build understands.
+    UnsupportedVersion {
+        /// The version stored in the header.
+        found: u16,
+    },
+    /// The header's page size is not a power of two in `[512, 1 MiB]`.
+    BadPageSize {
+        /// The page size stored in the header (or requested).
+        found: u32,
+    },
+    /// The file ends before a section or record it promises.
+    Truncated {
+        /// Which structure was cut short.
+        what: &'static str,
+    },
+    /// A stored checksum does not match the bytes on disk.
+    ChecksumMismatch {
+        /// Which section failed verification.
+        section: &'static str,
+    },
+    /// Bytes decoded but described an impossible structure.
+    Corrupt {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index I/O error: {e}"),
+            PersistError::BadMagic { found } => {
+                write!(f, "not an xks index (magic {found:02x?})")
+            }
+            PersistError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported index version {found} (this build reads version {})",
+                    crate::format::VERSION
+                )
+            }
+            PersistError::BadPageSize { found } => {
+                write!(
+                    f,
+                    "invalid page size {found} (power of two in [512, 1048576])"
+                )
+            }
+            PersistError::Truncated { what } => write!(f, "truncated index: {what}"),
+            PersistError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section:?}")
+            }
+            PersistError::Corrupt { what } => write!(f, "corrupt index: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated {
+                what: "unexpected end of file",
+            }
+        } else {
+            PersistError::Io(e)
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `xks-persist` — a paged binary on-disk index for shredded XML
+//! corpora.
+//!
+//! The paper's §5.2 setup shreds every document into PostgreSQL tables
+//! before ValidRTF/MaxMatch run. This crate is the workspace's real
+//! persistence subsystem in that spirit (and in the spirit of
+//! disk-based keyword-search engines like EMBANKS): a query session
+//! opens a prebuilt `.xks` file and answers from paged postings without
+//! re-parsing or re-shredding any XML.
+//!
+//! * [`IndexWriter`] serializes a [`xks_store::ShreddedDoc`] (or a
+//!   parsed tree) into a sectioned binary file: header with
+//!   magic/version/CRC-32s, label dictionary, element table (Dewey,
+//!   level, label number sequence, content features), and an inverted
+//!   keyword index stored as prefix-delta varint Dewey postings.
+//! * [`IndexReader`] opens the file, validates it, and serves
+//!   `keyword → postings` and `Dewey → element` lookups through a
+//!   fixed-size page abstraction with an LRU [`pool::BufferPool`] — a
+//!   lookup touches only the pages it needs, observable via
+//!   [`IndexReader::stats`].
+//! * [`IndexReader`] implements `validrtf`'s
+//!   [`CorpusSource`](validrtf::source::CorpusSource), so
+//!   `SearchEngine::from_source(IndexReader::open(..)?)` runs ValidRTF
+//!   and MaxMatch directly off disk with results byte-identical to the
+//!   in-memory backends.
+//!
+//! See `FORMAT.md` (next to this crate's manifest) for the byte-level
+//! layout.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use validrtf::engine::{AlgorithmKind, SearchEngine};
+//! use xks_index::Query;
+//! use xks_persist::{IndexReader, IndexWriter};
+//!
+//! let tree = xks_xmltree::parse(
+//!     "<pubs><paper><title>xml keyword search</title></paper></pubs>",
+//! )
+//! .unwrap();
+//! let path = std::env::temp_dir().join("xks-persist-doctest.xks");
+//! IndexWriter::new().write_tree(&tree, &path).unwrap();
+//!
+//! let reader = IndexReader::open(&path).unwrap();
+//! let engine = SearchEngine::from_source(reader);
+//! let result = engine.search(
+//!     &Query::parse("xml keyword").unwrap(),
+//!     AlgorithmKind::ValidRtf,
+//! );
+//! assert_eq!(result.fragments.len(), 1);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod codec;
+pub mod error;
+pub mod format;
+pub mod pool;
+pub mod reader;
+pub mod writer;
+
+pub use error::PersistError;
+pub use pool::PoolStats;
+pub use reader::{ElementRecord, IndexReader, IndexStats, ReaderOptions};
+pub use writer::{IndexWriter, WriteSummary};

@@ -1,0 +1,288 @@
+//! Fixed-size page abstraction with an LRU buffer pool.
+//!
+//! The reader never maps or slurps whole sections; every byte it needs
+//! flows through [`BufferPool::read_at`], which assembles the range from
+//! fixed-size pages fetched on demand and cached under an LRU policy
+//! (in the spirit of a database buffer manager — see bustub/willow-db).
+//! Counters expose exactly how many pages were touched, which the
+//! differential tests use to prove lookups are lazy.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+
+use crate::error::PersistError;
+
+/// Observable pool counters (cheap to copy, returned by
+/// [`BufferPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Maximum resident pages.
+    pub capacity_pages: usize,
+    /// Pages currently cached.
+    pub cached_pages: usize,
+    /// Pages fetched from disk (equals `cache_misses`).
+    pub pages_read: u64,
+    /// Lookups served from the cache.
+    pub cache_hits: u64,
+    /// Lookups that went to disk.
+    pub cache_misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page_no: u64,
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Frames {
+    by_page: HashMap<u64, usize>,
+    frames: Vec<Frame>,
+    tick: u64,
+}
+
+/// An LRU page cache over one read-only file.
+///
+/// Methods take `&self` (interior mutability) so the reader can serve
+/// lookups through shared references; the pool is intentionally not
+/// `Sync` — clone readers per thread instead.
+#[derive(Debug)]
+pub struct BufferPool {
+    file: RefCell<File>,
+    file_len: u64,
+    page_size: usize,
+    capacity: usize,
+    frames: RefCell<Frames>,
+    pages_read: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    evictions: Cell<u64>,
+}
+
+impl BufferPool {
+    /// Wraps an open file. `capacity` is clamped to at least 8 pages.
+    #[must_use]
+    pub fn new(file: File, file_len: u64, page_size: usize, capacity: usize) -> Self {
+        BufferPool {
+            file: RefCell::new(file),
+            file_len,
+            page_size,
+            capacity: capacity.max(8),
+            frames: RefCell::new(Frames::default()),
+            pages_read: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+            evictions: Cell::new(0),
+        }
+    }
+
+    /// The configured page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Length of the underlying file.
+    #[must_use]
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            capacity_pages: self.capacity,
+            cached_pages: self.frames.borrow().frames.len(),
+            pages_read: self.pages_read.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+
+    /// Runs `f` with the pool's underlying file handle — used by
+    /// full-file verification so it checks the same inode lookups are
+    /// served from (re-opening by path could race an index rebuild).
+    /// Page fetches always seek first, so `f` may move the cursor.
+    pub fn with_file<R>(&self, f: impl FnOnce(&mut File) -> R) -> R {
+        f(&mut self.file.borrow_mut())
+    }
+
+    /// Reads `len` bytes at absolute `offset`, assembling across pages.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, PersistError> {
+        let end = offset
+            .checked_add(len as u64)
+            .filter(|&e| e <= self.file_len)
+            .ok_or(PersistError::Truncated {
+                what: "read past end of index file",
+            })?;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while pos < end {
+            let page_no = pos / self.page_size as u64;
+            let page_start = page_no * self.page_size as u64;
+            let in_page = (pos - page_start) as usize;
+            let take = ((end - pos) as usize).min(self.page_size - in_page);
+            self.with_page(page_no, |data| {
+                out.extend_from_slice(&data[in_page..in_page + take]);
+            })?;
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Runs `f` over the cached page, fetching and possibly evicting
+    /// first.
+    fn with_page<R>(&self, page_no: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R, PersistError> {
+        let mut frames = self.frames.borrow_mut();
+        frames.tick += 1;
+        let tick = frames.tick;
+
+        if let Some(&idx) = frames.by_page.get(&page_no) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            frames.frames[idx].last_used = tick;
+            return Ok(f(&frames.frames[idx].data));
+        }
+
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        self.pages_read.set(self.pages_read.get() + 1);
+        let data = self.fetch_page(page_no)?;
+
+        let idx = if frames.frames.len() < self.capacity {
+            frames.frames.push(Frame {
+                page_no,
+                data,
+                last_used: tick,
+            });
+            frames.frames.len() - 1
+        } else {
+            // Evict the least recently used frame.
+            let victim = frames
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, fr)| fr.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity >= 8 frames");
+            let old = frames.frames[victim].page_no;
+            frames.by_page.remove(&old);
+            self.evictions.set(self.evictions.get() + 1);
+            frames.frames[victim] = Frame {
+                page_no,
+                data,
+                last_used: tick,
+            };
+            victim
+        };
+        frames.by_page.insert(page_no, idx);
+        Ok(f(&frames.frames[idx].data))
+    }
+
+    /// Reads one page from disk (the final page may be short; it is
+    /// zero-padded so in-page slicing stays uniform).
+    fn fetch_page(&self, page_no: u64) -> Result<Vec<u8>, PersistError> {
+        let start = page_no * self.page_size as u64;
+        if start >= self.file_len {
+            return Err(PersistError::Truncated {
+                what: "page beyond end of index file",
+            });
+        }
+        let avail = ((self.file_len - start) as usize).min(self.page_size);
+        let mut data = vec![0u8; self.page_size];
+        let mut file = self.file.borrow_mut();
+        file.seek(SeekFrom::Start(start))?;
+        file.read_exact(&mut data[..avail])?;
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn temp_file(bytes: &[u8], name: &str) -> (File, u64) {
+        let dir = std::env::temp_dir().join("xks-persist-pool-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        (File::open(&path).unwrap(), bytes.len() as u64)
+    }
+
+    #[test]
+    fn read_spanning_pages() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let (file, len) = temp_file(&bytes, "span.bin");
+        let pool = BufferPool::new(file, len, 64, 8);
+        // Range [60, 200) crosses pages 0..=3 of 64 bytes.
+        let got = pool.read_at(60, 140).unwrap();
+        assert_eq!(got, &bytes[60..200]);
+        assert_eq!(pool.stats().pages_read, 4);
+    }
+
+    #[test]
+    fn cache_hits_do_not_reread() {
+        let bytes = vec![7u8; 1024];
+        let (file, len) = temp_file(&bytes, "hits.bin");
+        let pool = BufferPool::new(file, len, 256, 8);
+        pool.read_at(0, 10).unwrap();
+        pool.read_at(5, 10).unwrap();
+        pool.read_at(100, 10).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.pages_read, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let bytes = vec![1u8; 64 * 32];
+        let (file, len) = temp_file(&bytes, "lru.bin");
+        let pool = BufferPool::new(file, len, 64, 8);
+        // Touch pages 0..8 (fills capacity), then page 8 (evicts page 0,
+        // the least recently used).
+        for p in 0..9u64 {
+            pool.read_at(p * 64, 1).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.cached_pages, 8);
+        // Re-reading page 8 hits; re-reading page 0 misses again.
+        pool.read_at(8 * 64, 1).unwrap();
+        pool.read_at(0, 1).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn short_final_page_is_padded() {
+        let bytes = vec![9u8; 100];
+        let (file, len) = temp_file(&bytes, "short.bin");
+        let pool = BufferPool::new(file, len, 64, 8);
+        let got = pool.read_at(64, 36).unwrap();
+        assert_eq!(got, &bytes[64..100]);
+    }
+
+    #[test]
+    fn read_past_end_is_truncated_error() {
+        let bytes = vec![0u8; 100];
+        let (file, len) = temp_file(&bytes, "past.bin");
+        let pool = BufferPool::new(file, len, 64, 8);
+        assert!(matches!(
+            pool.read_at(90, 20),
+            Err(PersistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            pool.read_at(u64::MAX, 2),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+}

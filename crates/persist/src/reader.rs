@@ -1,0 +1,611 @@
+//! Opening and querying `.xks` index files.
+//!
+//! [`IndexReader::open`] validates the header and loads only the label
+//! dictionary (a handful of strings). Everything else — element rows,
+//! keyword dictionary, postings — stays on disk and is fetched page by
+//! page through the LRU [`BufferPool`] as lookups demand: a keyword
+//! lookup binary-searches the offset array (one 8-byte read per probe),
+//! decodes one dictionary entry per probe, and finally reads exactly
+//! the pages its posting run spans. The pool counters in
+//! [`IndexReader::stats`] make that laziness observable.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use validrtf::source::{CorpusSource, SourceElement};
+use xks_xmltree::Dewey;
+
+use crate::codec::{crc32, get_postings, get_varint, Crc32};
+use crate::error::PersistError;
+use crate::format::{Header, Section, HEADER_LEN};
+use crate::pool::{BufferPool, PoolStats};
+
+/// Tuning knobs for [`IndexReader::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReaderOptions {
+    /// Buffer-pool capacity in pages (default 256; clamped to ≥ 8).
+    pub pool_pages: usize,
+}
+
+impl Default for ReaderOptions {
+    fn default() -> Self {
+        ReaderOptions { pool_pages: 256 }
+    }
+}
+
+/// A decoded element-table row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementRecord {
+    /// The node's Dewey code.
+    pub dewey: Dewey,
+    /// Label id into the label dictionary.
+    pub label: u32,
+    /// Depth (root = 0).
+    pub level: u32,
+    /// Label ids along the root path (the paper's label number
+    /// sequence).
+    pub label_path: Vec<u32>,
+    /// `(min, max)` of the subtree content (the `element` table's cID).
+    pub subtree_cid: Option<(String, String)>,
+    /// `(min, max)` of the node's own content `Cv`.
+    pub own_cid: Option<(String, String)>,
+}
+
+/// Aggregate facts about an open index, including live pool counters.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexStats {
+    /// Total file length.
+    pub file_len: u64,
+    /// Page size from the header.
+    pub page_size: u32,
+    /// Element rows.
+    pub element_count: u64,
+    /// Distinct keywords.
+    pub keyword_count: u64,
+    /// Labels in the dictionary.
+    pub label_count: u64,
+    /// Bytes of the postings section.
+    pub postings_len: u64,
+    /// Pages the postings section spans.
+    pub postings_pages: u64,
+    /// Buffer-pool counters.
+    pub pool: PoolStats,
+}
+
+/// A read-only handle on an `.xks` index file.
+#[derive(Debug)]
+pub struct IndexReader {
+    path: PathBuf,
+    pool: BufferPool,
+    header: Header,
+    labels: Vec<String>,
+}
+
+impl IndexReader {
+    /// Opens an index with default options.
+    pub fn open(path: &Path) -> Result<Self, PersistError> {
+        Self::open_with(path, ReaderOptions::default())
+    }
+
+    /// Opens an index, validating magic, version, header checksum, and
+    /// the label dictionary (checksummed and loaded eagerly — it is the
+    /// only eagerly-read section). Use [`IndexReader::verify`] for a
+    /// full-file integrity pass.
+    pub fn open_with(path: &Path, options: ReaderOptions) -> Result<Self, PersistError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut header_bytes = vec![0u8; HEADER_LEN.min(file_len as usize)];
+        file.read_exact(&mut header_bytes)?;
+        let header = Header::decode(&header_bytes)?;
+
+        for section in Section::all() {
+            let entry = header.section(section);
+            if entry
+                .offset
+                .checked_add(entry.len)
+                .is_none_or(|end| end > file_len)
+            {
+                return Err(PersistError::Truncated {
+                    what: section.name(),
+                });
+            }
+        }
+
+        // Offset arrays must agree with the header counts — this also
+        // bounds every later `idx * 8` (idx < count <= file_len / 8),
+        // so crafted counts cannot overflow or index past the section.
+        for (count, section) in [
+            (header.element_count, Section::ElementOffsets),
+            (header.keyword_count, Section::KeywordOffsets),
+        ] {
+            let entry = header.section(section);
+            if count.checked_mul(8) != Some(entry.len) {
+                return Err(PersistError::Corrupt {
+                    what: format!(
+                        "{} section holds {} bytes but the header count {} needs {}",
+                        section.name(),
+                        entry.len,
+                        count,
+                        count.saturating_mul(8),
+                    ),
+                });
+            }
+        }
+
+        let labels_entry = header.section(Section::Labels);
+        let labels_bytes =
+            read_exact_at(&mut file, labels_entry.offset, labels_entry.len as usize)?;
+        if crc32(&labels_bytes) != labels_entry.crc {
+            return Err(PersistError::ChecksumMismatch { section: "labels" });
+        }
+        let labels = decode_labels(&labels_bytes, header.label_count)?;
+
+        let pool = BufferPool::new(
+            file,
+            file_len,
+            header.page_size as usize,
+            options.pool_pages,
+        );
+        Ok(IndexReader {
+            path: path.to_owned(),
+            pool,
+            header,
+            labels,
+        })
+    }
+
+    /// Aggregate stats, including live buffer-pool counters.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        let postings = self.header.section(Section::Postings);
+        let page = u64::from(self.header.page_size);
+        IndexStats {
+            file_len: self.pool.file_len(),
+            page_size: self.header.page_size,
+            element_count: self.header.element_count,
+            keyword_count: self.header.keyword_count,
+            label_count: self.header.label_count,
+            postings_len: postings.len,
+            postings_pages: postings.len.div_ceil(page),
+            pool: self.pool.stats(),
+        }
+    }
+
+    /// The file this reader was opened from. Informational only — all
+    /// reads (including [`IndexReader::verify`]) go through the file
+    /// handle opened at [`IndexReader::open`] time, not this path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The label string for an id.
+    #[must_use]
+    pub fn label(&self, id: u32) -> Option<&str> {
+        self.labels.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of element rows.
+    #[must_use]
+    pub fn element_count(&self) -> u64 {
+        self.header.element_count
+    }
+
+    /// Number of distinct keywords.
+    #[must_use]
+    pub fn keyword_count(&self) -> u64 {
+        self.header.keyword_count
+    }
+
+    /// Sorted Dewey postings for `keyword` (empty when absent), reading
+    /// only the pages the lookup touches.
+    pub fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, PersistError> {
+        let Some((_, count, run_off, run_len)) = self.find_keyword(keyword)? else {
+            return Ok(Vec::new());
+        };
+        let postings = self.header.section(Section::Postings);
+        if run_off
+            .checked_add(run_len)
+            .is_none_or(|end| end > postings.len)
+        {
+            return Err(PersistError::Corrupt {
+                what: format!("postings run for {keyword:?} outside the postings section"),
+            });
+        }
+        let bytes = self
+            .pool
+            .read_at(postings.offset + run_off, run_len as usize)?;
+        let mut pos = 0;
+        let deweys = get_postings(&bytes, &mut pos)?;
+        if deweys.len() as u64 != count {
+            return Err(PersistError::Corrupt {
+                what: format!(
+                    "postings run for {keyword:?} decodes {} codes, dictionary says {count}",
+                    deweys.len()
+                ),
+            });
+        }
+        Ok(deweys)
+    }
+
+    /// The element row for a Dewey code, `None` when absent. Binary
+    /// search over the paged offset array; probes decode only the
+    /// row's Dewey components — the rest (label path, content-feature
+    /// strings) is decoded once, on the matching row.
+    pub fn try_element(&self, dewey: &Dewey) -> Result<Option<ElementRecord>, PersistError> {
+        let target = dewey.components();
+        let mut lo = 0u64;
+        let mut hi = self.header.element_count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let row_off = self.offset_entry(Section::ElementOffsets, mid)?;
+            let mut cursor = self.cursor(Section::Elements, row_off)?;
+            let components = decode_row_dewey(&mut cursor)?;
+            match components.as_slice().cmp(target) {
+                std::cmp::Ordering::Equal => {
+                    return Ok(Some(decode_row_rest(cursor, components)?));
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Verifies every section checksum by streaming the open index in
+    /// fixed-size chunks (O(chunk) memory however large the index).
+    /// Reads go through the pool's own file handle, so the bytes
+    /// checked are the same inode lookups are served from even if the
+    /// file on disk has since been replaced by a rebuild.
+    pub fn verify(&self) -> Result<(), PersistError> {
+        use std::io::{Seek, SeekFrom};
+        let mut chunk = vec![0u8; 64 * 1024];
+        for section in Section::all() {
+            let entry = self.header.section(section);
+            let crc = self.pool.with_file(|file| -> Result<u32, PersistError> {
+                file.seek(SeekFrom::Start(entry.offset))?;
+                let mut crc = Crc32::new();
+                let mut remaining = entry.len as usize;
+                while remaining > 0 {
+                    let take = remaining.min(chunk.len());
+                    file.read_exact(&mut chunk[..take])?;
+                    crc.update(&chunk[..take]);
+                    remaining -= take;
+                }
+                Ok(crc.finish())
+            })?;
+            if crc != entry.crc {
+                return Err(PersistError::ChecksumMismatch {
+                    section: section.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- internal
+
+    /// Reads entry `idx` of a `u64` offset array section.
+    fn offset_entry(&self, section: Section, idx: u64) -> Result<u64, PersistError> {
+        let entry = self.header.section(section);
+        let bytes = self.pool.read_at(entry.offset + idx * 8, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("read 8")))
+    }
+
+    /// Binary search in the keyword dictionary; returns
+    /// `(entry_offset, posting_count, run_offset, run_len)`.
+    fn find_keyword(&self, keyword: &str) -> Result<Option<(u64, u64, u64, u64)>, PersistError> {
+        let mut lo = 0u64;
+        let mut hi = self.header.keyword_count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let entry_off = self.offset_entry(Section::KeywordOffsets, mid)?;
+            let mut cursor = self.cursor(Section::KeywordDict, entry_off)?;
+            let word = cursor.read_str()?;
+            match word.as_str().cmp(keyword) {
+                std::cmp::Ordering::Equal => {
+                    let count = cursor.read_varint()?;
+                    let run_off = cursor.read_varint()?;
+                    let run_len = cursor.read_varint()?;
+                    return Ok(Some((entry_off, count, run_off, run_len)));
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Ok(None)
+    }
+
+    fn cursor(&self, section: Section, rel_off: u64) -> Result<SectionCursor<'_>, PersistError> {
+        let entry = self.header.section(section);
+        if rel_off > entry.len {
+            return Err(PersistError::Corrupt {
+                what: format!("offset {rel_off} outside section {}", section.name()),
+            });
+        }
+        Ok(SectionCursor {
+            pool: &self.pool,
+            pos: entry.offset + rel_off,
+            end: entry.offset + entry.len,
+        })
+    }
+}
+
+/// Sequential decoder over one section, pulling bytes through the pool.
+struct SectionCursor<'a> {
+    pool: &'a BufferPool,
+    pos: u64,
+    end: u64,
+}
+
+impl SectionCursor<'_> {
+    fn read_varint(&mut self) -> Result<u64, PersistError> {
+        let avail = (self.end - self.pos).min(10) as usize;
+        let bytes = self.pool.read_at(self.pos, avail)?;
+        let mut pos = 0;
+        let v = get_varint(&bytes, &mut pos)?;
+        self.pos += pos as u64;
+        Ok(v)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, PersistError> {
+        let v = self.read_varint()?;
+        u32::try_from(v).map_err(|_| PersistError::Corrupt {
+            what: "field overflows u32".to_owned(),
+        })
+    }
+
+    /// Upper bound on how many one-byte-or-more items the rest of the
+    /// section could hold (for clamping corruption-controlled counts).
+    fn plausible_items(&self) -> usize {
+        (self.end - self.pos) as usize + 1
+    }
+
+    fn read_bytes(&mut self, len: usize) -> Result<Vec<u8>, PersistError> {
+        if self
+            .pos
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.end)
+        {
+            return Err(PersistError::Truncated {
+                what: "record ran past the end of its section",
+            });
+        }
+        let bytes = self.pool.read_at(self.pos, len)?;
+        self.pos += len as u64;
+        Ok(bytes)
+    }
+
+    fn read_str(&mut self) -> Result<String, PersistError> {
+        let len = self.read_varint()? as usize;
+        let bytes = self.read_bytes(len)?;
+        String::from_utf8(bytes).map_err(|_| PersistError::Corrupt {
+            what: "string is not valid UTF-8".to_owned(),
+        })
+    }
+
+    fn read_cid(&mut self) -> Result<Option<(String, String)>, PersistError> {
+        match self.read_bytes(1)?[0] {
+            0 => Ok(None),
+            1 => {
+                let min = self.read_str()?;
+                let max = self.read_str()?;
+                Ok(Some((min, max)))
+            }
+            other => Err(PersistError::Corrupt {
+                what: format!("content-feature tag {other} (expected 0 or 1)"),
+            }),
+        }
+    }
+}
+
+/// Decodes the leading Dewey components of an element row — all a
+/// binary-search probe needs.
+///
+/// Counts come from a lazily-read (non-CRC-checked) section, so
+/// capacities are clamped to what the remaining section bytes could
+/// plausibly hold — a corrupt count yields a typed error from the
+/// per-item reads, never an oversized allocation.
+fn decode_row_dewey(cursor: &mut SectionCursor<'_>) -> Result<Vec<u32>, PersistError> {
+    let ncomp = cursor.read_varint()? as usize;
+    let mut components = Vec::with_capacity(ncomp.min(cursor.plausible_items()));
+    for _ in 0..ncomp {
+        let c = cursor.read_varint()?;
+        components.push(u32::try_from(c).map_err(|_| PersistError::Corrupt {
+            what: "Dewey component overflows u32".to_owned(),
+        })?);
+    }
+    Ok(components)
+}
+
+/// Decodes the remainder of an element row once the Dewey matched.
+fn decode_row_rest(
+    mut cursor: SectionCursor<'_>,
+    components: Vec<u32>,
+) -> Result<ElementRecord, PersistError> {
+    let label = cursor.read_u32()?;
+    let level = cursor.read_u32()?;
+    let path_len = cursor.read_varint()? as usize;
+    let mut label_path = Vec::with_capacity(path_len.min(cursor.plausible_items()));
+    for _ in 0..path_len {
+        label_path.push(cursor.read_u32()?);
+    }
+    let subtree_cid = cursor.read_cid()?;
+    let own_cid = cursor.read_cid()?;
+    Ok(ElementRecord {
+        dewey: Dewey::from_components(components),
+        label,
+        level,
+        label_path,
+        subtree_cid,
+        own_cid,
+    })
+}
+
+fn read_exact_at(file: &mut File, offset: u64, len: usize) -> Result<Vec<u8>, PersistError> {
+    use std::io::{Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    let mut bytes = vec![0u8; len];
+    file.read_exact(&mut bytes)?;
+    Ok(bytes)
+}
+
+fn decode_labels(bytes: &[u8], expected: u64) -> Result<Vec<String>, PersistError> {
+    let mut pos = 0;
+    let count = get_varint(bytes, &mut pos)?;
+    if count != expected {
+        return Err(PersistError::Corrupt {
+            what: format!("label section holds {count} labels, header says {expected}"),
+        });
+    }
+    let plausible = bytes.len().saturating_sub(pos) + 1;
+    let mut labels = Vec::with_capacity((count as usize).min(plausible));
+    for _ in 0..count {
+        labels.push(crate::codec::get_str(bytes, &mut pos)?);
+    }
+    Ok(labels)
+}
+
+impl CorpusSource for IndexReader {
+    /// # Panics
+    /// Panics on I/O errors or index corruption detected *after* a
+    /// successful [`IndexReader::open`] (the trait is infallible; use
+    /// [`IndexReader::try_keyword_deweys`] for a `Result`).
+    fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+        self.try_keyword_deweys(keyword)
+            .unwrap_or_else(|e| panic!("xks-persist: keyword lookup failed: {e}"))
+    }
+
+    fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+        self.try_element(dewey)
+            .unwrap_or_else(|e| panic!("xks-persist: element lookup failed: {e}"))
+            .map(|record| SourceElement {
+                label: record.label,
+                level: record.level,
+                keyword_cid: record.own_cid,
+                subtree_cid: record.subtree_cid,
+            })
+    }
+
+    fn label_name(&self, label: u32) -> Option<String> {
+        self.label(label).map(str::to_owned)
+    }
+
+    fn node_count(&self) -> usize {
+        self.header.element_count as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::IndexWriter;
+    use xks_store::shred;
+    use xks_xmltree::fixtures::{publications, team};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xks-persist-reader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn open_publications(name: &str) -> (IndexReader, PathBuf) {
+        let path = temp_path(name);
+        IndexWriter::new()
+            .write_tree(&publications(), &path)
+            .unwrap();
+        (IndexReader::open(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn open_reads_only_header_and_labels() {
+        let (reader, path) = open_publications("lazy-open.xks");
+        let stats = reader.stats();
+        assert_eq!(stats.pool.pages_read, 0, "no pool pages at open");
+        assert!(stats.label_count > 5);
+        assert_eq!(reader.label(0).unwrap(), "Publications");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn keyword_lookup_matches_store() {
+        let (reader, path) = open_publications("kw.xks");
+        let doc = shred(&publications());
+        for kw in ["liu", "keyword", "xml", "title", "skyline"] {
+            let got: Vec<String> = reader
+                .try_keyword_deweys(kw)
+                .unwrap()
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            let want: Vec<String> = doc
+                .keyword_deweys(kw)
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            assert_eq!(got, want, "{kw}");
+        }
+        assert!(reader.try_keyword_deweys("unobtainium").unwrap().is_empty());
+        assert!(reader.stats().pool.pages_read > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn element_lookup_matches_store() {
+        let (reader, path) = open_publications("elem.xks");
+        let doc = shred(&publications());
+        for row in &doc.elements {
+            let dewey: Dewey = row.dewey.parse().unwrap();
+            let record = reader.try_element(&dewey).unwrap().expect("present");
+            assert_eq!(record.label, row.label);
+            assert_eq!(record.level, row.level);
+            assert_eq!(record.label_path, row.label_path);
+            assert_eq!(record.subtree_cid, row.content_feature);
+        }
+        assert!(reader
+            .try_element(&"0.9.9".parse().unwrap())
+            .unwrap()
+            .is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corpus_source_impl_serves_engine_facts() {
+        let (reader, path) = open_publications("source.xks");
+        let title = CorpusSource::element(&reader, &"0.2.0.1".parse().unwrap()).unwrap();
+        assert_eq!(reader.label_name(title.label).as_deref(), Some("title"));
+        assert_eq!(title.keyword_cid, Some(("keyword".into(), "xml".into())));
+        assert_eq!(reader.node_count() as u64, reader.element_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_passes_on_clean_file() {
+        let path = temp_path("verify.xks");
+        IndexWriter::new().write_tree(&team(), &path).unwrap();
+        let reader = IndexReader::open(&path).unwrap();
+        reader.verify().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn small_pool_still_answers_with_evictions() {
+        let path = temp_path("small-pool.xks");
+        IndexWriter::with_page_size(512)
+            .unwrap()
+            .write_tree(&publications(), &path)
+            .unwrap();
+        let reader = IndexReader::open_with(&path, ReaderOptions { pool_pages: 1 }).unwrap();
+        let doc = shred(&publications());
+        for kw in ["liu", "keyword", "xml", "liu"] {
+            let got = reader.try_keyword_deweys(kw).unwrap();
+            assert_eq!(got, doc.keyword_deweys(kw), "{kw}");
+        }
+        // Capacity is clamped to 8 pages; with 512-byte pages the three
+        // distinct lookups still force traffic through the tiny pool.
+        assert!(reader.stats().pool.pages_read > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

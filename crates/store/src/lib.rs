@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod json;
 pub mod shred;
 pub mod snapshot;
 pub mod tables;

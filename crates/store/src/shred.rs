@@ -18,9 +18,8 @@ use crate::tables::{ElementRow, ShreddedDoc, ValueRow, WordSource};
 /// Shreds a document into the three tables.
 #[must_use]
 pub fn shred(tree: &XmlTree) -> ShreddedDoc {
-    let mut doc = ShreddedDoc::with_labels(
-        tree.labels().iter().map(|(_, n)| n.to_owned()).collect(),
-    );
+    let mut doc =
+        ShreddedDoc::with_labels(tree.labels().iter().map(|(_, n)| n.to_owned()).collect());
 
     // Subtree content features, computed bottom-up in one pass over the
     // arena (children always have larger NodeId than their parent in our
@@ -58,9 +57,7 @@ pub fn shred(tree: &XmlTree) -> ShreddedDoc {
             }
         }
         for attr in &node.attributes {
-            for word in
-                tokenize_filtered(&attr.name).chain(tokenize_filtered(&attr.value))
-            {
+            for word in tokenize_filtered(&attr.name).chain(tokenize_filtered(&attr.value)) {
                 doc.values.push(ValueRow {
                     label: node.label.as_u32(),
                     dewey: dewey.clone(),
@@ -146,14 +143,17 @@ mod tests {
             .iter()
             .find(|r| r.dewey == "0.2.0.0.0.0")
             .unwrap();
-        let names: Vec<&str> = row
-            .label_path
-            .iter()
-            .map(|&l| doc.label_name(l))
-            .collect();
+        let names: Vec<&str> = row.label_path.iter().map(|&l| doc.label_name(l)).collect();
         assert_eq!(
             names,
-            ["Publications", "Articles", "article", "authors", "author", "name"]
+            [
+                "Publications",
+                "Articles",
+                "article",
+                "authors",
+                "author",
+                "name"
+            ]
         );
         assert_eq!(row.level, 5);
     }

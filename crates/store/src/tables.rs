@@ -2,7 +2,6 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
 use xks_xmltree::Dewey;
 
 /// Where a `value`-table word occurrence came from.
@@ -10,7 +9,7 @@ use xks_xmltree::Dewey;
 /// The paper's `value` table has an `attribute` column distinguishing
 /// attribute words; we additionally distinguish label words, because the
 /// content definition `Cv` counts the node's label as matchable content.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WordSource {
     /// The word occurs in the element's label.
     Label,
@@ -21,7 +20,7 @@ pub enum WordSource {
 }
 
 /// One row of the `element` table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElementRow {
     /// Label id of the node (into the label table).
     pub label: u32,
@@ -39,7 +38,7 @@ pub struct ElementRow {
 
 /// One row of the `value` table: one interesting word occurring at one
 /// node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueRow {
     /// Label id of the node.
     pub label: u32,
@@ -52,7 +51,7 @@ pub struct ValueRow {
 }
 
 /// A shredded document: the paper's three tables plus derived indexes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ShreddedDoc {
     /// `label` table: index = id, value = label string.
     pub labels: Vec<String>,
@@ -60,13 +59,11 @@ pub struct ShreddedDoc {
     pub elements: Vec<ElementRow>,
     /// `value` table rows.
     pub values: Vec<ValueRow>,
-    /// Derived: keyword → sorted, deduplicated Dewey strings. Rebuilt on
-    /// load; serialized for simplicity since snapshots are a test/dev
-    /// convenience, not a production format.
-    #[serde(default)]
+    /// Derived: keyword → sorted, deduplicated Dewey strings. Rebuilt
+    /// from the `value` table on load (snapshots store only the three
+    /// tables).
     keyword_index: BTreeMap<String, Vec<String>>,
     /// Derived: dewey string → row offset in `elements`.
-    #[serde(skip)]
     element_offsets: HashMap<String, usize>,
 }
 
@@ -76,6 +73,23 @@ impl ShreddedDoc {
     pub fn with_labels(labels: Vec<String>) -> Self {
         ShreddedDoc {
             labels,
+            ..Default::default()
+        }
+    }
+
+    /// Assembles a document from raw table rows (derived lookups are
+    /// empty until [`ShreddedDoc::rebuild_indexes`] runs). Used by the
+    /// snapshot loader.
+    #[must_use]
+    pub fn from_tables(
+        labels: Vec<String>,
+        elements: Vec<ElementRow>,
+        values: Vec<ValueRow>,
+    ) -> Self {
+        ShreddedDoc {
+            labels,
+            elements,
+            values,
             ..Default::default()
         }
     }

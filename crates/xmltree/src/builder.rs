@@ -64,9 +64,7 @@ impl TreeBuilder {
                 value: (*v).to_owned(),
             })
             .collect();
-        let id = self
-            .tree
-            .push_node(label, Some(parent), None, attributes);
+        let id = self.tree.push_node(label, Some(parent), None, attributes);
         self.stack.push(id);
         id
     }

@@ -71,7 +71,10 @@ mod tests {
 
     fn tree() -> XmlTree {
         let mut b = TreeBuilder::new("article");
-        b.leaf("title", "Efficient Skyline Querying with Variable User Preferences");
+        b.leaf(
+            "title",
+            "Efficient Skyline Querying with Variable User Preferences",
+        );
         b.open_with_attrs("ref", &[("type", "journal")]);
         b.text("XML keyword search");
         b.close();

@@ -298,10 +298,7 @@ mod tests {
             .collect();
         for dcode in &all {
             assert!(
-                [
-                    "0.0", "0.2.0.1", "0.2.0.2", "0.2.0.3.0", "0.2.1.1"
-                ]
-                .contains(&dcode.as_str()),
+                ["0.0", "0.2.0.1", "0.2.0.2", "0.2.0.3.0", "0.2.1.1"].contains(&dcode.as_str()),
                 "unexpected keyword node {dcode}"
             );
         }

@@ -80,9 +80,7 @@ impl<'a> Parser<'a> {
     fn error_at(&self, offset: usize, kind: ParseErrorKind) -> ParseError {
         let prefix = &self.input[..offset.min(self.input.len())];
         let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
-        let column = prefix
-            .rfind('\n')
-            .map_or(offset + 1, |nl| offset - nl);
+        let column = prefix.rfind('\n').map_or(offset + 1, |nl| offset - nl);
         ParseError {
             kind,
             offset,
@@ -117,10 +115,9 @@ impl<'a> Parser<'a> {
             Ok(())
         } else {
             match self.input[self.pos..].chars().next() {
-                Some(found) => Err(self.error(ParseErrorKind::UnexpectedChar {
-                    expected: s,
-                    found,
-                })),
+                Some(found) => {
+                    Err(self.error(ParseErrorKind::UnexpectedChar { expected: s, found }))
+                }
                 None => Err(self.error(ParseErrorKind::UnexpectedEof(s))),
             }
         }
@@ -199,9 +196,7 @@ impl<'a> Parser<'a> {
                             break;
                         }
                         Some(_) => self.pos += 1,
-                        None => {
-                            return Err(self.error(ParseErrorKind::UnexpectedEof("DOCTYPE")))
-                        }
+                        None => return Err(self.error(ParseErrorKind::UnexpectedEof("DOCTYPE"))),
                     }
                 }
             } else {
@@ -255,7 +250,11 @@ impl<'a> Parser<'a> {
                 let start = self.pos;
                 self.skip_until("]]>", "CDATA section")?;
                 let literal = &self.input[start..self.pos - 3];
-                stack.last_mut().expect("non-empty stack").2.push_str(literal);
+                stack
+                    .last_mut()
+                    .expect("non-empty stack")
+                    .2
+                    .push_str(literal);
             } else if self.starts_with("<?") {
                 self.bump(2);
                 self.skip_until("?>", "processing instruction")?;
@@ -271,7 +270,11 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 let decoded = self.decode_entities(&self.input[start..self.pos], start)?;
-                stack.last_mut().expect("non-empty stack").2.push_str(&decoded);
+                stack
+                    .last_mut()
+                    .expect("non-empty stack")
+                    .2
+                    .push_str(&decoded);
             }
         }
         Ok(root)
@@ -352,9 +355,7 @@ impl<'a> Parser<'a> {
                         found,
                     }));
                 }
-                None => {
-                    return Err(self.error(ParseErrorKind::UnexpectedEof("attribute value")))
-                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof("attribute value"))),
             };
             self.bump(1);
             let start = self.pos;
@@ -406,15 +407,12 @@ impl<'a> Parser<'a> {
                     } else {
                         code.parse::<u32>()
                     };
-                    value
-                        .ok()
-                        .and_then(char::from_u32)
-                        .ok_or_else(|| {
-                            self.error_at(
-                                base_offset + consumed + amp,
-                                ParseErrorKind::BadCharReference(code.to_owned()),
-                            )
-                        })?
+                    value.ok().and_then(char::from_u32).ok_or_else(|| {
+                        self.error_at(
+                            base_offset + consumed + amp,
+                            ParseErrorKind::BadCharReference(code.to_owned()),
+                        )
+                    })?
                 }
                 _ => {
                     return Err(self.error_at(
@@ -549,7 +547,10 @@ mod tests {
     #[test]
     fn mismatched_close_tag_rejected() {
         let err = parse("<a><b></a></b>").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::MismatchedCloseTag { .. }));
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::MismatchedCloseTag { .. }
+        ));
     }
 
     #[test]
@@ -592,8 +593,9 @@ mod tests {
 
     #[test]
     fn namespaceish_names_accepted() {
-        let t = parse("<dblp:article xmlns:dblp=\"urn:x\"><dblp:title>t</dblp:title></dblp:article>")
-            .unwrap();
+        let t =
+            parse("<dblp:article xmlns:dblp=\"urn:x\"><dblp:title>t</dblp:title></dblp:article>")
+                .unwrap();
         assert_eq!(t.label_name(t.root()), "dblp:article");
     }
 

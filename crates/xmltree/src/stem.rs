@@ -44,7 +44,10 @@ pub fn light_stem(word: &str) -> String {
     }
     if let Some(stem) = w.strip_suffix("es") {
         // "searches" → "search", "boxes" → "box".
-        if stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('x') || stem.ends_with('s')
+        if stem.ends_with("ch")
+            || stem.ends_with("sh")
+            || stem.ends_with('x')
+            || stem.ends_with('s')
         {
             return stem.to_owned();
         }

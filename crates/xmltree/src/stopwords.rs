@@ -11,18 +11,17 @@ use std::sync::OnceLock;
 /// The stop-word list (lowercase).
 pub const STOP_WORDS: &[&str] = &[
     // Lucene ENGLISH_STOP_WORDS_SET
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
-    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
-    "these", "they", "this", "to", "was", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
     // common extras from the syger list used by the paper
-    "about", "after", "all", "also", "am", "any", "because", "been", "before", "being",
-    "between", "both", "can", "could", "did", "do", "does", "doing", "down", "during",
-    "each", "few", "from", "further", "had", "has", "have", "having", "he", "her", "here",
-    "hers", "him", "his", "how", "i", "its", "just", "me", "more", "most", "my", "nor",
-    "now", "off", "once", "only", "other", "our", "ours", "out", "over", "own", "same",
-    "she", "should", "so", "some", "than", "them", "through", "too", "under", "until",
-    "up", "very", "we", "were", "what", "when", "where", "which", "while", "who", "whom",
-    "why", "would", "you", "your", "yours",
+    "about", "after", "all", "also", "am", "any", "because", "been", "before", "being", "between",
+    "both", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "its", "just", "me", "more", "most", "my", "nor", "now", "off", "once", "only", "other",
+    "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some", "than", "them",
+    "through", "too", "under", "until", "up", "very", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "would", "you", "your", "yours",
 ];
 
 fn stop_set() -> &'static HashSet<&'static str> {

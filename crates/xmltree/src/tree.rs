@@ -220,12 +220,7 @@ impl XmlTree {
     /// its id. This is the data-insertion primitive the axiomatic
     /// data-monotonicity / data-consistency properties are stated over
     /// (Liu & Chen §1): appending keeps every existing Dewey code valid.
-    pub fn insert_subtree(
-        &mut self,
-        parent: NodeId,
-        label: &str,
-        text: Option<&str>,
-    ) -> NodeId {
+    pub fn insert_subtree(&mut self, parent: NodeId, label: &str, text: Option<&str>) -> NodeId {
         let label = self.intern_label(label);
         self.push_node(label, Some(parent), text.map(str::to_owned), Vec::new())
     }

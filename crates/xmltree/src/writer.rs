@@ -147,6 +147,9 @@ mod tests {
     #[test]
     fn escaping() {
         assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
-        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+        assert_eq!(
+            escape_attr(r#"say "hi" & <go>"#),
+            "say &quot;hi&quot; &amp; &lt;go>"
+        );
     }
 }

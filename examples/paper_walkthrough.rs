@@ -34,28 +34,75 @@ fn main() {
     println!("=== The Figure 1(b) team segment ===");
     println!("{}", club.tree());
 
-    println!("=== Example 1: SLCA vs LCA (Q2 = {:?}) ===", PAPER_QUERIES[1]);
+    println!(
+        "=== Example 1: SLCA vs LCA (Q2 = {:?}) ===",
+        PAPER_QUERIES[1]
+    );
     let q2 = q(PAPER_QUERIES[1]);
-    show(&pubs, &q2, AlgorithmKind::MaxMatchSlca, "SLCA only — Figure 2(a)");
-    show(&pubs, &q2, AlgorithmKind::ValidRtf, "all interesting LCAs — Figures 2(a)+2(b)");
+    show(
+        &pubs,
+        &q2,
+        AlgorithmKind::MaxMatchSlca,
+        "SLCA only — Figure 2(a)",
+    );
+    show(
+        &pubs,
+        &q2,
+        AlgorithmKind::ValidRtf,
+        "all interesting LCAs — Figures 2(a)+2(b)",
+    );
 
     println!("=== Example 1 cont.: Q3 = {:?} ===", PAPER_QUERIES[2]);
     let q3 = q(PAPER_QUERIES[2]);
-    show(&pubs, &q3, AlgorithmKind::ValidRtf, "meaningful RTF — Figure 2(d)");
+    show(
+        &pubs,
+        &q3,
+        AlgorithmKind::ValidRtf,
+        "meaningful RTF — Figure 2(d)",
+    );
 
-    println!("=== Example 2: false positive problem (Q1 = {:?}) ===", PAPER_QUERIES[0]);
+    println!(
+        "=== Example 2: false positive problem (Q1 = {:?}) ===",
+        PAPER_QUERIES[0]
+    );
     let q1 = q(PAPER_QUERIES[0]);
-    show(&pubs, &q1, AlgorithmKind::MaxMatchRtf, "MaxMatch drops the title — Figure 3(c)");
-    show(&pubs, &q1, AlgorithmKind::ValidRtf, "ValidRTF keeps it — Figure 3(b)");
+    show(
+        &pubs,
+        &q1,
+        AlgorithmKind::MaxMatchRtf,
+        "MaxMatch drops the title — Figure 3(c)",
+    );
+    show(
+        &pubs,
+        &q1,
+        AlgorithmKind::ValidRtf,
+        "ValidRTF keeps it — Figure 3(b)",
+    );
 
-    println!("=== Example 2: redundancy problem (Q4 = {:?}) ===", PAPER_QUERIES[3]);
+    println!(
+        "=== Example 2: redundancy problem (Q4 = {:?}) ===",
+        PAPER_QUERIES[3]
+    );
     let q4 = q(PAPER_QUERIES[3]);
-    show(&club, &q4, AlgorithmKind::MaxMatchRtf, "MaxMatch keeps both forwards — Figure 3(d)");
+    show(
+        &club,
+        &q4,
+        AlgorithmKind::MaxMatchRtf,
+        "MaxMatch keeps both forwards — Figure 3(d)",
+    );
     show(&club, &q4, AlgorithmKind::ValidRtf, "ValidRTF deduplicates");
 
-    println!("=== Example 2: positive example (Q5 = {:?}) ===", PAPER_QUERIES[4]);
+    println!(
+        "=== Example 2: positive example (Q5 = {:?}) ===",
+        PAPER_QUERIES[4]
+    );
     let q5 = q(PAPER_QUERIES[4]);
-    show(&club, &q5, AlgorithmKind::ValidRtf, "only Gassol survives — Figure 3(a)");
+    show(
+        &club,
+        &q5,
+        AlgorithmKind::ValidRtf,
+        "only Gassol survives — Figure 3(a)",
+    );
 
     println!("=== Figure 4(c): the node data structure for Q3 ===");
     let raw = {

@@ -43,8 +43,7 @@ fn main() {
 
     // Stemmed matching: normalize both sides with the same stemmer.
     let stemmed = InvertedIndex::build_with(&tree, light_stem);
-    let q_stemmed =
-        Query::from_words(["query", "xml"].iter().map(|w| light_stem(w))).unwrap();
+    let q_stemmed = Query::from_words(["query", "xml"].iter().map(|w| light_stem(w))).unwrap();
     println!(
         "stemmed matching: 'query' postings = {}",
         stemmed.postings("query").len()
@@ -57,7 +56,11 @@ fn main() {
         .map(|r| prune(&Fragment::construct(&tree, r), Policy::ValidContributor))
         .collect();
 
-    println!("\n{} meaningful fragment(s) for {:?}:", fragments.len(), q_stemmed.to_string());
+    println!(
+        "\n{} meaningful fragment(s) for {:?}:",
+        fragments.len(),
+        q_stemmed.to_string()
+    );
     for frag in &fragments {
         println!("# anchor {}", frag.anchor);
         print!("{}", frag.render(&tree));

@@ -11,6 +11,8 @@
 //! * [`lca`] — SLCA and ELCA algorithms;
 //! * [`core`] — RTFs, valid contributor, ValidRTF & MaxMatch, metrics,
 //!   axioms (crate `validrtf`);
+//! * [`persist`] — the paged binary on-disk index (`.xks` files,
+//!   buffer-pool reads);
 //! * [`datagen`] — DBLP-alike / XMark-alike corpora and workloads.
 
 #![deny(missing_docs)]
@@ -19,5 +21,6 @@ pub use validrtf as core;
 pub use xks_datagen as datagen;
 pub use xks_index as index;
 pub use xks_lca as lca;
+pub use xks_persist as persist;
 pub use xks_store as store;
 pub use xks_xmltree as xmltree;

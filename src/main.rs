@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! xks search <file.xml> "<keywords>" [--algo valid|maxmatch|slca] [--limit N] [--xml]
+//! xks search --index <file.xks> "<keywords>" [--algo ...] [--limit N]
 //! xks compare <file.xml> "<keywords>"
 //! xks stats <file.xml> [--top N]
 //! xks shred <file.xml> <out.json>
+//! xks build-index <file.xml> <out.xks> [--page-size N]
+//! xks index-stats <file.xks>
 //! ```
 
 use std::path::Path;
@@ -12,6 +15,7 @@ use std::process::ExitCode;
 
 use xks::core::engine::{AlgorithmKind, SearchEngine};
 use xks::index::Query;
+use xks::persist::{IndexReader, IndexWriter};
 use xks::xmltree::XmlTree;
 
 fn main() -> ExitCode {
@@ -25,6 +29,8 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "shred" => cmd_shred(&args[1..]),
+        "build-index" => cmd_build_index(&args[1..]),
+        "index-stats" => cmd_index_stats(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -42,9 +48,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   xks search  <file.xml> \"<keywords>\" [--algo valid|maxmatch|slca] [--limit N] [--xml] [--rank]
+  xks search  --index <file.xks> \"<keywords>\" [--algo valid|maxmatch|slca] [--limit N] [--rank]
   xks compare <file.xml> \"<keywords>\"
   xks stats   <file.xml> [--top N]
-  xks shred   <file.xml> <out.json>";
+  xks shred   <file.xml> <out.json>
+  xks build-index <file.xml> <out.xks> [--page-size N]
+  xks index-stats <file.xks>";
 
 fn load_tree(path: &str) -> Result<XmlTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -57,9 +66,6 @@ fn parse_query(text: &str) -> Result<Query, String> {
 
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
-    let [file, keywords] = positional.as_slice() else {
-        return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
-    };
     let algo = match flags.get_str("algo").unwrap_or("valid") {
         "valid" => AlgorithmKind::ValidRtf,
         "maxmatch" => AlgorithmKind::MaxMatchRtf,
@@ -70,13 +76,41 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let as_xml = flags.has("xml");
     let ranked = flags.has("rank");
 
-    let tree = load_tree(file)?;
-    let engine = SearchEngine::new(tree);
+    let (engine, keywords) = match flags.get_str("index") {
+        Some(index_file) => {
+            let [keywords] = positional.as_slice() else {
+                return Err(format!("search --index needs <keywords>\n{USAGE}"));
+            };
+            if as_xml {
+                return Err(
+                    "--xml needs the original document; shredded indexes keep only \
+                     keywords (drop --xml or search the .xml file)"
+                        .to_owned(),
+                );
+            }
+            let reader = IndexReader::open(Path::new(index_file))
+                .map_err(|e| format!("cannot open index {index_file}: {e}"))?;
+            (SearchEngine::from_source(reader), keywords)
+        }
+        None => {
+            let [file, keywords] = positional.as_slice() else {
+                return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
+            };
+            (SearchEngine::new(load_tree(file)?), keywords)
+        }
+    };
     let query = parse_query(keywords)?;
     let mut out = engine.search(&query, algo);
     if ranked {
-        let order = xks::core::rank(&out.fragments, query.len(), &xks::core::RankWeights::default());
-        out.fragments = order.iter().map(|r| out.fragments[r.index].clone()).collect();
+        let order = xks::core::rank(
+            &out.fragments,
+            query.len(),
+            &xks::core::RankWeights::default(),
+        );
+        out.fragments = order
+            .iter()
+            .map(|r| out.fragments[r.index].clone())
+            .collect();
     }
 
     eprintln!(
@@ -87,10 +121,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     );
     for frag in out.fragments.iter().take(limit) {
         println!("# anchor {}", frag.anchor);
-        if as_xml {
-            println!("{}", frag.to_xml(engine.tree()));
-        } else {
-            print!("{}", frag.render(engine.tree()));
+        match engine.corpus() {
+            Some(source) => print!("{}", frag.render_source(source)),
+            None if as_xml => println!("{}", frag.to_xml(engine.tree())),
+            None => print!("{}", frag.render(engine.tree())),
         }
     }
     if out.fragments.len() > limit {
@@ -155,6 +189,60 @@ fn cmd_shred(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_build_index(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let [file, out] = positional.as_slice() else {
+        return Err(format!(
+            "build-index needs <file.xml> and <out.xks>\n{USAGE}"
+        ));
+    };
+    let writer = match flags.get_usize("page-size")? {
+        None => IndexWriter::new(),
+        Some(size) => {
+            let size = u32::try_from(size).map_err(|_| "--page-size too large".to_owned())?;
+            IndexWriter::with_page_size(size).map_err(|e| e.to_string())?
+        }
+    };
+    let tree = load_tree(file)?;
+    let summary = writer
+        .write_tree(&tree, Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "indexed {} elements / {} keywords ({} postings bytes) -> {out} \
+         ({} bytes, {}-byte pages)",
+        summary.element_count,
+        summary.keyword_count,
+        summary.postings_len,
+        summary.file_len,
+        summary.page_size
+    );
+    Ok(())
+}
+
+fn cmd_index_stats(args: &[String]) -> Result<(), String> {
+    let (positional, _) = split_flags(args)?;
+    let [file] = positional.as_slice() else {
+        return Err(format!("index-stats needs <file.xks>\n{USAGE}"));
+    };
+    let reader =
+        IndexReader::open(Path::new(file)).map_err(|e| format!("cannot open index {file}: {e}"))?;
+    reader
+        .verify()
+        .map_err(|e| format!("index {file} fails verification: {e}"))?;
+    let stats = reader.stats();
+    println!("file length    : {} bytes", stats.file_len);
+    println!("page size      : {}", stats.page_size);
+    println!("elements       : {}", stats.element_count);
+    println!("keywords       : {}", stats.keyword_count);
+    println!("labels         : {}", stats.label_count);
+    println!(
+        "postings       : {} bytes ({} pages)",
+        stats.postings_len, stats.postings_pages
+    );
+    println!("checksums      : ok");
+    Ok(())
+}
+
 // -- tiny flag parser ---------------------------------------------------
 
 struct Flags(Vec<(String, Option<String>)>);
@@ -181,9 +269,9 @@ impl Flags {
 }
 
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
-/// values: `algo`, `limit`, `top`.
+/// values: `algo`, `limit`, `top`, `index`, `page-size`.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 3] = ["algo", "limit", "top"];
+    const VALUED: [&str; 5] = ["algo", "limit", "top", "index", "page-size"];
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();

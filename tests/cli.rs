@@ -30,7 +30,11 @@ fn search_demonstrates_deduplication() {
         .args(["grizzlies position", "--xml"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // The duplicate forward player is pruned: exactly two positions.
     assert_eq!(stdout.matches("<position>").count(), 2, "{stdout}");
@@ -88,7 +92,11 @@ fn shred_writes_snapshot() {
 
 #[test]
 fn bad_usage_fails_cleanly() {
-    for args in [vec![], vec!["searchx"], vec!["search", "/missing.xml", "kw"]] {
+    for args in [
+        vec![],
+        vec!["searchx"],
+        vec!["search", "/missing.xml", "kw"],
+    ] {
         let out = xks().args(&args).output().unwrap();
         assert!(!out.status.success(), "args {args:?} should fail");
         assert!(!out.stderr.is_empty());

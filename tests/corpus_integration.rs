@@ -11,7 +11,10 @@ fn dblp_engine() -> SearchEngine {
 }
 
 fn xmark_engine(size: XmarkSize) -> SearchEngine {
-    SearchEngine::new(generate_xmark(&XmarkConfig::sized(size, 40, 42)))
+    // 80 base items keeps the workload's pruning profile stable across
+    // RNG streams (at 40 the rare-keyword plantings are so sparse that
+    // the pruning counts below become seed-sensitive).
+    SearchEngine::new(generate_xmark(&XmarkConfig::sized(size, 80, 42)))
 }
 
 #[test]
@@ -30,7 +33,10 @@ fn dblp_workload_runs_end_to_end() {
     }
     // At test scale some rare-keyword queries may be empty, but the bulk
     // must produce results.
-    assert!(nonempty >= dblp_workload().len() / 2, "only {nonempty} non-empty");
+    assert!(
+        nonempty >= dblp_workload().len() / 2,
+        "only {nonempty} non-empty"
+    );
 }
 
 #[test]
@@ -48,8 +54,7 @@ fn dblp_fragments_cover_their_queries() {
                         .tree()
                         .node_by_dewey(&n.dewey)
                         .map(|id| {
-                            xks::xmltree::content::node_content(engine.tree(), id)
-                                .contains(kw)
+                            xks::xmltree::content::node_content(engine.tree(), id).contains(kw)
                         })
                         .unwrap_or(false)
                 });
@@ -73,7 +78,10 @@ fn xmark_standard_workload_runs() {
     }
     // The paper's XMark profile: ValidRTF prunes beyond MaxMatch on most
     // queries (Figure 6(b): Max APR near 1, APR' > 0).
-    assert!(with_pruning >= xmark_workload().len() / 2, "only {with_pruning} pruned");
+    assert!(
+        with_pruning >= xmark_workload().len() / 2,
+        "only {with_pruning} pruned"
+    );
 }
 
 #[test]
@@ -120,11 +128,7 @@ fn store_shreds_generated_corpus_consistently() {
             .iter()
             .map(ToString::to_string)
             .collect();
-        let from_index: Vec<String> = index
-            .postings(kw)
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let from_index: Vec<String> = index.postings(kw).iter().map(ToString::to_string).collect();
         assert_eq!(from_store, from_index, "postings differ for {kw}");
     }
 }
@@ -142,10 +146,8 @@ fn snapshot_load_reindexes_identically() {
     let loaded = xks::store::snapshot::load(&path).unwrap();
     std::fs::remove_file(&path).unwrap();
 
-    let from_snapshot = xks::index::InvertedIndex::from_postings(
-        loaded.to_postings(),
-        loaded.element_count(),
-    );
+    let from_snapshot =
+        xks::index::InvertedIndex::from_postings(loaded.to_postings(), loaded.element_count());
     let direct = xks::index::InvertedIndex::build(&tree);
     assert_eq!(from_snapshot.vocabulary_size(), direct.vocabulary_size());
     for kw in ["data", "algorithm", "title", "author"] {
@@ -192,7 +194,10 @@ fn degenerate_documents_are_handled() {
     // Keyword split across root text and root label.
     let tree = xks::xmltree::parse("<note>keyword</note>").unwrap();
     let engine = SearchEngine::new(tree);
-    let out = engine.search(&Query::parse("note keyword").unwrap(), AlgorithmKind::ValidRtf);
+    let out = engine.search(
+        &Query::parse("note keyword").unwrap(),
+        AlgorithmKind::ValidRtf,
+    );
     assert_eq!(out.fragments.len(), 1);
 
     // Single keyword, many matches: every match is its own fragment.

@@ -7,12 +7,7 @@ use xks::datagen::random_tree::{random_document, word, RandomDocConfig};
 use xks::index::{InvertedIndex, Query};
 use xks::lca::elca_stack;
 
-fn fragment_pairs(
-    nodes: usize,
-    labels: usize,
-    seed: u64,
-    k: usize,
-) -> Vec<(Fragment, Fragment)> {
+fn fragment_pairs(nodes: usize, labels: usize, seed: u64, k: usize) -> Vec<(Fragment, Fragment)> {
     let tree = random_document(&RandomDocConfig {
         nodes,
         labels,

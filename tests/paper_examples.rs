@@ -41,7 +41,14 @@ fn example1_slca_vs_lca() {
     // Figure 2(b): article with authors-name, title, abstract paths.
     assert_eq!(
         frag_deweys(&valid.fragments[0]),
-        ["0.2.0", "0.2.0.0", "0.2.0.0.0", "0.2.0.0.0.0", "0.2.0.1", "0.2.0.2"]
+        [
+            "0.2.0",
+            "0.2.0.0",
+            "0.2.0.0.0",
+            "0.2.0.0.0.0",
+            "0.2.0.1",
+            "0.2.0.2"
+        ]
     );
     assert_eq!(frag_deweys(&valid.fragments[1]), ["0.2.0.3.0"]);
 }
@@ -62,7 +69,16 @@ fn example1_returning_only_lca_nodes_is_redundant() {
     // the conference title; the skyline article is gone.
     assert_eq!(
         result,
-        ["0", "0.0", "0.2", "0.2.0", "0.2.0.1", "0.2.0.2", "0.2.0.3", "0.2.0.3.0"]
+        [
+            "0",
+            "0.0",
+            "0.2",
+            "0.2.0",
+            "0.2.0.1",
+            "0.2.0.2",
+            "0.2.0.3",
+            "0.2.0.3.0"
+        ]
     );
     assert!(!result.contains(&"0.2.1.1".to_owned()));
 }
@@ -97,8 +113,14 @@ fn example2_false_positive_q1() {
     assert_eq!(
         frag_deweys(&valid.fragments[0]),
         [
-            "0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0", "0.2.1.0.1", "0.2.1.0.1.0",
-            "0.2.1.1", "0.2.1.2"
+            "0.2.1",
+            "0.2.1.0",
+            "0.2.1.0.0",
+            "0.2.1.0.0.0",
+            "0.2.1.0.1",
+            "0.2.1.0.1.0",
+            "0.2.1.1",
+            "0.2.1.2"
         ]
     );
 
@@ -107,7 +129,12 @@ fn example2_false_positive_q1() {
     assert_eq!(
         frag_deweys(&mm.fragments[0]),
         [
-            "0.2.1", "0.2.1.0", "0.2.1.0.0", "0.2.1.0.0.0", "0.2.1.0.1", "0.2.1.0.1.0",
+            "0.2.1",
+            "0.2.1.0",
+            "0.2.1.0.0",
+            "0.2.1.0.0.0",
+            "0.2.1.0.1",
+            "0.2.1.0.1.0",
             "0.2.1.2"
         ]
     );
@@ -180,9 +207,8 @@ fn examples6_7_running_example() {
 
     // Example 6: D1..D5.
     let sets = engine.index().resolve(&query).unwrap();
-    let as_strings = |i: usize| -> Vec<String> {
-        sets.set(i).iter().map(ToString::to_string).collect()
-    };
+    let as_strings =
+        |i: usize| -> Vec<String> { sets.set(i).iter().map(ToString::to_string).collect() };
     assert_eq!(as_strings(0), ["0.0"]); // vldb
     assert_eq!(as_strings(1), ["0.0", "0.2.0.1", "0.2.1.1"]); // title
     for i in 2..5 {

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use xks::datagen::random_tree::{random_document, RandomDocConfig};
-use xks::xmltree::writer::{to_xml, to_xml_compact};
 use xks::xmltree::parse;
+use xks::xmltree::writer::{to_xml, to_xml_compact};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
