@@ -19,12 +19,13 @@
 use std::time::{Duration, Instant};
 
 use xks_index::{InvertedIndex, KeywordNodeSets, Query};
-use xks_lca::{elca_stack, indexed_lookup_eager};
+use xks_lca::{elca_from_merged, indexed_lookup_eager_into, merge_postings_into};
 use xks_xmltree::XmlTree;
 
 use crate::fragment::Fragment;
-use crate::prune::{prune, Policy};
-use crate::rtf::{get_rtf, Rtf};
+use crate::prune::{prune, prune_owned, Policy};
+use crate::rtf::{get_rtf_from_merged, Rtf};
+use crate::scratch::QueryScratch;
 use crate::source::CorpusSource;
 
 /// Which anchor semantics stage 2 uses.
@@ -106,18 +107,61 @@ pub fn run_from_sets(
     sets: &KeywordNodeSets,
     anchors: AnchorSemantics,
     policy: Policy,
-    mut timings: StageTimings,
+    timings: StageTimings,
 ) -> RunOutput {
+    let mut scratch = QueryScratch::default();
+    run_from_sets_with_scratch(tree, sets, anchors, policy, timings, &mut scratch)
+}
+
+/// `getLCA` + `getRTF` with shared buffers: merge the posting stream
+/// **once** into the scratch, compute anchors from it, dispatch keyword
+/// nodes over it. Returns the RTFs; anchors stay in `scratch.anchors`.
+fn anchor_stages(
+    sets: &KeywordNodeSets,
+    anchors: AnchorSemantics,
+    timings: &mut StageTimings,
+    scratch: &mut QueryScratch,
+) -> Vec<Rtf> {
     let t = Instant::now();
-    let anchor_nodes = match anchors {
-        AnchorSemantics::AllLca => elca_stack(sets.sets()),
-        AnchorSemantics::SlcaOnly => indexed_lookup_eager(sets.sets()),
-    };
+    if sets.is_empty() || sets.sets().iter().any(Vec::is_empty) {
+        // No node can cover the query; keep the guard the wrappers in
+        // `xks-lca` used to apply.
+        scratch.merged.clear();
+        scratch.anchors.clear();
+    } else {
+        merge_postings_into(sets.sets(), &mut scratch.merged);
+        match anchors {
+            AnchorSemantics::AllLca => elca_from_merged(
+                &scratch.merged,
+                sets.len(),
+                &mut scratch.elca,
+                &mut scratch.anchors,
+            ),
+            AnchorSemantics::SlcaOnly => {
+                indexed_lookup_eager_into(sets.sets(), &mut scratch.anchors);
+            }
+        }
+    }
     timings.get_lca = t.elapsed();
 
     let t = Instant::now();
-    let rtfs = get_rtf(&anchor_nodes, sets);
+    let rtfs = get_rtf_from_merged(&scratch.anchors, &scratch.merged, sets);
     timings.get_rtf = t.elapsed();
+    rtfs
+}
+
+/// Like [`run_from_sets`] but reusing a caller-owned [`QueryScratch`] —
+/// the warm-engine entry point [`crate::engine::SearchEngine`] uses.
+#[must_use]
+pub fn run_from_sets_with_scratch(
+    tree: &XmlTree,
+    sets: &KeywordNodeSets,
+    anchors: AnchorSemantics,
+    policy: Policy,
+    mut timings: StageTimings,
+    scratch: &mut QueryScratch,
+) -> RunOutput {
+    let rtfs = anchor_stages(sets, anchors, &mut timings, scratch);
 
     let t = Instant::now();
     let raw: Vec<Fragment> = rtfs.iter().map(|r| Fragment::construct(tree, r)).collect();
@@ -155,6 +199,58 @@ pub fn run_source(
     ))
 }
 
+/// The engine's warm path over a parsed tree: like [`run`] but with a
+/// caller-owned [`QueryScratch`], and the raw fragments are
+/// **consumed** by the pruning step
+/// ([`prune_owned`]) instead of kept alongside, so no node payload is
+/// deep-cloned. Returns pruned fragments + timings only.
+pub(crate) fn run_query_tree(
+    tree: &XmlTree,
+    index: &InvertedIndex,
+    query: &Query,
+    anchors: AnchorSemantics,
+    policy: Policy,
+    scratch: &mut QueryScratch,
+) -> Option<(Vec<Fragment>, StageTimings)> {
+    let mut timings = StageTimings::default();
+    let t0 = Instant::now();
+    let sets = index.resolve(query)?;
+    timings.get_keyword_nodes = t0.elapsed();
+
+    let rtfs = anchor_stages(&sets, anchors, &mut timings, scratch);
+    let t = Instant::now();
+    let fragments: Vec<Fragment> = rtfs
+        .iter()
+        .map(|r| prune_owned(Fragment::construct(tree, r), policy))
+        .collect();
+    timings.prune_rtf = t.elapsed();
+    Some((fragments, timings))
+}
+
+/// The engine's warm path over a [`CorpusSource`] — see
+/// [`run_query_tree`].
+pub(crate) fn run_query_source(
+    source: &dyn CorpusSource,
+    query: &Query,
+    anchors: AnchorSemantics,
+    policy: Policy,
+    scratch: &mut QueryScratch,
+) -> Option<(Vec<Fragment>, StageTimings)> {
+    let mut timings = StageTimings::default();
+    let t0 = Instant::now();
+    let sets = source.resolve(query)?;
+    timings.get_keyword_nodes = t0.elapsed();
+
+    let rtfs = anchor_stages(&sets, anchors, &mut timings, scratch);
+    let t = Instant::now();
+    let fragments: Vec<Fragment> = rtfs
+        .iter()
+        .map(|r| prune_owned(Fragment::construct_from_source(source, r), policy))
+        .collect();
+    timings.prune_rtf = t.elapsed();
+    Some((fragments, timings))
+}
+
 /// Like [`run_from_sets`] but over a [`CorpusSource`].
 #[must_use]
 pub fn run_from_sets_source(
@@ -162,18 +258,24 @@ pub fn run_from_sets_source(
     sets: &KeywordNodeSets,
     anchors: AnchorSemantics,
     policy: Policy,
-    mut timings: StageTimings,
+    timings: StageTimings,
 ) -> RunOutput {
-    let t = Instant::now();
-    let anchor_nodes = match anchors {
-        AnchorSemantics::AllLca => elca_stack(sets.sets()),
-        AnchorSemantics::SlcaOnly => indexed_lookup_eager(sets.sets()),
-    };
-    timings.get_lca = t.elapsed();
+    let mut scratch = QueryScratch::default();
+    run_from_sets_source_with_scratch(source, sets, anchors, policy, timings, &mut scratch)
+}
 
-    let t = Instant::now();
-    let rtfs = get_rtf(&anchor_nodes, sets);
-    timings.get_rtf = t.elapsed();
+/// Like [`run_from_sets_source`] but reusing a caller-owned
+/// [`QueryScratch`].
+#[must_use]
+pub fn run_from_sets_source_with_scratch(
+    source: &dyn CorpusSource,
+    sets: &KeywordNodeSets,
+    anchors: AnchorSemantics,
+    policy: Policy,
+    mut timings: StageTimings,
+    scratch: &mut QueryScratch,
+) -> RunOutput {
+    let rtfs = anchor_stages(sets, anchors, &mut timings, scratch);
 
     let t = Instant::now();
     let raw: Vec<Fragment> = rtfs

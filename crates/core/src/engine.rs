@@ -2,15 +2,17 @@
 //! queries with either algorithm and producing the §5.1 comparison in
 //! one call.
 
+use std::cell::RefCell;
 use std::time::Duration;
 
 use xks_index::{InvertedIndex, Query};
 use xks_xmltree::XmlTree;
 
-use crate::algorithms::{run, run_source, AnchorSemantics, RunOutput, StageTimings};
+use crate::algorithms::{AnchorSemantics, StageTimings};
 use crate::fragment::Fragment;
 use crate::metrics::{effectiveness, Effectiveness};
 use crate::prune::Policy;
+use crate::scratch::QueryScratch;
 use crate::source::CorpusSource;
 
 /// Which end-to-end algorithm to run.
@@ -73,9 +75,14 @@ enum Backend {
 }
 
 /// Document + index, ready to answer keyword queries.
+///
+/// The engine owns a [`QueryScratch`] reused across queries (behind a
+/// `RefCell`, so `search` stays `&self`): a warm engine's anchor
+/// pipeline runs without heap allocation.
 #[derive(Debug)]
 pub struct SearchEngine {
     backend: Backend,
+    scratch: RefCell<QueryScratch>,
 }
 
 impl SearchEngine {
@@ -86,6 +93,7 @@ impl SearchEngine {
         let index = InvertedIndex::build(&tree);
         SearchEngine {
             backend: Backend::Tree { tree, index },
+            scratch: RefCell::new(QueryScratch::default()),
         }
     }
 
@@ -97,6 +105,7 @@ impl SearchEngine {
     pub fn from_source(source: impl CorpusSource + 'static) -> Self {
         SearchEngine {
             backend: Backend::Source(Box::new(source)),
+            scratch: RefCell::new(QueryScratch::default()),
         }
     }
 
@@ -143,16 +152,26 @@ impl SearchEngine {
     /// Runs one algorithm on one query.
     #[must_use]
     pub fn search(&self, query: &Query, kind: AlgorithmKind) -> SearchResult {
+        let scratch = &mut *self.scratch.borrow_mut();
         let output = match &self.backend {
-            Backend::Tree { tree, index } => run(tree, index, query, kind.anchor(), kind.policy()),
-            Backend::Source(source) => {
-                run_source(source.as_ref(), query, kind.anchor(), kind.policy())
-            }
+            Backend::Tree { tree, index } => crate::algorithms::run_query_tree(
+                tree,
+                index,
+                query,
+                kind.anchor(),
+                kind.policy(),
+                scratch,
+            ),
+            Backend::Source(source) => crate::algorithms::run_query_source(
+                source.as_ref(),
+                query,
+                kind.anchor(),
+                kind.policy(),
+                scratch,
+            ),
         };
         match output {
-            Some(RunOutput {
-                fragments, timings, ..
-            }) => SearchResult { fragments, timings },
+            Some((fragments, timings)) => SearchResult { fragments, timings },
             None => SearchResult {
                 fragments: Vec::new(),
                 timings: StageTimings::default(),

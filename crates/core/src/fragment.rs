@@ -14,8 +14,6 @@
 //! propagation; we implement the propagation directly per keyword node,
 //! which yields the same summaries.
 
-use std::collections::BTreeMap;
-
 use xks_xmltree::content::{content_feature, node_content};
 use xks_xmltree::{Dewey, LabelId, XmlTree};
 
@@ -46,13 +44,16 @@ pub struct FragNode {
     pub children: Vec<Dewey>,
 }
 
-/// A materialized RTF: anchor plus all path nodes, keyed by Dewey code
-/// (`BTreeMap` iteration = document order).
+/// A materialized RTF: anchor plus all path nodes, stored as one flat
+/// vector **sorted by Dewey code** (= document order). Lookups are
+/// binary searches; construction is a single stack pass over the
+/// document-ordered keyword nodes, so building a fragment performs one
+/// allocation for the vector instead of one tree node per entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fragment {
     /// The anchor LCA node.
     pub anchor: Dewey,
-    nodes: BTreeMap<Dewey, FragNode>,
+    nodes: Vec<FragNode>,
 }
 
 /// One per-label child group of a node — the §4.1 "label item".
@@ -81,6 +82,93 @@ impl LabelGroup<'_> {
     }
 }
 
+/// The single-pass constructor shared by both backends: walks the
+/// document-ordered keyword nodes with a stack mirroring the current
+/// root-path inside the anchor subtree, emitting nodes **pre-order**
+/// (= sorted by Dewey) and folding each popped child's keyword set and
+/// content feature into its parent. One visit per fragment node instead
+/// of one ancestor walk per keyword node, and no search tree.
+fn construct_stream(
+    anchor: &Dewey,
+    knodes: &[(Dewey, KeySet)],
+    mut label_of: impl FnMut(&Dewey) -> LabelId,
+    mut keyword_cid_of: impl FnMut(&Dewey) -> Cid,
+) -> Fragment {
+    let mut nodes: Vec<FragNode> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // indices into `nodes`, path order
+
+    let mut open = |nodes: &mut Vec<FragNode>, stack: &mut Vec<usize>, dewey: Dewey| {
+        let label = label_of(&dewey);
+        if let Some(&parent) = stack.last() {
+            nodes[parent].children.push(dewey.clone());
+        }
+        stack.push(nodes.len());
+        nodes.push(FragNode {
+            dewey,
+            label,
+            kset: KeySet::EMPTY,
+            cid: None,
+            is_keyword: false,
+            children: Vec::new(),
+        });
+    };
+    // Fold a popped child's summaries into its parent (§4.1's upward
+    // propagation, done once per node instead of once per keyword
+    // node × ancestor).
+    let pop = |nodes: &mut Vec<FragNode>, stack: &mut Vec<usize>| {
+        let child = stack.pop().expect("pop on non-empty stack");
+        if let Some(&parent) = stack.last() {
+            let (head, tail) = nodes.split_at_mut(child);
+            let (parent, child) = (&mut head[parent], &tail[0]);
+            parent.kset = parent.kset.union(child.kset);
+            parent.cid = merge_cid_ref(parent.cid.take(), child.cid.as_ref());
+        }
+    };
+
+    open(&mut nodes, &mut stack, anchor.clone());
+    for (kd, mask) in knodes {
+        debug_assert!(anchor.is_ancestor_or_self(kd), "knode outside anchor");
+        let comps = kd.components();
+        // Common prefix with the deepest open node bounds how far we
+        // pop; the anchor itself always stays open.
+        let deepest = &nodes[*stack.last().expect("anchor open")].dewey;
+        let common = deepest
+            .components()
+            .iter()
+            .zip(comps.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        while stack.len() > 1 && nodes[*stack.last().expect("non-empty")].dewey.len() > common {
+            pop(&mut nodes, &mut stack);
+        }
+        // Open the path down to the keyword node.
+        let mut open_len = nodes[*stack.last().expect("non-empty")].dewey.len();
+        while open_len < comps.len() {
+            open_len += 1;
+            open(
+                &mut nodes,
+                &mut stack,
+                Dewey::from_slice(&comps[..open_len]),
+            );
+        }
+        // Mark the keyword node itself.
+        let cid = keyword_cid_of(kd);
+        let top = &mut nodes[*stack.last().expect("non-empty")];
+        debug_assert_eq!(&top.dewey, kd);
+        top.is_keyword = true;
+        top.kset = top.kset.union(*mask);
+        top.cid = merge_cid_ref(top.cid.take(), cid.as_ref());
+    }
+    while !stack.is_empty() {
+        pop(&mut nodes, &mut stack);
+    }
+
+    Fragment {
+        anchor: anchor.clone(),
+        nodes,
+    }
+}
+
 impl Fragment {
     /// Builds the fragment for one RTF — the constructing step.
     ///
@@ -89,54 +177,15 @@ impl Fragment {
     /// [`crate::rtf::get_rtf`].
     #[must_use]
     pub fn construct(tree: &XmlTree, rtf: &Rtf) -> Self {
-        let mut nodes: BTreeMap<Dewey, FragNode> = BTreeMap::new();
-
-        // Ensure the anchor exists even in the degenerate single-node
-        // case.
-        ensure_node(tree, &mut nodes, &rtf.anchor);
-
-        for (kd, mask) in &rtf.knodes {
-            // Content feature of the keyword node itself.
-            let content = node_content(tree, tree_node(tree, kd));
-            let cid = content_feature(&content);
-
-            // Seed the keyword node…
-            {
-                let n = ensure_node(tree, &mut nodes, kd);
-                n.is_keyword = true;
-                n.kset = n.kset.union(*mask);
-                n.cid = merge_cid(n.cid.take(), cid.clone());
-            }
-            // …and propagate to every ancestor up to the anchor.
-            let ancestors: Vec<Dewey> = kd
-                .ancestors()
-                .take_while(|a| rtf.anchor.is_ancestor_or_self(a))
-                .collect();
-            for a in ancestors {
-                let n = ensure_node(tree, &mut nodes, &a);
-                n.kset = n.kset.union(*mask);
-                n.cid = merge_cid(n.cid.take(), cid.clone());
-            }
-        }
-
-        // Children links (document order is free from BTreeMap order).
-        let deweys: Vec<Dewey> = nodes.keys().cloned().collect();
-        for d in &deweys {
-            if d == &rtf.anchor {
-                continue;
-            }
-            let parent = d.parent().expect("non-anchor fragment node has parent");
-            nodes
-                .get_mut(&parent)
-                .expect("parent present by construction")
-                .children
-                .push(d.clone());
-        }
-
-        Fragment {
-            anchor: rtf.anchor.clone(),
-            nodes,
-        }
+        construct_stream(
+            &rtf.anchor,
+            &rtf.knodes,
+            |d| tree.node(tree_node(tree, d)).label,
+            |d| {
+                let content = node_content(tree, tree_node(tree, d));
+                content_feature(&content)
+            },
+        )
     }
 
     /// Builds the fragment for one RTF from a [`CorpusSource`] — the
@@ -145,87 +194,69 @@ impl Fragment {
     /// abstraction instead of the parsed tree. Used by the engine when
     /// it runs over shredded tables or an on-disk index.
     ///
+    /// Path nodes cost one [`CorpusSource::element_label`] each (no
+    /// content strings materialized); only keyword nodes fetch the full
+    /// element record for its own-content feature.
+    ///
     /// Panics if the RTF references a Dewey code the corpus does not
     /// contain (keyword nodes always come from the same corpus, so this
     /// indicates a corrupted index).
     #[must_use]
     pub fn construct_from_source<S: CorpusSource + ?Sized>(source: &S, rtf: &Rtf) -> Self {
-        let mut nodes: BTreeMap<Dewey, FragNode> = BTreeMap::new();
-
-        ensure_source_node(source, &mut nodes, &rtf.anchor);
-
-        for (kd, mask) in &rtf.knodes {
-            // One element fetch per keyword node: the record supplies
-            // both the cid and (when the node is new) the FragNode —
-            // a lookup is a paged binary search on disk backends.
-            let element = source_element(source, kd);
-            let cid = element.keyword_cid.clone();
-            {
-                let n = nodes
-                    .entry(kd.clone())
-                    .or_insert_with(|| frag_node_from(kd, &element));
-                n.is_keyword = true;
-                n.kset = n.kset.union(*mask);
-                n.cid = merge_cid(n.cid.take(), cid.clone());
-            }
-            let ancestors: Vec<Dewey> = kd
-                .ancestors()
-                .take_while(|a| rtf.anchor.is_ancestor_or_self(a))
-                .collect();
-            for a in ancestors {
-                let n = ensure_source_node(source, &mut nodes, &a);
-                n.kset = n.kset.union(*mask);
-                n.cid = merge_cid(n.cid.take(), cid.clone());
-            }
-        }
-
-        let deweys: Vec<Dewey> = nodes.keys().cloned().collect();
-        for d in &deweys {
-            if d == &rtf.anchor {
-                continue;
-            }
-            let parent = d.parent().expect("non-anchor fragment node has parent");
-            nodes
-                .get_mut(&parent)
-                .expect("parent present by construction")
-                .children
-                .push(d.clone());
-        }
-
-        Fragment {
-            anchor: rtf.anchor.clone(),
-            nodes,
-        }
+        construct_stream(
+            &rtf.anchor,
+            &rtf.knodes,
+            |d| {
+                LabelId(
+                    source.element_label(d).unwrap_or_else(|| {
+                        panic!("RTF references node {d} missing from the corpus")
+                    }),
+                )
+            },
+            |d| source_element(source, d).keyword_cid,
+        )
     }
 
-    /// A fragment with exactly the given nodes (used by the pruning
-    /// step to emit the filtered result).
+    /// A fragment with exactly the given nodes, which must be sorted in
+    /// document order (used by the pruning step to emit the filtered
+    /// result).
     #[must_use]
-    pub(crate) fn with_nodes(anchor: Dewey, nodes: BTreeMap<Dewey, FragNode>) -> Self {
+    pub(crate) fn with_nodes(anchor: Dewey, nodes: Vec<FragNode>) -> Self {
+        debug_assert!(nodes.is_sorted_by(|a, b| a.dewey < b.dewey));
         Fragment { anchor, nodes }
     }
 
-    /// Node lookup.
+    /// Consumes the fragment into its sorted node vector (the owned
+    /// pruning path).
+    #[must_use]
+    pub(crate) fn into_nodes(self) -> Vec<FragNode> {
+        self.nodes
+    }
+
+    /// Node lookup (binary search over the sorted vector).
     #[must_use]
     pub fn node(&self, dewey: &Dewey) -> Option<&FragNode> {
-        self.nodes.get(dewey)
+        self.nodes
+            .binary_search_by(|n| n.dewey.cmp(dewey))
+            .ok()
+            .map(|i| &self.nodes[i])
     }
 
     /// `true` when the fragment contains `dewey`.
     #[must_use]
     pub fn contains(&self, dewey: &Dewey) -> bool {
-        self.nodes.contains_key(dewey)
+        self.node(dewey).is_some()
     }
 
     /// All nodes in document order.
     pub fn iter(&self) -> impl Iterator<Item = &FragNode> {
-        self.nodes.values()
+        self.nodes.iter()
     }
 
     /// All Dewey codes in document order.
     #[must_use]
     pub fn deweys(&self) -> Vec<Dewey> {
-        self.nodes.keys().cloned().collect()
+        self.nodes.iter().map(|n| n.dewey.clone()).collect()
     }
 
     /// Number of nodes.
@@ -244,12 +275,12 @@ impl Fragment {
     /// first appearance — the `chlList` of §4.1.
     #[must_use]
     pub fn label_groups(&self, dewey: &Dewey) -> Vec<LabelGroup<'_>> {
-        let Some(node) = self.nodes.get(dewey) else {
+        let Some(node) = self.node(dewey) else {
             return Vec::new();
         };
         let mut groups: Vec<LabelGroup<'_>> = Vec::new();
         for child_d in &node.children {
-            let child = &self.nodes[child_d];
+            let child = self.node(child_d).expect("child in fragment");
             match groups.iter_mut().find(|g| g.label == child.label) {
                 Some(g) => g.children.push(child),
                 None => groups.push(LabelGroup {
@@ -405,47 +436,6 @@ fn source_element<S: CorpusSource + ?Sized>(
         .unwrap_or_else(|| panic!("RTF references node {dewey} missing from the corpus"))
 }
 
-fn frag_node_from(dewey: &Dewey, element: &crate::source::SourceElement) -> FragNode {
-    FragNode {
-        dewey: dewey.clone(),
-        label: LabelId(element.label),
-        kset: KeySet::EMPTY,
-        cid: None,
-        is_keyword: false,
-        children: Vec::new(),
-    }
-}
-
-fn ensure_source_node<'m, S: CorpusSource + ?Sized>(
-    source: &S,
-    nodes: &'m mut BTreeMap<Dewey, FragNode>,
-    dewey: &Dewey,
-) -> &'m mut FragNode {
-    if !nodes.contains_key(dewey) {
-        let element = source_element(source, dewey);
-        nodes.insert(dewey.clone(), frag_node_from(dewey, &element));
-    }
-    nodes.get_mut(dewey).expect("inserted above")
-}
-
-fn ensure_node<'m>(
-    tree: &XmlTree,
-    nodes: &'m mut BTreeMap<Dewey, FragNode>,
-    dewey: &Dewey,
-) -> &'m mut FragNode {
-    nodes.entry(dewey.clone()).or_insert_with(|| {
-        let id = tree_node(tree, dewey);
-        FragNode {
-            dewey: dewey.clone(),
-            label: tree.node(id).label,
-            kset: KeySet::EMPTY,
-            cid: None,
-            is_keyword: false,
-            children: Vec::new(),
-        }
-    })
-}
-
 /// The paper's bit-list rendering of a keyword set: `kList = 0 1 1 1 1`
 /// with the first query keyword leftmost.
 fn render_klist(kset: KeySet, k: usize) -> String {
@@ -455,12 +445,19 @@ fn render_klist(kset: KeySet, k: usize) -> String {
         .join(" ")
 }
 
-/// Merges two content features: lexical min of mins, max of maxes.
-/// Exact for `(min, max)` of a union of sets.
-fn merge_cid(a: Cid, b: Cid) -> Cid {
+/// Merges a borrowed content feature into an owned one: lexical min of
+/// mins, max of maxes. Exact for `(min, max)` of a union of sets; `b`'s
+/// strings are cloned only when they win (keyword-node features are
+/// merged into every ancestor, so the non-winning — common — case must
+/// not clone).
+fn merge_cid_ref(a: Cid, b: Option<&(String, String)>) -> Cid {
     match (a, b) {
-        (Some((amin, amax)), Some((bmin, bmax))) => Some((amin.min(bmin), amax.max(bmax))),
-        (Some(x), None) | (None, Some(x)) => Some(x),
+        (Some((amin, amax)), Some((bmin, bmax))) => Some((
+            if *bmin < amin { bmin.clone() } else { amin },
+            if *bmax > amax { bmax.clone() } else { amax },
+        )),
+        (Some(x), None) => Some(x),
+        (None, Some(x)) => Some(x.clone()),
         (None, None) => None,
     }
 }

@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod prune;
 pub mod rank;
 pub mod rtf;
+pub mod scratch;
 pub mod source;
 pub mod spec;
 
@@ -57,7 +58,8 @@ pub use engine::{AlgorithmKind, SearchEngine};
 pub use fragment::Fragment;
 pub use keyset::KeySet;
 pub use metrics::{effectiveness, Effectiveness};
-pub use prune::{prune, Policy};
+pub use prune::{prune, prune_owned, Policy};
 pub use rank::{rank, RankWeights, RankedFragment};
-pub use rtf::{get_rtf, get_rtf_unchecked, Rtf};
+pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};
+pub use scratch::QueryScratch;
 pub use source::{CorpusSource, MemoryCorpus, SourceElement};

@@ -16,7 +16,6 @@
 //!   **no sibling whatsoever** (any label) has a strictly larger keyword
 //!   set.
 
-use std::collections::BTreeMap;
 use std::collections::HashSet;
 
 use xks_xmltree::Dewey;
@@ -32,17 +31,11 @@ pub enum Policy {
     Contributor,
 }
 
-/// Prunes a fragment under the chosen policy, returning the meaningful
-/// fragment (a sub-fragment containing the anchor).
-#[must_use]
-pub fn prune(fragment: &Fragment, policy: Policy) -> Fragment {
-    let mut kept: BTreeMap<Dewey, FragNode> = BTreeMap::new();
-    let anchor = fragment
-        .node(&fragment.anchor)
-        .expect("fragment contains its anchor");
-    kept.insert(fragment.anchor.clone(), anchor.clone());
-
-    // Breadth-first from the anchor (Algorithm 1 line 16).
+/// The decision phase shared by both prune entry points: walks the
+/// fragment from the anchor and returns the sorted Dewey set of
+/// surviving nodes (Algorithm 1 line 16).
+fn surviving_deweys(fragment: &Fragment, policy: Policy) -> Vec<Dewey> {
+    let mut kept: Vec<Dewey> = vec![fragment.anchor.clone()];
     let mut queue: Vec<Dewey> = vec![fragment.anchor.clone()];
     while let Some(parent) = queue.pop() {
         let survivors = match policy {
@@ -50,19 +43,44 @@ pub fn prune(fragment: &Fragment, policy: Policy) -> Fragment {
             Policy::Contributor => contributors(fragment, &parent),
         };
         for child in survivors {
-            let node = fragment.node(&child).expect("child in fragment").clone();
-            kept.insert(child.clone(), node);
+            kept.push(child.clone());
             queue.push(child);
         }
     }
+    kept.sort_unstable();
+    kept
+}
 
-    // Rebuild children links restricted to kept nodes.
-    let keys: Vec<Dewey> = kept.keys().cloned().collect();
-    for d in &keys {
-        let node = kept.get_mut(d).expect("kept node");
-        node.children.retain(|c| keys.binary_search(c).is_ok());
+/// Prunes a fragment under the chosen policy, returning the meaningful
+/// fragment (a sub-fragment containing the anchor).
+#[must_use]
+pub fn prune(fragment: &Fragment, policy: Policy) -> Fragment {
+    let kept = surviving_deweys(fragment, policy);
+    let nodes: Vec<FragNode> = kept
+        .iter()
+        .map(|d| {
+            let mut node = fragment.node(d).expect("kept node in fragment").clone();
+            node.children.retain(|c| kept.binary_search(c).is_ok());
+            node
+        })
+        .collect();
+    Fragment::with_nodes(fragment.anchor.clone(), nodes)
+}
+
+/// Like [`prune`] but consuming the raw fragment: discarded nodes are
+/// dropped and surviving ones **moved**, so the hot engine path never
+/// deep-clones node payloads (children vectors, content-feature
+/// strings) just to filter them.
+#[must_use]
+pub fn prune_owned(fragment: Fragment, policy: Policy) -> Fragment {
+    let kept = surviving_deweys(&fragment, policy);
+    let anchor = fragment.anchor.clone();
+    let mut nodes = fragment.into_nodes();
+    nodes.retain(|n| kept.binary_search(&n.dewey).is_ok());
+    for node in &mut nodes {
+        node.children.retain(|c| kept.binary_search(c).is_ok());
     }
-    Fragment::with_nodes(fragment.anchor.clone(), kept)
+    Fragment::with_nodes(anchor, nodes)
 }
 
 /// Definition 4: the children of `parent` that are valid contributors.
@@ -75,7 +93,7 @@ fn valid_contributors(fragment: &Fragment, parent: &Dewey) -> Vec<Dewey> {
             continue;
         }
         let mut used_ksets: HashSet<u64> = HashSet::new();
-        let mut used_cids: HashSet<CidKey> = HashSet::new();
+        let mut used_cids: HashSet<CidKey<'_>> = HashSet::new();
         for ch in &group.children {
             let knum = ch.kset.0;
             if used_ksets.contains(&knum) {
@@ -98,7 +116,7 @@ fn valid_contributors(fragment: &Fragment, parent: &Dewey) -> Vec<Dewey> {
         }
     }
     // Groups are in first-appearance order; restore document order.
-    out.sort();
+    out.sort_unstable();
     out
 }
 
@@ -123,13 +141,14 @@ fn contributors(fragment: &Fragment, parent: &Dewey) -> Vec<Dewey> {
         .collect()
 }
 
-/// Hashable stand-in for a `cID` (`None` compares distinct from every
-/// concrete pair only via a sentinel).
-type CidKey = (String, String);
+/// Hashable stand-in for a `cID` — borrowed, so rule 2(b) bookkeeping
+/// never clones the feature strings (`None` compares distinct from
+/// every concrete pair only via the empty sentinel).
+type CidKey<'a> = (&'a str, &'a str);
 
-fn cid_key(cid: &Cid) -> CidKey {
-    cid.clone()
-        .unwrap_or_else(|| (String::new(), String::new()))
+fn cid_key(cid: &Cid) -> CidKey<'_> {
+    cid.as_ref()
+        .map_or(("", ""), |(min, max)| (min.as_str(), max.as_str()))
 }
 
 #[cfg(test)]

@@ -64,7 +64,21 @@ impl Rtf {
 /// in O(1) amortized per node.
 #[must_use]
 pub fn get_rtf(anchors: &[Dewey], sets: &KeywordNodeSets) -> Vec<Rtf> {
-    get_rtf_impl(anchors, sets, true)
+    let merged = xks_lca::common::merge_postings(sets.sets());
+    get_rtf_impl(anchors, &merged, sets, true)
+}
+
+/// Like [`get_rtf`] but consuming an already-merged document-ordered
+/// posting stream (see [`xks_lca::merge_postings_into`]) — the engine
+/// merges once per query and feeds the same stream to `getLCA` and
+/// `getRTF`.
+#[must_use]
+pub fn get_rtf_from_merged(
+    anchors: &[Dewey],
+    merged: &[(Dewey, u64)],
+    sets: &KeywordNodeSets,
+) -> Vec<Rtf> {
+    get_rtf_impl(anchors, merged, sets, true)
 }
 
 /// The paper's **literal** `getRTF` pseudo-code, without the
@@ -79,10 +93,16 @@ pub fn get_rtf(anchors: &[Dewey], sets: &KeywordNodeSets) -> Vec<Rtf> {
 /// specifically want the paper's verbatim behaviour.
 #[must_use]
 pub fn get_rtf_unchecked(anchors: &[Dewey], sets: &KeywordNodeSets) -> Vec<Rtf> {
-    get_rtf_impl(anchors, sets, false)
+    let merged = xks_lca::common::merge_postings(sets.sets());
+    get_rtf_impl(anchors, &merged, sets, false)
 }
 
-fn get_rtf_impl(anchors: &[Dewey], sets: &KeywordNodeSets, check_depth: bool) -> Vec<Rtf> {
+fn get_rtf_impl(
+    anchors: &[Dewey],
+    knodes: &[(Dewey, u64)],
+    sets: &KeywordNodeSets,
+    check_depth: bool,
+) -> Vec<Rtf> {
     let mut rtfs: Vec<Rtf> = anchors
         .iter()
         .map(|a| Rtf {
@@ -95,11 +115,10 @@ fn get_rtf_impl(anchors: &[Dewey], sets: &KeywordNodeSets, check_depth: bool) ->
     // codes the anchor comes first so a keyword node that *is* an anchor
     // lands in its own partition. The merged posting stream carries each
     // node's keyword mask, so no per-node index probes are needed.
-    let knodes = xks_lca::common::merge_postings(sets.sets());
     let mut open: Vec<usize> = Vec::new(); // indices into rtfs, outermost first
     let mut ai = 0usize;
 
-    for (d, raw_mask) in &knodes {
+    for (d, raw_mask) in knodes {
         // Open every anchor that starts at or before this node.
         while ai < anchors.len() && anchors[ai] <= *d {
             while let Some(&top) = open.last() {

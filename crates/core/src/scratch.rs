@@ -1,0 +1,45 @@
+//! Reusable per-engine working memory for the query hot path.
+//!
+//! Every stage of Algorithm 1 needs transient buffers: the merged
+//! document-ordered posting stream (shared by `getLCA` *and* `getRTF`,
+//! which previously re-merged it), the anchor list, and the ELCA mask
+//! stack. A [`QueryScratch`] owns all of them so a warm engine answers
+//! queries without re-allocating any of it — combined with inline
+//! [`Dewey`] codes this makes the anchor pipeline
+//! allocation-free (asserted by the workspace's counting-allocator
+//! test).
+
+use xks_lca::ElcaScratch;
+use xks_xmltree::Dewey;
+
+/// Working buffers reused across queries by one engine (or one thread).
+///
+/// [`crate::engine::SearchEngine`] holds one behind a `RefCell`;
+/// standalone callers of
+/// [`crate::algorithms::run_from_sets_with_scratch`] can manage their
+/// own.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Merged `(dewey, keyword-bitmask)` posting stream in document
+    /// order — computed once per query, consumed by both `getLCA` and
+    /// `getRTF`.
+    pub(crate) merged: Vec<(Dewey, u64)>,
+    /// The anchor nodes of the current query (ELCA or SLCA set).
+    pub(crate) anchors: Vec<Dewey>,
+    /// The ELCA stack's mask/path buffers.
+    pub(crate) elca: ElcaScratch,
+}
+
+impl QueryScratch {
+    /// A fresh scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the buffered capacity (e.g. after an unusually large
+    /// query, to return memory to the allocator).
+    pub fn shrink(&mut self) {
+        *self = Self::default();
+    }
+}

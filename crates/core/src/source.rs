@@ -53,6 +53,14 @@ pub trait CorpusSource: std::fmt::Debug {
     /// corpus.
     fn element(&self, dewey: &Dewey) -> Option<SourceElement>;
 
+    /// The label id of one node only — what the fragment constructor
+    /// needs for the (far more numerous) non-keyword path nodes.
+    /// Backends override this to skip materializing the content-feature
+    /// strings a full [`CorpusSource::element`] carries.
+    fn element_label(&self, dewey: &Dewey) -> Option<u32> {
+        self.element(dewey).map(|e| e.label)
+    }
+
     /// The label string for a label id, `None` for a foreign id.
     fn label_name(&self, label: u32) -> Option<String>;
 
@@ -86,6 +94,9 @@ macro_rules! delegate_corpus_source {
             fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
                 (**self).element(dewey)
             }
+            fn element_label(&self, dewey: &Dewey) -> Option<u32> {
+                (**self).element_label(dewey)
+            }
             fn label_name(&self, label: u32) -> Option<String> {
                 (**self).label_name(label)
             }
@@ -107,19 +118,51 @@ delegate_corpus_source!(Box, Rc, Arc);
 /// features (the shredder stores subtree features only; the keyword-node
 /// seed needs the node's own `Cv` feature, so we compute it once from
 /// the `value` table here).
+///
+/// Posting lists are parsed out of the tables' dotted-string form
+/// **once**, at construction — the shredded tables store Dewey codes as
+/// strings, and re-parsing them per query dominated the warm hot path.
 #[derive(Debug)]
 pub struct MemoryCorpus {
     doc: ShreddedDoc,
-    own_features: HashMap<String, (String, String)>,
+    postings: HashMap<String, Vec<Dewey>>,
+    elements: HashMap<Dewey, SourceElement>,
 }
 
 impl MemoryCorpus {
     /// Wraps a shredded document (derived lookups must already be
     /// rebuilt, which [`xks_store::shred`] and the snapshot loader do).
+    ///
+    /// Element facts are keyed by parsed [`Dewey`] here — the tables
+    /// key rows by dotted strings, and formatting a code per lookup
+    /// (`dewey.to_string()`) used to dominate warm fragment
+    /// construction.
     #[must_use]
     pub fn new(doc: ShreddedDoc) -> Self {
         let own_features = own_content_features(&doc);
-        MemoryCorpus { doc, own_features }
+        let postings: HashMap<String, Vec<Dewey>> = doc
+            .keyword_stats()
+            .map(|(kw, _)| (kw.to_owned(), doc.keyword_deweys(kw)))
+            .collect();
+        let elements = doc
+            .elements
+            .iter()
+            .map(|row| {
+                let dewey: Dewey = row.dewey.parse().expect("stored dewey is valid");
+                let element = SourceElement {
+                    label: row.label,
+                    level: row.level,
+                    keyword_cid: own_features.get(&row.dewey).cloned(),
+                    subtree_cid: row.content_feature.clone(),
+                };
+                (dewey, element)
+            })
+            .collect();
+        MemoryCorpus {
+            doc,
+            postings,
+            elements,
+        }
     }
 
     /// The wrapped tables.
@@ -157,18 +200,17 @@ pub fn own_content_features(doc: &ShreddedDoc) -> HashMap<String, (String, Strin
 
 impl CorpusSource for MemoryCorpus {
     fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
-        self.doc.keyword_deweys(keyword)
+        // One memcpy-style clone of the pre-parsed list; the codes
+        // themselves are inline for ordinary document depths.
+        self.postings.get(keyword).cloned().unwrap_or_default()
     }
 
     fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
-        let key = dewey.to_string();
-        let row = self.doc.element(dewey)?;
-        Some(SourceElement {
-            label: row.label,
-            level: row.level,
-            keyword_cid: self.own_features.get(&key).cloned(),
-            subtree_cid: row.content_feature.clone(),
-        })
+        self.elements.get(dewey).cloned()
+    }
+
+    fn element_label(&self, dewey: &Dewey) -> Option<u32> {
+        self.elements.get(dewey).map(|e| e.label)
     }
 
     fn label_name(&self, label: u32) -> Option<String> {

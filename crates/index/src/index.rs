@@ -156,11 +156,17 @@ pub struct KeywordNodeSets {
 impl KeywordNodeSets {
     /// Builds directly from pre-computed lists (each will be sorted and
     /// deduped). Panics if `sets.len() != query.len()`.
+    ///
+    /// Storage backends hand over already-sorted postings, so the
+    /// common case is a linear `is_sorted` check — no stable-sort
+    /// scratch allocation on the query hot path.
     #[must_use]
     pub fn new(query: Query, mut sets: Vec<Vec<Dewey>>) -> Self {
         assert_eq!(query.len(), sets.len(), "one Dewey list per keyword");
         for s in &mut sets {
-            s.sort();
+            if !s.is_sorted() {
+                s.sort_unstable();
+            }
             s.dedup();
         }
         KeywordNodeSets { query, sets }

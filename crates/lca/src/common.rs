@@ -34,53 +34,94 @@ pub fn deeper(a: Option<Dewey>, b: Option<Dewey>) -> Option<Dewey> {
     }
 }
 
+/// Pushes one SLCA-style candidate onto a document-ordered *frontier* —
+/// the incremental form of `removeAncestorNodes`. Maintains the
+/// invariant that `out` is sorted in document order and contains no
+/// ancestor pairs, in O(1) amortized per push.
+///
+/// The eager candidate generators satisfy the precondition this relies
+/// on: each new candidate is either `>=` the last kept one in document
+/// order, or an ancestor of it (for driver nodes `v < v'`, the
+/// candidate of `v'` that precedes the candidate of `v` must contain
+/// `v' > v` in its subtree, hence be its ancestor). Hands the candidate
+/// back as `Err` without pushing when the precondition is violated —
+/// callers fall back to the sort-based path.
+///
+/// # Errors
+/// `Err(cand)` when `cand` precedes the kept frontier without being an
+/// ancestor of its last element (out-of-order unrelated candidate).
+pub fn push_frontier(out: &mut Vec<Dewey>, cand: Dewey) -> Result<(), Dewey> {
+    while let Some(last) = out.last() {
+        if *last == cand || cand.is_ancestor_of(last) {
+            return Ok(()); // duplicate, or ancestor of a kept deeper node
+        }
+        if last.is_ancestor_of(&cand) {
+            out.pop(); // kept node was an ancestor of the new candidate
+            continue;
+        }
+        if *last < cand {
+            break;
+        }
+        return Err(cand); // out-of-order unrelated candidate
+    }
+    out.push(cand);
+    Ok(())
+}
+
 /// Removes from a candidate multiset every node that is a proper
 /// ancestor of another candidate, plus duplicates. Returns the result in
 /// document order. This is `removeAncestorNodes` of Xu &
 /// Papakonstantinou: applied to the SLCA candidate list it yields the
 /// SLCA set.
+///
+/// A document-ordered input (what the eager candidate generators
+/// produce) is processed in a single O(n) pass; unordered input costs
+/// one `sort_unstable` first.
 #[must_use]
 pub fn remove_ancestors(mut candidates: Vec<Dewey>) -> Vec<Dewey> {
-    candidates.sort();
-    candidates.dedup();
-    // In sorted order an ancestor immediately precedes its descendants'
-    // block, but non-adjacent ancestor pairs exist (a < b < c with a
-    // ancestor of c, b unrelated is impossible in Dewey order: any node
-    // between a and a's descendant c in document order is itself a
-    // descendant of a). Hence checking each node against its successor
-    // is sufficient.
+    if !candidates.is_sorted() {
+        candidates.sort_unstable();
+    }
+    // Sorted input satisfies the `push_frontier` precondition trivially
+    // (each candidate is >= its predecessor, so >= the last kept one).
     let mut out: Vec<Dewey> = Vec::with_capacity(candidates.len());
     for cand in candidates {
-        while let Some(last) = out.last() {
-            if last.is_ancestor_of(&cand) {
-                out.pop();
-            } else {
-                break;
-            }
-        }
-        out.push(cand);
+        let pushed = push_frontier(&mut out, cand);
+        debug_assert!(pushed.is_ok(), "sorted input cannot violate order");
     }
     out
 }
 
 /// Merges sorted per-keyword posting lists into one document-ordered
 /// stream of `(dewey, keyword-bitmask)` pairs, OR-ing the masks of nodes
-/// that appear in several lists.
-#[must_use]
-pub fn merge_postings(sets: &[Vec<Dewey>]) -> Vec<(Dewey, u64)> {
-    let mut tagged: Vec<(Dewey, u64)> = sets
-        .iter()
-        .enumerate()
-        .flat_map(|(i, list)| list.iter().map(move |d| (d.clone(), 1u64 << i)))
-        .collect();
-    tagged.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut out: Vec<(Dewey, u64)> = Vec::with_capacity(tagged.len());
-    for (d, m) in tagged {
-        match out.last_mut() {
-            Some((prev, mask)) if *prev == d => *mask |= m,
-            _ => out.push((d, m)),
+/// that appear in several lists. Reuses `out`'s capacity and performs no
+/// other heap allocation (`sort_unstable` + in-place mask folding), so a
+/// warm caller holding its buffer merges allocation-free.
+pub fn merge_postings_into(sets: &[Vec<Dewey>], out: &mut Vec<(Dewey, u64)>) {
+    out.clear();
+    for (i, list) in sets.iter().enumerate() {
+        out.extend(list.iter().map(|d| (d.clone(), 1u64 << i)));
+    }
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    // Fold equal codes in place: `w` trails over the deduplicated
+    // prefix, OR-ing masks of duplicates into their first occurrence.
+    let mut w = 0usize;
+    for r in 1..out.len() {
+        if out[r].0 == out[w].0 {
+            out[w].1 |= out[r].1;
+        } else {
+            w += 1;
+            out.swap(w, r);
         }
     }
+    out.truncate(if out.is_empty() { 0 } else { w + 1 });
+}
+
+/// Allocating convenience wrapper over [`merge_postings_into`].
+#[must_use]
+pub fn merge_postings(sets: &[Vec<Dewey>]) -> Vec<(Dewey, u64)> {
+    let mut out = Vec::new();
+    merge_postings_into(sets, &mut out);
     out
 }
 

@@ -29,78 +29,114 @@
 
 use xks_xmltree::Dewey;
 
-use crate::common::{full_mask, merge_postings};
+use crate::common::{full_mask, merge_postings_into};
 
+#[derive(Debug)]
 struct Entry {
-    /// The Dewey component this entry contributes to the current path.
-    component: u32,
     /// Keywords in the subtree (so far).
     raw: u64,
     /// Keywords in the subtree excluding CA-descendant subtrees (so far).
     excl: u64,
 }
 
+/// Reusable working memory for [`elca_from_merged`]. A warm scratch
+/// (capacities grown by an earlier query) makes the ELCA pass perform
+/// **zero heap allocations** for documents up to the warmed depth —
+/// asserted by the workspace's counting-allocator test.
+#[derive(Debug, Default)]
+pub struct ElcaScratch {
+    /// The mask stack, one entry per component of the current path.
+    entries: Vec<Entry>,
+    /// The current path's components (mirrors `entries`), so a result
+    /// code is built by slicing instead of collecting a fresh vector.
+    path: Vec<u32>,
+}
+
+/// Computes the ELCA set from an already-merged document-ordered
+/// `(dewey, keyword-bitmask)` stream (see
+/// [`crate::common::merge_postings_into`]) into `results`, reusing
+/// every buffer involved.
+///
+/// `k` is the number of query keywords. The caller must guarantee the
+/// stream covers all `k` lists' postings; empty input yields empty
+/// results.
+pub fn elca_from_merged(
+    merged: &[(Dewey, u64)],
+    k: usize,
+    scratch: &mut ElcaScratch,
+    results: &mut Vec<Dewey>,
+) {
+    results.clear();
+    if merged.is_empty() || k == 0 {
+        return;
+    }
+    let full = full_mask(k);
+    scratch.entries.clear();
+    scratch.path.clear();
+
+    for (dewey, mask) in merged {
+        let components = dewey.components();
+        // Length of the common prefix between the stack path and this
+        // node's path.
+        let mut common = 0usize;
+        while common < scratch.path.len()
+            && common < components.len()
+            && scratch.path[common] == components[common]
+        {
+            common += 1;
+        }
+        // Leave the subtrees we are no longer inside.
+        pop_to(scratch, common, full, results);
+        // Enter the new path components.
+        for &c in &components[common..] {
+            scratch.entries.push(Entry { raw: 0, excl: 0 });
+            scratch.path.push(c);
+        }
+        // The node itself carries `mask`.
+        let top = scratch
+            .entries
+            .last_mut()
+            .expect("path has at least one component");
+        top.raw |= mask;
+        top.excl |= mask;
+    }
+    pop_to(scratch, 0, full, results);
+    results.sort_unstable();
+}
+
 /// Computes the ELCA set of the keyword-node lists, in document order.
 ///
 /// `sets[i]` is the sorted Dewey list `D_i`; any empty list (or no lists)
 /// yields an empty result, since no node can cover the query.
+///
+/// Convenience wrapper allocating its own buffers; hot callers hold a
+/// scratch and use [`elca_from_merged`] instead.
 #[must_use]
 pub fn elca_stack(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
     if sets.is_empty() || sets.iter().any(Vec::is_empty) {
         return Vec::new();
     }
-    let full = full_mask(sets.len());
-    let stream = merge_postings(sets);
-
-    let mut stack: Vec<Entry> = Vec::new();
-    let mut results: Vec<Dewey> = Vec::new();
-
-    for (dewey, mask) in stream {
-        let components = dewey.components();
-        // Length of the common prefix between the stack path and this
-        // node's path.
-        let mut common = 0usize;
-        while common < stack.len()
-            && common < components.len()
-            && stack[common].component == components[common]
-        {
-            common += 1;
-        }
-        // Leave the subtrees we are no longer inside.
-        pop_to(&mut stack, common, full, &mut results);
-        // Enter the new path components.
-        for &c in &components[common..] {
-            stack.push(Entry {
-                component: c,
-                raw: 0,
-                excl: 0,
-            });
-        }
-        // The node itself carries `mask`.
-        let top = stack.last_mut().expect("path has at least one component");
-        top.raw |= mask;
-        top.excl |= mask;
-    }
-    pop_to(&mut stack, 0, full, &mut results);
-    results.sort();
+    let mut merged = Vec::new();
+    merge_postings_into(sets, &mut merged);
+    let mut scratch = ElcaScratch::default();
+    let mut results = Vec::new();
+    elca_from_merged(&merged, sets.len(), &mut scratch, &mut results);
     results
 }
 
-/// Pops stack entries until `stack.len() == target`, finalizing each
+/// Pops stack entries until `entries.len() == target`, finalizing each
 /// popped node: report it when its exclusive mask covers the query, and
-/// fold its masks into the parent.
-fn pop_to(stack: &mut Vec<Entry>, target: usize, full: u64, results: &mut Vec<Dewey>) {
-    while stack.len() > target {
-        let entry = stack.pop().expect("len > target >= 0");
+/// fold its masks into the parent. The popped node's Dewey code is the
+/// scratch path up to and including its component — built by slicing,
+/// which stays allocation-free for codes within `Dewey::INLINE_CAP`.
+fn pop_to(scratch: &mut ElcaScratch, target: usize, full: u64, results: &mut Vec<Dewey>) {
+    while scratch.entries.len() > target {
+        let entry = scratch.entries.pop().expect("len > target >= 0");
         if entry.excl & full == full {
-            let path: Vec<u32> = stack
-                .iter()
-                .map(|e| e.component)
-                .chain(std::iter::once(entry.component))
-                .collect();
-            results.push(Dewey::from_components(path));
+            results.push(Dewey::from_slice(&scratch.path));
         }
-        if let Some(parent) = stack.last_mut() {
+        scratch.path.pop();
+        if let Some(parent) = scratch.entries.last_mut() {
             parent.raw |= entry.raw;
             if entry.raw & full != full {
                 // Not a CA subtree: its occurrences stay visible to
@@ -161,11 +197,9 @@ pub fn elca_candidate_rmq(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
     let driver = sets.iter().min_by_key(|s| s.len()).expect("non-empty sets");
     let mut candidates: Vec<Dewey> = driver
         .iter()
-        .map(|v| {
-            Dewey::from_components(v.components()[..deepest_combination_len(v, sets)].to_vec())
-        })
+        .map(|v| Dewey::from_slice(&v.components()[..deepest_combination_len(v, sets)]))
         .collect();
-    candidates.sort();
+    candidates.sort_unstable();
     candidates.dedup();
 
     // Verify each candidate against every list.

@@ -34,5 +34,6 @@ pub mod naive;
 pub mod rmq;
 pub mod slca;
 
-pub use elca::{elca_candidate_rmq, elca_stack};
-pub use slca::{indexed_lookup_eager, scan_eager};
+pub use common::{merge_postings, merge_postings_into, push_frontier, remove_ancestors};
+pub use elca::{elca_candidate_rmq, elca_from_merged, elca_stack, ElcaScratch};
+pub use slca::{indexed_lookup_eager, indexed_lookup_eager_into, scan_eager};

@@ -17,7 +17,7 @@
 
 use xks_xmltree::Dewey;
 
-use crate::common::{deeper, left_match, remove_ancestors, right_match};
+use crate::common::{deeper, left_match, push_frontier, remove_ancestors, right_match};
 
 /// One step of the candidate computation: the deepest LCA of `x` with
 /// the closest match in `list`.
@@ -27,15 +27,30 @@ fn closest_lca(x: &Dewey, list: &[Dewey]) -> Option<Dewey> {
     deeper(l, r)
 }
 
-/// The Indexed Lookup Eager SLCA algorithm.
-///
-/// `sets` are the sorted keyword-node lists `D_1..D_k`; the result is the
-/// SLCA set in document order. Empty input (or any empty list) yields an
-/// empty result.
-#[must_use]
-pub fn indexed_lookup_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+/// Folds a freshly computed candidate into the result frontier. The
+/// eager generators emit candidates satisfying the
+/// [`push_frontier`] precondition, so this is O(1) amortized; the
+/// release-mode fallback (dirty flag) keeps the function total should
+/// the precondition ever break.
+fn fold_candidate(out: &mut Vec<Dewey>, cand: Dewey, dirty: &mut bool) {
+    if *dirty {
+        out.push(cand);
+    } else if let Err(rejected) = push_frontier(out, cand) {
+        debug_assert!(false, "eager candidates violated frontier order");
+        out.push(rejected);
+        *dirty = true;
+    }
+}
+
+/// The Indexed Lookup Eager SLCA algorithm, writing the SLCA set into a
+/// caller-owned buffer. With a warm buffer the whole pass performs no
+/// Dewey-related heap allocation: candidates are folded into the result
+/// frontier incrementally (`removeAncestorNodes` as a single on-line
+/// O(n) pass) instead of materializing a candidate list first.
+pub fn indexed_lookup_eager_into(sets: &[Vec<Dewey>], out: &mut Vec<Dewey>) {
+    out.clear();
     if sets.is_empty() || sets.iter().any(Vec::is_empty) {
-        return Vec::new();
+        return;
     }
     let driver = sets
         .iter()
@@ -44,7 +59,7 @@ pub fn indexed_lookup_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
         .map(|(i, _)| i)
         .expect("non-empty sets");
 
-    let mut candidates = Vec::with_capacity(sets[driver].len());
+    let mut dirty = false;
     'outer: for v in &sets[driver] {
         let mut x = v.clone();
         for (i, list) in sets.iter().enumerate() {
@@ -56,9 +71,23 @@ pub fn indexed_lookup_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
                 None => continue 'outer,
             }
         }
-        candidates.push(x);
+        fold_candidate(out, x, &mut dirty);
     }
-    remove_ancestors(candidates)
+    if dirty {
+        *out = remove_ancestors(std::mem::take(out));
+    }
+}
+
+/// The Indexed Lookup Eager SLCA algorithm.
+///
+/// `sets` are the sorted keyword-node lists `D_1..D_k`; the result is the
+/// SLCA set in document order. Empty input (or any empty list) yields an
+/// empty result.
+#[must_use]
+pub fn indexed_lookup_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
+    let mut out = Vec::new();
+    indexed_lookup_eager_into(sets, &mut out);
+    out
 }
 
 /// The Scan Eager SLCA algorithm: identical candidates, found with
@@ -80,7 +109,8 @@ pub fn scan_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
     // increasing order and the probe anchor `x` never moves left of the
     // driver node's left neighborhood, cursors only advance.
     let mut cursors = vec![0usize; sets.len()];
-    let mut candidates = Vec::with_capacity(sets[driver].len());
+    let mut out = Vec::with_capacity(sets[driver].len());
+    let mut dirty = false;
 
     'outer: for v in &sets[driver] {
         let mut x = v.clone();
@@ -108,9 +138,12 @@ pub fn scan_eager(sets: &[Vec<Dewey>]) -> Vec<Dewey> {
                 None => continue 'outer,
             }
         }
-        candidates.push(x);
+        fold_candidate(&mut out, x, &mut dirty);
     }
-    remove_ancestors(candidates)
+    if dirty {
+        out = remove_ancestors(out);
+    }
+    out
 }
 
 #[cfg(test)]

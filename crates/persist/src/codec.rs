@@ -4,7 +4,7 @@
 //! All multi-byte fixed-width integers in the format are little-endian;
 //! everything variable-length goes through the varint below.
 
-use xks_xmltree::Dewey;
+use xks_xmltree::{Dewey, DeweyListBuf};
 
 use crate::error::PersistError;
 
@@ -206,22 +206,28 @@ pub fn put_postings(out: &mut Vec<u8>, deweys: &[Dewey]) {
     }
 }
 
-/// Decodes a prefix-delta posting list, enforcing the writer's
-/// contract that codes are **strictly ascending in document order**
-/// (deduplicated). Postings live in a lazily-read section that is not
-/// checksummed per lookup, so this ordering check is what turns a bit
-/// flip that survives varint framing into a typed error instead of a
-/// silently reordered result list.
-pub fn get_postings(bytes: &[u8], pos: &mut usize) -> Result<Vec<Dewey>, PersistError> {
+/// Decodes a prefix-delta posting list into a flat [`DeweyListBuf`]
+/// arena, enforcing the writer's contract that codes are **strictly
+/// ascending in document order** (deduplicated). Postings live in a
+/// lazily-read section that is not checksummed per lookup, so this
+/// ordering check is what turns a bit flip that survives varint framing
+/// into a typed error instead of a silently reordered result list.
+///
+/// The arena is cleared first and rebuilt in place: the shared prefix
+/// of each code is copied from its predecessor *within the arena*
+/// (`copy_prefix_of_last`), so a warm buffer decodes a whole run with
+/// zero heap allocations however many codes it holds.
+pub fn get_postings_into(
+    bytes: &[u8],
+    pos: &mut usize,
+    out: &mut DeweyListBuf,
+) -> Result<(), PersistError> {
+    out.clear();
     let count = get_varint(bytes, pos)? as usize;
-    // Every entry costs at least two bytes, so a hostile count cannot
-    // force a larger allocation than the input itself justifies.
-    let plausible = bytes.len().saturating_sub(*pos) / 2 + 1;
-    let mut out = Vec::with_capacity(count.min(plausible));
-    let mut prev: Vec<u32> = Vec::new();
     for i in 0..count {
         let shared = get_varint(bytes, pos)? as usize;
         let extra = get_varint(bytes, pos)? as usize;
+        let prev = out.last().unwrap_or(&[]);
         if shared > prev.len() {
             return Err(PersistError::Corrupt {
                 what: format!(
@@ -241,7 +247,8 @@ pub fn get_postings(bytes: &[u8], pos: &mut usize) -> Result<Vec<Dewey>, Persist
         // Where the new code diverges, its component must sort after
         // the predecessor's.
         let boundary = prev.get(shared).copied();
-        prev.truncate(shared);
+        out.begin();
+        out.copy_prefix_of_last(shared);
         for j in 0..extra {
             let comp = get_varint(bytes, pos)?;
             let comp = u32::try_from(comp).map_err(|_| PersistError::Corrupt {
@@ -256,16 +263,23 @@ pub fn get_postings(bytes: &[u8], pos: &mut usize) -> Result<Vec<Dewey>, Persist
                     }
                 }
             }
-            prev.push(comp);
+            out.push_component(comp);
         }
-        if prev.is_empty() {
+        if out.last().is_some_and(<[u32]>::is_empty) {
             return Err(PersistError::Corrupt {
                 what: "empty Dewey code in postings".to_owned(),
             });
         }
-        out.push(Dewey::from_components(prev.clone()));
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Decodes a prefix-delta posting list into owned [`Dewey`] codes — an
+/// allocating convenience over [`get_postings_into`].
+pub fn get_postings(bytes: &[u8], pos: &mut usize) -> Result<Vec<Dewey>, PersistError> {
+    let mut buf = DeweyListBuf::new();
+    get_postings_into(bytes, pos, &mut buf)?;
+    Ok(buf.to_deweys())
 }
 
 #[cfg(test)]

@@ -116,13 +116,26 @@ impl BufferPool {
 
     /// Reads `len` bytes at absolute `offset`, assembling across pages.
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, PersistError> {
+        let mut out = Vec::with_capacity(len);
+        self.read_extend(offset, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`BufferPool::read_at`] but appending into a caller-owned
+    /// buffer — a warm caller reuses its capacity instead of allocating
+    /// per read.
+    pub fn read_extend(
+        &self,
+        offset: u64,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), PersistError> {
         let end = offset
             .checked_add(len as u64)
             .filter(|&e| e <= self.file_len)
             .ok_or(PersistError::Truncated {
                 what: "read past end of index file",
             })?;
-        let mut out = Vec::with_capacity(len);
         let mut pos = offset;
         while pos < end {
             let page_no = pos / self.page_size as u64;
@@ -134,7 +147,37 @@ impl BufferPool {
             })?;
             pos += take as u64;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Reads up to 16 bytes at `offset` into a stack buffer — the probe
+    /// primitive for varints and offset-array entries, which dominate
+    /// index binary searches and must not heap-allocate per probe.
+    /// Returns the buffer and the number of valid bytes.
+    pub fn read_small(&self, offset: u64, len: usize) -> Result<([u8; 16], usize), PersistError> {
+        debug_assert!(len <= 16);
+        let len = len.min(16);
+        let end = offset
+            .checked_add(len as u64)
+            .filter(|&e| e <= self.file_len)
+            .ok_or(PersistError::Truncated {
+                what: "read past end of index file",
+            })?;
+        let mut out = [0u8; 16];
+        let mut filled = 0usize;
+        let mut pos = offset;
+        while pos < end {
+            let page_no = pos / self.page_size as u64;
+            let page_start = page_no * self.page_size as u64;
+            let in_page = (pos - page_start) as usize;
+            let take = ((end - pos) as usize).min(self.page_size - in_page);
+            self.with_page(page_no, |data| {
+                out[filled..filled + take].copy_from_slice(&data[in_page..in_page + take]);
+            })?;
+            filled += take;
+            pos += take as u64;
+        }
+        Ok((out, filled))
     }
 
     /// Runs `f` over the cached page, fetching and possibly evicting

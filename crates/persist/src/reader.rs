@@ -9,14 +9,17 @@
 //! the pages its posting run spans. The pool counters in
 //! [`IndexReader::stats`] make that laziness observable.
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use validrtf::source::{CorpusSource, SourceElement};
-use xks_xmltree::Dewey;
+use xks_xmltree::{Dewey, DeweyListBuf};
 
-use crate::codec::{crc32, get_postings, get_varint, Crc32};
+use crate::codec::{crc32, get_postings_into, get_varint, Crc32};
 use crate::error::PersistError;
 use crate::format::{Header, Section, HEADER_LEN};
 use crate::pool::{BufferPool, PoolStats};
@@ -26,11 +29,102 @@ use crate::pool::{BufferPool, PoolStats};
 pub struct ReaderOptions {
     /// Buffer-pool capacity in pages (default 256; clamped to ≥ 8).
     pub pool_pages: usize,
+    /// Capacity of the decoded-postings LRU cache in keywords
+    /// (default 64; 0 disables caching). A hit skips the pool reads
+    /// *and* the varint decode for the keyword's whole posting run.
+    pub postings_cache_keywords: usize,
+    /// Capacity of the decoded-element cache in nodes (default 16384;
+    /// 0 disables caching). A hit skips the whole element binary
+    /// search. The cache is flushed wholesale when full, so its worst
+    /// case degrades to the uncached lookup, never to an eviction scan.
+    pub element_cache_nodes: usize,
 }
 
 impl Default for ReaderOptions {
     fn default() -> Self {
-        ReaderOptions { pool_pages: 256 }
+        ReaderOptions {
+            pool_pages: 256,
+            postings_cache_keywords: 64,
+            element_cache_nodes: 16_384,
+        }
+    }
+}
+
+/// A tiny LRU keyed by keyword, holding decoded posting runs as shared
+/// flat arenas. Capacities are small (tens of entries), so eviction is
+/// an O(n) scan — no intrusive list needed.
+#[derive(Debug)]
+struct PostingsCache {
+    capacity: usize,
+    tick: Cell<u64>,
+    slots: RefCell<Vec<CacheSlot>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    keyword: String,
+    postings: Arc<DeweyListBuf>,
+    last_used: u64,
+}
+
+impl PostingsCache {
+    fn new(capacity: usize) -> Self {
+        PostingsCache {
+            capacity,
+            tick: Cell::new(0),
+            slots: RefCell::new(Vec::with_capacity(capacity.min(64))),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    fn bump(&self) -> u64 {
+        let t = self.tick.get() + 1;
+        self.tick.set(t);
+        t
+    }
+
+    fn get(&self, keyword: &str) -> Option<Arc<DeweyListBuf>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut slots = self.slots.borrow_mut();
+        if let Some(slot) = slots.iter_mut().find(|s| s.keyword == keyword) {
+            slot.last_used = self.bump();
+            self.hits.set(self.hits.get() + 1);
+            return Some(Arc::clone(&slot.postings));
+        }
+        self.misses.set(self.misses.get() + 1);
+        None
+    }
+
+    fn insert(&self, keyword: &str, postings: Arc<DeweyListBuf>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut slots = self.slots.borrow_mut();
+        let last_used = self.bump();
+        if let Some(slot) = slots.iter_mut().find(|s| s.keyword == keyword) {
+            slot.postings = postings;
+            slot.last_used = last_used;
+            return;
+        }
+        let slot = CacheSlot {
+            keyword: keyword.to_owned(),
+            postings,
+            last_used,
+        };
+        if slots.len() < self.capacity {
+            slots.push(slot);
+        } else {
+            let lru = slots
+                .iter_mut()
+                .min_by_key(|s| s.last_used)
+                .expect("capacity > 0");
+            *lru = slot;
+        }
     }
 }
 
@@ -71,15 +165,80 @@ pub struct IndexStats {
     pub postings_pages: u64,
     /// Buffer-pool counters.
     pub pool: PoolStats,
+    /// Keywords currently resident in the decoded-postings cache.
+    pub postings_cache_entries: usize,
+    /// Keyword lookups served from the decoded-postings cache.
+    pub postings_cache_hits: u64,
+    /// Keyword lookups that had to decode from pages.
+    pub postings_cache_misses: u64,
+    /// Nodes currently resident in the decoded-element cache.
+    pub element_cache_entries: usize,
+    /// Element lookups served from the decoded-element cache.
+    pub element_cache_hits: u64,
+    /// Element lookups that went through the paged binary search.
+    pub element_cache_misses: u64,
 }
 
-/// A read-only handle on an `.xks` index file.
+/// A flush-on-full map of decoded element facts, shared via `Arc` so a
+/// hit hands out the record without cloning its strings.
+#[derive(Debug)]
+struct ElementCache {
+    capacity: usize,
+    map: RefCell<HashMap<Dewey, Option<Arc<SourceElement>>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl ElementCache {
+    fn new(capacity: usize) -> Self {
+        ElementCache {
+            capacity,
+            map: RefCell::new(HashMap::with_capacity(capacity.min(1024))),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    fn get(&self, dewey: &Dewey) -> Option<Option<Arc<SourceElement>>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let hit = self.map.borrow().get(dewey).cloned();
+        match hit {
+            Some(found) => {
+                self.hits.set(self.hits.get() + 1);
+                Some(found)
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, dewey: &Dewey, element: Option<Arc<SourceElement>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.map.borrow_mut();
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(dewey.clone(), element);
+    }
+}
+
+/// A read-only handle on an `.xks` index file, with small per-reader
+/// caches of decoded postings and element facts in front of the buffer
+/// pool.
 #[derive(Debug)]
 pub struct IndexReader {
     path: PathBuf,
     pool: BufferPool,
     header: Header,
     labels: Vec<String>,
+    postings_cache: PostingsCache,
+    element_cache: ElementCache,
 }
 
 impl IndexReader {
@@ -153,6 +312,8 @@ impl IndexReader {
             pool,
             header,
             labels,
+            postings_cache: PostingsCache::new(options.postings_cache_keywords),
+            element_cache: ElementCache::new(options.element_cache_nodes),
         })
     }
 
@@ -170,6 +331,12 @@ impl IndexReader {
             postings_len: postings.len,
             postings_pages: postings.len.div_ceil(page),
             pool: self.pool.stats(),
+            postings_cache_entries: self.postings_cache.slots.borrow().len(),
+            postings_cache_hits: self.postings_cache.hits.get(),
+            postings_cache_misses: self.postings_cache.misses.get(),
+            element_cache_entries: self.element_cache.map.borrow().len(),
+            element_cache_hits: self.element_cache.hits.get(),
+            element_cache_misses: self.element_cache.misses.get(),
         }
     }
 
@@ -199,11 +366,21 @@ impl IndexReader {
         self.header.keyword_count
     }
 
-    /// Sorted Dewey postings for `keyword` (empty when absent), reading
-    /// only the pages the lookup touches.
-    pub fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, PersistError> {
+    /// The decoded posting run for `keyword` as a shared flat arena
+    /// (empty when the keyword is absent). Runs decode into a
+    /// [`DeweyListBuf`] — one components vector + offsets instead of
+    /// one heap code per posting — and land in a small per-reader LRU,
+    /// so repeated keywords skip both the page reads and the
+    /// prefix-delta decode.
+    pub fn keyword_postings(&self, keyword: &str) -> Result<Arc<DeweyListBuf>, PersistError> {
+        if let Some(cached) = self.postings_cache.get(keyword) {
+            return Ok(cached);
+        }
+        let mut buf = DeweyListBuf::new();
         let Some((_, count, run_off, run_len)) = self.find_keyword(keyword)? else {
-            return Ok(Vec::new());
+            let empty = Arc::new(buf);
+            self.postings_cache.insert(keyword, Arc::clone(&empty));
+            return Ok(empty);
         };
         let postings = self.header.section(Section::Postings);
         if run_off
@@ -218,16 +395,25 @@ impl IndexReader {
             .pool
             .read_at(postings.offset + run_off, run_len as usize)?;
         let mut pos = 0;
-        let deweys = get_postings(&bytes, &mut pos)?;
-        if deweys.len() as u64 != count {
+        get_postings_into(&bytes, &mut pos, &mut buf)?;
+        if buf.len() as u64 != count {
             return Err(PersistError::Corrupt {
                 what: format!(
                     "postings run for {keyword:?} decodes {} codes, dictionary says {count}",
-                    deweys.len()
+                    buf.len()
                 ),
             });
         }
-        Ok(deweys)
+        let decoded = Arc::new(buf);
+        self.postings_cache.insert(keyword, Arc::clone(&decoded));
+        Ok(decoded)
+    }
+
+    /// Sorted Dewey postings for `keyword` (empty when absent), reading
+    /// only the pages the lookup touches (and none at all on a postings
+    /// cache hit).
+    pub fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, PersistError> {
+        Ok(self.keyword_postings(keyword)?.to_deweys())
     }
 
     /// The element row for a Dewey code, `None` when absent. Binary
@@ -285,13 +471,34 @@ impl IndexReader {
         Ok(())
     }
 
+    /// The element facts for `dewey` through the decoded-element cache:
+    /// a hit skips the paged binary search entirely and shares the
+    /// record via `Arc` (no string clones for label-only callers).
+    fn cached_element(&self, dewey: &Dewey) -> Result<Option<Arc<SourceElement>>, PersistError> {
+        if let Some(found) = self.element_cache.get(dewey) {
+            return Ok(found);
+        }
+        let decoded = self.try_element(dewey)?.map(|record| {
+            Arc::new(SourceElement {
+                label: record.label,
+                level: record.level,
+                keyword_cid: record.own_cid,
+                subtree_cid: record.subtree_cid,
+            })
+        });
+        self.element_cache.insert(dewey, decoded.clone());
+        Ok(decoded)
+    }
+
     // ---------------------------------------------------------- internal
 
-    /// Reads entry `idx` of a `u64` offset array section.
+    /// Reads entry `idx` of a `u64` offset array section (stack buffer,
+    /// no heap allocation — this runs once per binary-search probe).
     fn offset_entry(&self, section: Section, idx: u64) -> Result<u64, PersistError> {
         let entry = self.header.section(section);
-        let bytes = self.pool.read_at(entry.offset + idx * 8, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("read 8")))
+        let (bytes, n) = self.pool.read_small(entry.offset + idx * 8, 8)?;
+        debug_assert_eq!(n, 8);
+        Ok(u64::from_le_bytes(bytes[..8].try_into().expect("read 8")))
     }
 
     /// Binary search in the keyword dictionary; returns
@@ -343,9 +550,9 @@ struct SectionCursor<'a> {
 impl SectionCursor<'_> {
     fn read_varint(&mut self) -> Result<u64, PersistError> {
         let avail = (self.end - self.pos).min(10) as usize;
-        let bytes = self.pool.read_at(self.pos, avail)?;
+        let (bytes, n) = self.pool.read_small(self.pos, avail)?;
         let mut pos = 0;
-        let v = get_varint(&bytes, &mut pos)?;
+        let v = get_varint(&bytes[..n], &mut pos)?;
         self.pos += pos as u64;
         Ok(v)
     }
@@ -479,14 +686,15 @@ impl CorpusSource for IndexReader {
     }
 
     fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
-        self.try_element(dewey)
+        self.cached_element(dewey)
             .unwrap_or_else(|e| panic!("xks-persist: element lookup failed: {e}"))
-            .map(|record| SourceElement {
-                label: record.label,
-                level: record.level,
-                keyword_cid: record.own_cid,
-                subtree_cid: record.subtree_cid,
-            })
+            .map(|rc| (*rc).clone())
+    }
+
+    fn element_label(&self, dewey: &Dewey) -> Option<u32> {
+        self.cached_element(dewey)
+            .unwrap_or_else(|e| panic!("xks-persist: element lookup failed: {e}"))
+            .map(|rc| rc.label)
     }
 
     fn label_name(&self, label: u32) -> Option<String> {
@@ -582,6 +790,59 @@ mod tests {
     }
 
     #[test]
+    fn postings_cache_serves_repeats_without_page_reads() {
+        let (reader, path) = open_publications("postings-cache.xks");
+        let first = reader.try_keyword_deweys("keyword").unwrap();
+        let after_first = reader.stats();
+        assert_eq!(after_first.postings_cache_misses, 1);
+
+        let second = reader.try_keyword_deweys("keyword").unwrap();
+        let after_second = reader.stats();
+        assert_eq!(first, second);
+        // The repeat is served from the decoded-postings LRU: no new
+        // pool traffic of any kind, one recorded cache hit.
+        assert_eq!(after_second.pool.pages_read, after_first.pool.pages_read);
+        assert_eq!(after_second.pool.cache_hits, after_first.pool.cache_hits);
+        assert_eq!(after_second.postings_cache_hits, 1);
+        assert!(after_second.postings_cache_entries >= 1);
+
+        // Absent keywords are cached too (negative lookups).
+        assert!(reader.try_keyword_deweys("unobtainium").unwrap().is_empty());
+        assert!(reader.try_keyword_deweys("unobtainium").unwrap().is_empty());
+        assert_eq!(reader.stats().postings_cache_hits, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn postings_cache_evicts_least_recently_used() {
+        let path = temp_path("postings-cache-evict.xks");
+        IndexWriter::new()
+            .write_tree(&publications(), &path)
+            .unwrap();
+        let reader = IndexReader::open_with(
+            &path,
+            ReaderOptions {
+                pool_pages: 256,
+                postings_cache_keywords: 2,
+                ..ReaderOptions::default()
+            },
+        )
+        .unwrap();
+        for kw in ["liu", "keyword", "xml"] {
+            reader.try_keyword_deweys(kw).unwrap();
+        }
+        let stats = reader.stats();
+        assert_eq!(stats.postings_cache_entries, 2, "capacity respected");
+        // "liu" was evicted by "xml"; re-reading it is a miss, while
+        // "xml" (most recent) stays a hit.
+        reader.try_keyword_deweys("xml").unwrap();
+        assert_eq!(reader.stats().postings_cache_hits, 1);
+        reader.try_keyword_deweys("liu").unwrap();
+        assert_eq!(reader.stats().postings_cache_misses, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn verify_passes_on_clean_file() {
         let path = temp_path("verify.xks");
         IndexWriter::new().write_tree(&team(), &path).unwrap();
@@ -597,7 +858,15 @@ mod tests {
             .unwrap()
             .write_tree(&publications(), &path)
             .unwrap();
-        let reader = IndexReader::open_with(&path, ReaderOptions { pool_pages: 1 }).unwrap();
+        let reader = IndexReader::open_with(
+            &path,
+            ReaderOptions {
+                pool_pages: 1,
+                postings_cache_keywords: 0,
+                ..ReaderOptions::default()
+            },
+        )
+        .unwrap();
         let doc = shred(&publications());
         for kw in ["liu", "keyword", "xml", "liu"] {
             let got = reader.try_keyword_deweys(kw).unwrap();

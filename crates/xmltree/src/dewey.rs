@@ -10,9 +10,38 @@
 //!    order) of the tree, and
 //! 2. the lowest common ancestor of two nodes is the longest common
 //!    prefix of their codes.
+//!
+//! # Representation
+//!
+//! Dewey manipulation (clone, LCA, child/parent, stack push/pop)
+//! dominates the query hot path, so codes with at most
+//! [`Dewey::INLINE_CAP`] components are stored **inline** — no heap
+//! allocation anywhere in their lifecycle. Deeper codes spill to a
+//! `Vec<u32>`. The representation is invisible to the API: equality,
+//! ordering, and hashing are defined over the component sequence, so an
+//! inline code and a spilled code with the same components are
+//! indistinguishable (property-tested in `tests/dewey_properties.rs`).
+//! [`Dewey::push_component`] / [`Dewey::truncate`] /
+//! [`Dewey::pop_component`] mutate in place so stack-shaped algorithms
+//! (ancestor walks, the ELCA stack) can reuse one cursor code instead of
+//! cloning per step.
 
 use std::fmt;
 use std::str::FromStr;
+
+/// Number of components stored inline (no heap) — see [`Dewey`].
+const INLINE_CAP: usize = 8;
+
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`INLINE_CAP`] components, no heap involvement.
+    Inline { len: u8, comps: [u32; INLINE_CAP] },
+    /// Deeper codes spill to the heap. A spilled code may temporarily
+    /// hold fewer than `INLINE_CAP` components after [`Dewey::truncate`]
+    /// (keeping its capacity for future pushes); semantics never depend
+    /// on the variant.
+    Spilled(Vec<u32>),
+}
 
 /// A Dewey code — the path of child ordinals from the root to a node.
 ///
@@ -23,17 +52,23 @@ use std::str::FromStr;
 /// paper: for two distinct nodes `u`, `v`, `u < v` iff `u` appears before
 /// `v` in a left-to-right depth-first traversal. Note that an ancestor
 /// precedes all of its descendants.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone)]
 pub struct Dewey {
-    components: Vec<u32>,
+    repr: Repr,
 }
 
 impl Dewey {
+    /// Codes with at most this many components never touch the heap.
+    pub const INLINE_CAP: usize = INLINE_CAP;
+
     /// The code of the document root, `0`.
     #[must_use]
     pub fn root() -> Self {
         Dewey {
-            components: vec![0],
+            repr: Repr::Inline {
+                len: 1,
+                comps: [0; INLINE_CAP],
+            },
         }
     }
 
@@ -42,81 +77,189 @@ impl Dewey {
     #[must_use]
     pub fn empty() -> Self {
         Dewey {
-            components: Vec::new(),
+            repr: Repr::Inline {
+                len: 0,
+                comps: [0; INLINE_CAP],
+            },
         }
     }
 
     /// Builds a code directly from components, e.g. `[0, 2, 0, 1]` for
-    /// `0.2.0.1`.
+    /// `0.2.0.1`. Short codes are canonicalized to the inline form (the
+    /// vector is dropped).
     #[must_use]
     pub fn from_components(components: Vec<u32>) -> Self {
-        Dewey { components }
+        if components.len() <= INLINE_CAP {
+            Self::from_slice(&components)
+        } else {
+            Dewey {
+                repr: Repr::Spilled(components),
+            }
+        }
+    }
+
+    /// Builds a code from a component slice without allocating when the
+    /// slice fits inline.
+    #[must_use]
+    pub fn from_slice(components: &[u32]) -> Self {
+        if components.len() <= INLINE_CAP {
+            let mut comps = [0; INLINE_CAP];
+            comps[..components.len()].copy_from_slice(components);
+            Dewey {
+                repr: Repr::Inline {
+                    len: components.len() as u8,
+                    comps,
+                },
+            }
+        } else {
+            Dewey {
+                repr: Repr::Spilled(components.to_vec()),
+            }
+        }
     }
 
     /// The components of the code.
     #[must_use]
     pub fn components(&self) -> &[u32] {
-        &self.components
+        match &self.repr {
+            Repr::Inline { len, comps } => &comps[..usize::from(*len)],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// `true` when the code is stored inline (no heap). Exposed for the
+    /// representation-equivalence tests and allocation assertions.
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Number of components; the root has length 1.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.components.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Spilled(v) => v.len(),
+        }
     }
 
     /// `true` only for the sentinel produced by [`Dewey::empty`].
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.len() == 0
     }
 
     /// Depth of the node: the root is at level 0.
     #[must_use]
     pub fn level(&self) -> usize {
-        self.components.len().saturating_sub(1)
+        self.len().saturating_sub(1)
+    }
+
+    /// Appends a component in place — [`Dewey::child`] without the new
+    /// code. Stays inline up to [`Dewey::INLINE_CAP`] components, then
+    /// spills once.
+    pub fn push_component(&mut self, component: u32) {
+        match &mut self.repr {
+            Repr::Inline { len, comps } => {
+                let n = usize::from(*len);
+                if n < INLINE_CAP {
+                    comps[n] = component;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_CAP * 2);
+                    v.extend_from_slice(comps);
+                    v.push(component);
+                    self.repr = Repr::Spilled(v);
+                }
+            }
+            Repr::Spilled(v) => v.push(component),
+        }
+    }
+
+    /// Shortens the code to `len` components in place (no-op when
+    /// already that short). A spilled code keeps its heap capacity so a
+    /// later [`Dewey::push_component`] does not reallocate.
+    pub fn truncate(&mut self, new_len: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => {
+                if usize::from(*len) > new_len {
+                    *len = new_len as u8;
+                }
+            }
+            Repr::Spilled(v) => v.truncate(new_len),
+        }
+    }
+
+    /// Removes and returns the last component, `None` on the empty
+    /// sentinel. `pop` then `push` of the same component round-trips.
+    pub fn pop_component(&mut self) -> Option<u32> {
+        match &mut self.repr {
+            Repr::Inline { len, comps } => {
+                if *len == 0 {
+                    return None;
+                }
+                *len -= 1;
+                Some(comps[usize::from(*len)])
+            }
+            Repr::Spilled(v) => v.pop(),
+        }
+    }
+
+    /// Overwrites this code with `components`, reusing a spilled code's
+    /// heap capacity when possible (a scratch-cursor `clone_from`
+    /// by slice).
+    pub fn assign(&mut self, components: &[u32]) {
+        match &mut self.repr {
+            Repr::Spilled(v)
+                if components.len() > INLINE_CAP || v.capacity() >= components.len() =>
+            {
+                v.clear();
+                v.extend_from_slice(components);
+            }
+            _ => *self = Self::from_slice(components),
+        }
     }
 
     /// The code of this node's `ordinal`-th child (0-based).
     #[must_use]
     pub fn child(&self, ordinal: u32) -> Self {
-        let mut components = Vec::with_capacity(self.components.len() + 1);
-        components.extend_from_slice(&self.components);
-        components.push(ordinal);
-        Dewey { components }
+        let mut child = self.clone();
+        child.push_component(ordinal);
+        child
     }
 
     /// The parent code, or `None` for the root (and the empty sentinel).
     #[must_use]
     pub fn parent(&self) -> Option<Self> {
-        if self.components.len() <= 1 {
+        let comps = self.components();
+        if comps.len() <= 1 {
             return None;
         }
-        Some(Dewey {
-            components: self.components[..self.components.len() - 1].to_vec(),
-        })
+        Some(Self::from_slice(&comps[..comps.len() - 1]))
     }
 
     /// The ordinal of this node among its siblings (its last component).
     #[must_use]
     pub fn ordinal(&self) -> Option<u32> {
-        self.components.last().copied()
+        self.components().last().copied()
     }
 
     /// `true` iff `self` is a **proper** ancestor of `other`
     /// (the paper's `u ≺a v`).
     #[must_use]
     pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
-        self.components.len() < other.components.len()
-            && other.components[..self.components.len()] == self.components[..]
+        let a = self.components();
+        let b = other.components();
+        a.len() < b.len() && b[..a.len()] == *a
     }
 
     /// `true` iff `self` is an ancestor of `other` or equal to it
     /// ("ancestor-or-self", the dispatch relation used by `getRTF`).
     #[must_use]
     pub fn is_ancestor_or_self(&self, other: &Dewey) -> bool {
-        self.components.len() <= other.components.len()
-            && other.components[..self.components.len()] == self.components[..]
+        let a = self.components();
+        let b = other.components();
+        a.len() <= b.len() && b[..a.len()] == *a
     }
 
     /// `true` iff `self` is a proper descendant of `other`.
@@ -129,15 +272,10 @@ impl Dewey {
     /// prefix. For codes of the same document this is never empty.
     #[must_use]
     pub fn lca(&self, other: &Dewey) -> Dewey {
-        let n = self
-            .components
-            .iter()
-            .zip(other.components.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
-        Dewey {
-            components: self.components[..n].to_vec(),
-        }
+        let a = self.components();
+        let b = other.components();
+        let n = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        Self::from_slice(&a[..n])
     }
 
     /// The LCA of a non-empty slice of codes; `None` on an empty slice.
@@ -151,15 +289,13 @@ impl Dewey {
     /// Iterator over all **proper** ancestors, nearest first
     /// (parent, grandparent, …, root).
     pub fn ancestors(&self) -> impl Iterator<Item = Dewey> + '_ {
-        let mut len = self.components.len();
+        let mut len = self.len();
         std::iter::from_fn(move || {
             if len <= 1 {
                 return None;
             }
             len -= 1;
-            Some(Dewey {
-                components: self.components[..len].to_vec(),
-            })
+            Some(Self::from_slice(&self.components()[..len]))
         })
     }
 
@@ -169,16 +305,14 @@ impl Dewey {
     /// node on the path from a keyword node up to the RTF anchor.
     pub fn path_from(&self, stop: &Dewey) -> impl Iterator<Item = Dewey> + '_ {
         debug_assert!(stop.is_ancestor_or_self(self));
-        let mut len = stop.components.len();
-        let end = self.components.len();
+        let mut len = stop.len();
+        let end = self.len();
         std::iter::from_fn(move || {
             if len >= end {
                 return None;
             }
             len += 1;
-            Some(Dewey {
-                components: self.components[..len].to_vec(),
-            })
+            Some(Self::from_slice(&self.components()[..len]))
         })
     }
 
@@ -191,20 +325,57 @@ impl Dewey {
     /// never produce).
     #[must_use]
     pub fn subtree_upper_bound(&self) -> Option<Dewey> {
-        let mut components = self.components.clone();
-        let last = components.last_mut()?;
-        *last = last.checked_add(1)?;
-        Some(Dewey { components })
+        let next = self.ordinal()?.checked_add(1)?;
+        let mut out = self.clone();
+        match &mut out.repr {
+            Repr::Inline { len, comps } => comps[usize::from(*len) - 1] = next,
+            Repr::Spilled(v) => *v.last_mut().expect("non-empty") = next,
+        }
+        Some(out)
+    }
+}
+
+impl Default for Dewey {
+    fn default() -> Self {
+        Dewey::empty()
+    }
+}
+
+impl PartialEq for Dewey {
+    fn eq(&self, other: &Self) -> bool {
+        self.components() == other.components()
+    }
+}
+
+impl Eq for Dewey {}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dewey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.components().cmp(other.components())
+    }
+}
+
+impl std::hash::Hash for Dewey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Matches what `Vec<u32>`/`&[u32]` hash to (length prefix plus
+        // components), so the representation cannot leak into hashes.
+        self.components().hash(state);
     }
 }
 
 impl fmt::Display for Dewey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.components.is_empty() {
+        if self.is_empty() {
             return write!(f, "ε");
         }
         let mut first = true;
-        for c in &self.components {
+        for c in self.components() {
             if !first {
                 write!(f, ".")?;
             }
@@ -361,5 +532,91 @@ mod tests {
         v.sort();
         let s: Vec<String> = v.iter().map(|x| x.to_string()).collect();
         assert_eq!(s, ["0", "0.0", "0.2", "0.2.0.3.0", "0.2.1"]);
+    }
+
+    // ------------------------------------------ inline/spilled behaviour
+
+    #[test]
+    fn short_codes_are_inline_deep_codes_spill() {
+        assert!(Dewey::root().is_inline());
+        assert!(Dewey::empty().is_inline());
+        assert!(d("0.1.2.3.4.5.6.7").is_inline()); // exactly INLINE_CAP
+        assert!(!d("0.1.2.3.4.5.6.7.8").is_inline());
+        // from_components canonicalizes short vectors to inline.
+        assert!(Dewey::from_components(vec![0, 1, 2]).is_inline());
+    }
+
+    #[test]
+    fn push_truncate_pop_round_trip() {
+        let mut x = Dewey::root();
+        for i in 0..12 {
+            x.push_component(i);
+        }
+        assert_eq!(x.len(), 13);
+        assert!(!x.is_inline());
+        assert_eq!(x.pop_component(), Some(11));
+        x.truncate(5);
+        assert_eq!(x.to_string(), "0.0.1.2.3");
+        // Equal to an inline-built code despite being spilled.
+        assert_eq!(x, d("0.0.1.2.3"));
+        assert!(!x.is_inline());
+        x.truncate(0);
+        assert_eq!(x, Dewey::empty());
+        assert_eq!(x.pop_component(), None);
+    }
+
+    #[test]
+    fn push_across_the_inline_boundary() {
+        let mut x = d("0.1.2.3.4.5.6.7");
+        assert!(x.is_inline());
+        x.push_component(8);
+        assert!(!x.is_inline());
+        assert_eq!(x, d("0.1.2.3.4.5.6.7.8"));
+        assert_eq!(x.pop_component(), Some(8));
+        assert_eq!(x, d("0.1.2.3.4.5.6.7"));
+    }
+
+    #[test]
+    fn assign_reuses_and_matches() {
+        let mut x = d("0.1.2.3.4.5.6.7.8"); // spilled
+        x.assign(&[0, 2]);
+        assert_eq!(x, d("0.2"));
+        let mut y = Dewey::empty();
+        y.assign(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(y.len(), 10);
+        assert_eq!(y, Dewey::from_components((0..10).collect()));
+    }
+
+    #[test]
+    fn mixed_representation_ord_eq_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let inline = d("0.3.1");
+        let mut spilled = d("0.3.1.0.0.0.0.0.0.0");
+        spilled.truncate(3); // still Spilled, same components
+        assert!(!spilled.is_inline());
+        assert_eq!(inline, spilled);
+        assert_eq!(inline.cmp(&spilled), std::cmp::Ordering::Equal);
+        let h = |x: &Dewey| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&inline), h(&spilled));
+    }
+
+    #[test]
+    fn deep_code_operations_still_correct() {
+        let deep = Dewey::from_components((0..20).collect());
+        assert_eq!(deep.len(), 20);
+        assert_eq!(deep.level(), 19);
+        assert_eq!(deep.parent().unwrap().len(), 19);
+        assert_eq!(deep.child(7).len(), 21);
+        assert_eq!(deep.ancestors().count(), 19);
+        let ub = deep.subtree_upper_bound().unwrap();
+        assert!(deep < ub);
+        assert!(!deep.is_ancestor_of(&ub));
+        let shallow = d("0.1");
+        assert_eq!(deep.lca(&shallow).to_string(), "0.1");
     }
 }

@@ -5,7 +5,10 @@
 //! Lucene; see `DESIGN.md` §2 for the substitution notes):
 //!
 //! * [`dewey`] — Dewey codes (`0.2.0.1`) with pre-order ordering,
-//!   ancestor tests, and longest-common-prefix LCA;
+//!   ancestor tests, and longest-common-prefix LCA — small codes are
+//!   stored inline (no heap) for the zero-allocation query hot path;
+//! * [`deweybuf`] — [`DeweyListBuf`], a flat arena packing a whole
+//!   posting list of Dewey codes into one components vector;
 //! * [`tree`] / [`builder`] — the arena XML tree model `T = (r, V, E, Σ, λ)`
 //!   and a programmatic builder;
 //! * [`parser`] / [`writer`] — a dependency-free XML 1.0 subset parser
@@ -23,6 +26,7 @@
 pub mod builder;
 pub mod content;
 pub mod dewey;
+pub mod deweybuf;
 pub mod error;
 pub mod fixtures;
 pub mod label;
@@ -35,6 +39,7 @@ pub mod writer;
 
 pub use builder::TreeBuilder;
 pub use dewey::Dewey;
+pub use deweybuf::DeweyListBuf;
 pub use error::{ParseError, ParseErrorKind};
 pub use label::{LabelId, LabelTable};
 pub use parser::parse;

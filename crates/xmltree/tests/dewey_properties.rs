@@ -112,3 +112,96 @@ proptest! {
         }
     }
 }
+
+/// Builds a Dewey that holds `comps` but in the **spilled** (heap)
+/// representation even when short: grow past the inline capacity, then
+/// truncate back (truncation deliberately keeps the heap buffer).
+fn spilled(comps: &[u32]) -> Dewey {
+    let mut d = Dewey::from_components(
+        comps
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(0, Dewey::INLINE_CAP + 1))
+            .collect(),
+    );
+    d.truncate(comps.len());
+    assert!(!d.is_inline(), "construction must spill");
+    d
+}
+
+fn hash_of(d: &Dewey) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    d.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// An inline code and a spilled code with the same components are
+    /// indistinguishable: equal, hash-equal, and `Ord`-equal against
+    /// arbitrary other codes of either representation.
+    #[test]
+    fn representation_never_leaks_into_eq_ord_hash(
+        a in prop::collection::vec(0u32..50, 0..12),
+        b in prop::collection::vec(0u32..50, 0..12),
+    ) {
+        let ai = Dewey::from_slice(&a);
+        let asp = spilled(&a);
+        let bi = Dewey::from_slice(&b);
+        let bsp = spilled(&b);
+        prop_assert_eq!(&ai, &asp);
+        prop_assert_eq!(hash_of(&ai), hash_of(&asp));
+        prop_assert_eq!(ai.cmp(&bi), asp.cmp(&bsp));
+        prop_assert_eq!(ai.cmp(&bsp), asp.cmp(&bi));
+        // Ordering equals the lexicographic order of the components.
+        prop_assert_eq!(ai.cmp(&bi), a.cmp(&b));
+    }
+
+    /// Parent/child and push/pop round-trip identically in both
+    /// representations, including across the inline/spill boundary.
+    #[test]
+    fn parent_child_round_trips_across_representations(
+        comps in prop::collection::vec(0u32..50, 1..12),
+        ordinal in 0u32..50,
+    ) {
+        for d in [Dewey::from_slice(&comps), spilled(&comps)] {
+            let child = d.child(ordinal);
+            prop_assert_eq!(child.parent().as_ref(), Some(&d));
+            prop_assert_eq!(child.ordinal(), Some(ordinal));
+            prop_assert!(d.is_ancestor_of(&child));
+
+            // In-place push/pop is equivalent to child()/parent().
+            let mut cursor = d.clone();
+            cursor.push_component(ordinal);
+            prop_assert_eq!(&cursor, &child);
+            prop_assert_eq!(cursor.pop_component(), Some(ordinal));
+            prop_assert_eq!(&cursor, &d);
+
+            // truncate() is equivalent to slicing the components.
+            let cut = comps.len() / 2;
+            let mut t = d.clone();
+            t.truncate(cut);
+            prop_assert_eq!(t, Dewey::from_slice(&comps[..cut]));
+        }
+    }
+
+    /// Derived traversals (ancestors, LCA, upper bound) agree between
+    /// the representations.
+    #[test]
+    fn traversals_agree_across_representations(
+        a in prop::collection::vec(0u32..50, 1..12),
+        b in prop::collection::vec(0u32..50, 1..12),
+    ) {
+        let (ai, asp) = (Dewey::from_slice(&a), spilled(&a));
+        let (bi, bsp) = (Dewey::from_slice(&b), spilled(&b));
+        let anc_i: Vec<Dewey> = ai.ancestors().collect();
+        let anc_s: Vec<Dewey> = asp.ancestors().collect();
+        prop_assert_eq!(anc_i, anc_s);
+        prop_assert_eq!(ai.lca(&bi), asp.lca(&bsp));
+        prop_assert_eq!(ai.subtree_upper_bound(), asp.subtree_upper_bound());
+        prop_assert_eq!(ai.is_ancestor_or_self(&bi), asp.is_ancestor_or_self(&bsp));
+        prop_assert_eq!(ai.level(), asp.level());
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden-digest pin of the 43-query Figure 5/6 workload.
+//!
+//! `tests/golden/workload_digest.txt` records, for every
+//! (corpus, query, algorithm) triple, the fragment count and an FNV-1a
+//! digest of the rendered fragments — captured **before** the
+//! zero-allocation Dewey/postings rewrite. This test re-runs the whole
+//! workload and compares line by line, proving the rewrite is
+//! byte-identical on real query traffic (the memory/disk differential
+//! in `persist_differential.rs` separately proves backend equality).
+//!
+//! Regenerate deliberately with `XKS_BLESS_GOLDEN=1 cargo test -q
+//! --test workload_golden` after a change that is *supposed* to alter
+//! results.
+
+use xks::core::{AlgorithmKind, MemoryCorpus, SearchEngine};
+use xks::datagen::queries::{dblp_workload, xmark_workload};
+use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
+use xks::index::Query;
+use xks::store::shred;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/workload_digest.txt"
+);
+
+fn fnv1a(bytes: &[u8], hash: &mut u64) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn algorithm_name(kind: AlgorithmKind) -> &'static str {
+    match kind {
+        AlgorithmKind::ValidRtf => "ValidRtf",
+        AlgorithmKind::MaxMatchRtf => "MaxMatchRtf",
+        AlgorithmKind::MaxMatchSlca => "MaxMatchSlca",
+    }
+}
+
+fn digest_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for (corpus, tree, workload) in [
+        (
+            "dblp",
+            generate_dblp(&DblpConfig::with_records(1_000, 42)),
+            dblp_workload(),
+        ),
+        (
+            "xmark",
+            generate_xmark(&XmarkConfig::sized(XmarkSize::Standard, 60, 42)),
+            xmark_workload(),
+        ),
+    ] {
+        let engine = SearchEngine::from_source(MemoryCorpus::new(shred(&tree)));
+        let source = engine.corpus().expect("source-backed engine");
+        for (abbrev, keywords) in &workload {
+            let query = Query::parse(keywords).unwrap();
+            for kind in [
+                AlgorithmKind::ValidRtf,
+                AlgorithmKind::MaxMatchRtf,
+                AlgorithmKind::MaxMatchSlca,
+            ] {
+                let result = engine.search(&query, kind);
+                let mut hash = 0xCBF2_9CE4_8422_2325u64;
+                for fragment in &result.fragments {
+                    fnv1a(fragment.render_source(source).as_bytes(), &mut hash);
+                    fnv1a(b"\x1e", &mut hash);
+                }
+                lines.push(format!(
+                    "{corpus}/{abbrev}/{}: fragments={} fnv={hash:016x}",
+                    algorithm_name(kind),
+                    result.fragments.len(),
+                ));
+            }
+        }
+    }
+    lines
+}
+
+#[test]
+fn workload_results_match_golden_digest() {
+    let lines = digest_lines();
+    assert_eq!(lines.len(), 43 * 3, "43 workload queries x 3 algorithms");
+    let rendered = lines.join("\n") + "\n";
+
+    if std::env::var("XKS_BLESS_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN, &rendered).unwrap();
+        eprintln!("blessed {GOLDEN}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden digest missing; run with XKS_BLESS_GOLDEN=1 to record it");
+    for (i, (got, want)) in rendered.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(got, want, "digest line {i} diverged from the golden file");
+    }
+    assert_eq!(
+        rendered.lines().count(),
+        golden.lines().count(),
+        "digest line count diverged from the golden file"
+    );
+}

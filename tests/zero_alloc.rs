@@ -1,0 +1,132 @@
+//! Counting-allocator proof of the zero-allocation hot path.
+//!
+//! A global allocator wrapper counts every `alloc`/`realloc` while a
+//! measurement window is open. The assertions pin the PR's contract:
+//!
+//! 1. every Dewey operation on codes within `Dewey::INLINE_CAP`
+//!    components is heap-free (clone, child/parent, LCA, ancestor
+//!    iteration, in-place push/truncate);
+//! 2. a **warm** anchor pipeline — posting merge, ELCA stack, SLCA
+//!    eager lookup over real resolved keyword-node sets, with reused
+//!    scratch buffers — performs zero heap allocations;
+//! 3. a **warm** `.xks` postings decode into a reused [`DeweyListBuf`]
+//!    arena performs zero heap allocations.
+//!
+//! The whole proof lives in ONE `#[test]` so no concurrently running
+//! test can disturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use xks::datagen::{generate_dblp, DblpConfig};
+use xks::index::{InvertedIndex, Query};
+use xks::lca::{elca_from_merged, indexed_lookup_eager_into, merge_postings_into, ElcaScratch};
+use xks::persist::codec::{get_postings_into, put_postings};
+use xks::xmltree::{Dewey, DeweyListBuf};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Counts heap allocations performed by `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    COUNTING.store(true, Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.store(false, Ordering::SeqCst);
+    after - before
+}
+
+#[test]
+fn warm_query_hot_path_is_allocation_free() {
+    // ---- 1. Inline Dewey operations ------------------------------------
+    let a: Dewey = "0.2.0.1".parse().unwrap();
+    let b: Dewey = "0.2.0.3.0".parse().unwrap();
+    assert!(a.is_inline() && b.is_inline());
+    let n = count_allocs(|| {
+        let mut cursor = a.clone();
+        cursor.push_component(7);
+        cursor.truncate(2);
+        cursor.pop_component();
+        let child = a.child(3);
+        let parent = b.parent();
+        let lca = a.lca(&b);
+        let upper = b.subtree_upper_bound();
+        let ancestors = b.ancestors().count();
+        let ord = a < b && a.is_ancestor_of(&b) == b.is_descendant_of(&a);
+        std::hint::black_box((cursor, child, parent, lca, upper, ancestors, ord));
+    });
+    assert_eq!(n, 0, "inline Dewey ops allocated {n} times");
+
+    // ---- 2. Warm anchor pipeline over a real corpus --------------------
+    let tree = generate_dblp(&DblpConfig::with_records(500, 7));
+    let index = InvertedIndex::build(&tree);
+    let query = Query::parse("data algorithm").unwrap();
+    let sets = index.resolve(&query).expect("both keywords present");
+    assert!(
+        sets.sets()
+            .iter()
+            .flatten()
+            .all(|d| d.len() <= Dewey::INLINE_CAP),
+        "corpus codes must fit inline for the zero-allocation contract"
+    );
+
+    let mut merged = Vec::new();
+    let mut elca_scratch = ElcaScratch::default();
+    let mut anchors = Vec::new();
+    let mut slcas = Vec::new();
+    // Warm pass grows every buffer to steady-state capacity.
+    merge_postings_into(sets.sets(), &mut merged);
+    elca_from_merged(&merged, sets.len(), &mut elca_scratch, &mut anchors);
+    indexed_lookup_eager_into(sets.sets(), &mut slcas);
+    let warm_anchors = anchors.len();
+    assert!(warm_anchors > 0, "workload query must produce anchors");
+
+    let n = count_allocs(|| {
+        merge_postings_into(sets.sets(), &mut merged);
+        elca_from_merged(&merged, sets.len(), &mut elca_scratch, &mut anchors);
+        indexed_lookup_eager_into(sets.sets(), &mut slcas);
+    });
+    assert_eq!(n, 0, "warm anchor pipeline allocated {n} times");
+    assert_eq!(anchors.len(), warm_anchors, "results unchanged when warm");
+
+    // ---- 3. Warm postings decode into the flat arena -------------------
+    let postings: Vec<Dewey> = sets.set(0).to_vec();
+    let mut encoded = Vec::new();
+    put_postings(&mut encoded, &postings);
+    let mut arena = DeweyListBuf::new();
+    let mut pos = 0;
+    get_postings_into(&encoded, &mut pos, &mut arena).expect("clean decode");
+    assert_eq!(arena.len(), postings.len());
+
+    let n = count_allocs(|| {
+        let mut pos = 0;
+        get_postings_into(&encoded, &mut pos, &mut arena).expect("clean decode");
+    });
+    assert_eq!(n, 0, "warm arena decode allocated {n} times");
+}
