@@ -79,8 +79,8 @@ fn build_workloads() -> Vec<Workload> {
             .map(|(_, keywords)| Query::parse(keywords).unwrap())
             .collect();
         out.push(Workload {
-            memory: SearchEngine::from_source(MemoryCorpus::new(doc)),
-            disk: SearchEngine::from_source(IndexReader::open(&path).unwrap()),
+            memory: SearchEngine::from_owned_source(MemoryCorpus::new(doc)),
+            disk: SearchEngine::from_owned_source(IndexReader::open(&path).unwrap()),
             queries,
         });
     }

@@ -59,7 +59,7 @@ fn cold_load(c: &mut Criterion) {
     group.bench_function("json_snapshot_then_query", |b| {
         b.iter(|| {
             let doc = snapshot::load(black_box(&json_path)).expect("snapshot loads");
-            let engine = SearchEngine::from_source(MemoryCorpus::new(doc));
+            let engine = SearchEngine::from_owned_source(MemoryCorpus::new(doc));
             black_box(
                 engine
                     .search(&query, AlgorithmKind::ValidRtf)
@@ -71,7 +71,7 @@ fn cold_load(c: &mut Criterion) {
     group.bench_function("xks_open_then_query", |b| {
         b.iter(|| {
             let reader = IndexReader::open(black_box(&xks_path)).expect("index opens");
-            let engine = SearchEngine::from_source(reader);
+            let engine = SearchEngine::from_owned_source(reader);
             black_box(
                 engine
                     .search(&query, AlgorithmKind::ValidRtf)
@@ -83,7 +83,7 @@ fn cold_load(c: &mut Criterion) {
     // The steady-state comparison: keep the reader (and its warm pool)
     // across queries, as a server would.
     let reader = IndexReader::open(&xks_path).expect("index opens");
-    let engine = SearchEngine::from_source(reader);
+    let engine = SearchEngine::from_owned_source(reader);
     group.bench_function("xks_warm_query", |b| {
         b.iter(|| {
             black_box(

@@ -19,13 +19,13 @@
 use std::time::{Duration, Instant};
 
 use xks_index::{InvertedIndex, KeywordNodeSets, Query};
-use xks_lca::{elca_from_merged, indexed_lookup_eager_into, merge_postings_into};
+use xks_lca::{elca_into_context, slca_into_context};
 use xks_xmltree::XmlTree;
 
 use crate::fragment::Fragment;
 use crate::prune::{prune, prune_owned, Policy};
 use crate::rtf::{get_rtf_from_merged, Rtf};
-use crate::scratch::QueryScratch;
+use crate::scratch::QueryContext;
 use crate::source::CorpusSource;
 
 /// Which anchor semantics stage 2 uses.
@@ -109,59 +109,45 @@ pub fn run_from_sets(
     policy: Policy,
     timings: StageTimings,
 ) -> RunOutput {
-    let mut scratch = QueryScratch::default();
-    run_from_sets_with_scratch(tree, sets, anchors, policy, timings, &mut scratch)
+    let mut ctx = QueryContext::default();
+    run_from_sets_with_context(tree, sets, anchors, policy, timings, &mut ctx)
 }
 
 /// `getLCA` + `getRTF` with shared buffers: merge the posting stream
-/// **once** into the scratch, compute anchors from it, dispatch keyword
-/// nodes over it. Returns the RTFs; anchors stay in `scratch.anchors`.
+/// **once** into the context, compute anchors from it, dispatch keyword
+/// nodes over it. Returns the RTFs; anchors stay in `ctx.anchors`.
 fn anchor_stages(
     sets: &KeywordNodeSets,
     anchors: AnchorSemantics,
     timings: &mut StageTimings,
-    scratch: &mut QueryScratch,
+    ctx: &mut QueryContext,
 ) -> Vec<Rtf> {
     let t = Instant::now();
-    if sets.is_empty() || sets.sets().iter().any(Vec::is_empty) {
-        // No node can cover the query; keep the guard the wrappers in
-        // `xks-lca` used to apply.
-        scratch.merged.clear();
-        scratch.anchors.clear();
-    } else {
-        merge_postings_into(sets.sets(), &mut scratch.merged);
-        match anchors {
-            AnchorSemantics::AllLca => elca_from_merged(
-                &scratch.merged,
-                sets.len(),
-                &mut scratch.elca,
-                &mut scratch.anchors,
-            ),
-            AnchorSemantics::SlcaOnly => {
-                indexed_lookup_eager_into(sets.sets(), &mut scratch.anchors);
-            }
-        }
+    match anchors {
+        AnchorSemantics::AllLca => elca_into_context(sets.sets(), ctx),
+        AnchorSemantics::SlcaOnly => slca_into_context(sets.sets(), ctx),
     }
     timings.get_lca = t.elapsed();
 
     let t = Instant::now();
-    let rtfs = get_rtf_from_merged(&scratch.anchors, &scratch.merged, sets);
+    let rtfs = get_rtf_from_merged(&ctx.anchors, &ctx.merged, sets);
     timings.get_rtf = t.elapsed();
     rtfs
 }
 
-/// Like [`run_from_sets`] but reusing a caller-owned [`QueryScratch`] —
-/// the warm-engine entry point [`crate::engine::SearchEngine`] uses.
+/// Like [`run_from_sets`] but reusing a caller-owned per-thread
+/// [`QueryContext`] — the warm-engine entry point
+/// [`crate::engine::SearchEngine`] and the [`crate::executor`] use.
 #[must_use]
-pub fn run_from_sets_with_scratch(
+pub fn run_from_sets_with_context(
     tree: &XmlTree,
     sets: &KeywordNodeSets,
     anchors: AnchorSemantics,
     policy: Policy,
     mut timings: StageTimings,
-    scratch: &mut QueryScratch,
+    ctx: &mut QueryContext,
 ) -> RunOutput {
-    let rtfs = anchor_stages(sets, anchors, &mut timings, scratch);
+    let rtfs = anchor_stages(sets, anchors, &mut timings, ctx);
 
     let t = Instant::now();
     let raw: Vec<Fragment> = rtfs.iter().map(|r| Fragment::construct(tree, r)).collect();
@@ -210,14 +196,14 @@ pub(crate) fn run_query_tree(
     query: &Query,
     anchors: AnchorSemantics,
     policy: Policy,
-    scratch: &mut QueryScratch,
+    ctx: &mut QueryContext,
 ) -> Option<(Vec<Fragment>, StageTimings)> {
     let mut timings = StageTimings::default();
     let t0 = Instant::now();
     let sets = index.resolve(query)?;
     timings.get_keyword_nodes = t0.elapsed();
 
-    let rtfs = anchor_stages(&sets, anchors, &mut timings, scratch);
+    let rtfs = anchor_stages(&sets, anchors, &mut timings, ctx);
     let t = Instant::now();
     let fragments: Vec<Fragment> = rtfs
         .iter()
@@ -234,14 +220,14 @@ pub(crate) fn run_query_source(
     query: &Query,
     anchors: AnchorSemantics,
     policy: Policy,
-    scratch: &mut QueryScratch,
+    ctx: &mut QueryContext,
 ) -> Option<(Vec<Fragment>, StageTimings)> {
     let mut timings = StageTimings::default();
     let t0 = Instant::now();
     let sets = source.resolve(query)?;
     timings.get_keyword_nodes = t0.elapsed();
 
-    let rtfs = anchor_stages(&sets, anchors, &mut timings, scratch);
+    let rtfs = anchor_stages(&sets, anchors, &mut timings, ctx);
     let t = Instant::now();
     let fragments: Vec<Fragment> = rtfs
         .iter()
@@ -260,22 +246,22 @@ pub fn run_from_sets_source(
     policy: Policy,
     timings: StageTimings,
 ) -> RunOutput {
-    let mut scratch = QueryScratch::default();
-    run_from_sets_source_with_scratch(source, sets, anchors, policy, timings, &mut scratch)
+    let mut ctx = QueryContext::default();
+    run_from_sets_source_with_context(source, sets, anchors, policy, timings, &mut ctx)
 }
 
-/// Like [`run_from_sets_source`] but reusing a caller-owned
-/// [`QueryScratch`].
+/// Like [`run_from_sets_source`] but reusing a caller-owned per-thread
+/// [`QueryContext`].
 #[must_use]
-pub fn run_from_sets_source_with_scratch(
+pub fn run_from_sets_source_with_context(
     source: &dyn CorpusSource,
     sets: &KeywordNodeSets,
     anchors: AnchorSemantics,
     policy: Policy,
     mut timings: StageTimings,
-    scratch: &mut QueryScratch,
+    ctx: &mut QueryContext,
 ) -> RunOutput {
-    let rtfs = anchor_stages(sets, anchors, &mut timings, scratch);
+    let rtfs = anchor_stages(sets, anchors, &mut timings, ctx);
 
     let t = Instant::now();
     let raw: Vec<Fragment> = rtfs

@@ -2,7 +2,7 @@
 //! queries with either algorithm and producing the §5.1 comparison in
 //! one call.
 
-use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use xks_index::{InvertedIndex, Query};
@@ -12,7 +12,7 @@ use crate::algorithms::{AnchorSemantics, StageTimings};
 use crate::fragment::Fragment;
 use crate::metrics::{effectiveness, Effectiveness};
 use crate::prune::Policy;
-use crate::scratch::QueryScratch;
+use crate::scratch::QueryContext;
 use crate::source::CorpusSource;
 
 /// Which end-to-end algorithm to run.
@@ -71,19 +71,37 @@ pub struct Comparison {
 #[derive(Debug)]
 enum Backend {
     Tree { tree: XmlTree, index: InvertedIndex },
-    Source(Box<dyn CorpusSource>),
+    Source(Arc<dyn CorpusSource>),
 }
 
 /// Document + index, ready to answer keyword queries.
 ///
-/// The engine owns a [`QueryScratch`] reused across queries (behind a
-/// `RefCell`, so `search` stays `&self`): a warm engine's anchor
-/// pipeline runs without heap allocation.
+/// `SearchEngine` is the shared **immutable** half of the read path —
+/// it is `Send + Sync` and designed to be queried from many threads at
+/// once (see [`crate::executor`]). All per-query mutable state lives in
+/// a [`QueryContext`]:
+///
+/// * [`SearchEngine::search_with`] takes an explicit `&mut
+///   QueryContext` — the per-thread, lock-free path the concurrent
+///   executor uses;
+/// * [`SearchEngine::search`] keeps the convenient `&self` signature by
+///   checking a context in and out of a small internal pool (one
+///   uncontended `Mutex` lock per query, never held across the query).
+///
+/// A warm context answers queries without heap allocation in the
+/// anchor pipeline (asserted by the workspace's counting-allocator
+/// test).
 #[derive(Debug)]
 pub struct SearchEngine {
     backend: Backend,
-    scratch: RefCell<QueryScratch>,
+    /// Pool of warm contexts for the `&self` entry points. Capped so a
+    /// burst of threads cannot pin unbounded scratch memory.
+    contexts: Mutex<Vec<QueryContext>>,
 }
+
+/// Most contexts a [`SearchEngine`] keeps warm for its `&self` entry
+/// points; checked-in contexts beyond this are dropped.
+const CONTEXT_POOL_CAP: usize = 64;
 
 impl SearchEngine {
     /// Builds the engine from a parsed tree (index construction happens
@@ -93,20 +111,32 @@ impl SearchEngine {
         let index = InvertedIndex::build(&tree);
         SearchEngine {
             backend: Backend::Tree { tree, index },
-            scratch: RefCell::new(QueryScratch::default()),
+            contexts: Mutex::new(Vec::new()),
         }
     }
 
-    /// Builds the engine over a [`CorpusSource`] backend. ValidRTF /
-    /// MaxMatch then run against the source's stored postings and node
-    /// facts — identical results to the tree path for the same corpus,
-    /// without requiring the parsed document in memory.
+    /// Builds the engine over a **shared** [`CorpusSource`] backend —
+    /// the index-handle form: one opened corpus (e.g. an
+    /// `xks_persist::IndexReader` with its buffer pool and caches) can
+    /// back any number of engines and outside observers without
+    /// reopening the file. ValidRTF / MaxMatch run against the source's
+    /// stored postings and node facts — identical results to the tree
+    /// path for the same corpus, without requiring the parsed document
+    /// in memory.
     #[must_use]
-    pub fn from_source(source: impl CorpusSource + 'static) -> Self {
+    pub fn from_source(source: Arc<dyn CorpusSource>) -> Self {
         SearchEngine {
-            backend: Backend::Source(Box::new(source)),
-            scratch: RefCell::new(QueryScratch::default()),
+            backend: Backend::Source(source),
+            contexts: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Convenience form of [`SearchEngine::from_source`] for callers
+    /// that don't need to keep a handle on the source: wraps an owned
+    /// corpus in an `Arc` internally.
+    #[must_use]
+    pub fn from_owned_source(source: impl CorpusSource + 'static) -> Self {
+        Self::from_source(Arc::new(source))
     }
 
     /// The underlying document.
@@ -149,10 +179,28 @@ impl SearchEngine {
         }
     }
 
-    /// Runs one algorithm on one query.
+    /// Runs one algorithm on one query, reusing a pooled
+    /// [`QueryContext`] (one short `Mutex` lock to check it out, one to
+    /// return it; the query itself runs lock-free).
     #[must_use]
     pub fn search(&self, query: &Query, kind: AlgorithmKind) -> SearchResult {
-        let scratch = &mut *self.scratch.borrow_mut();
+        let mut ctx = self.checkout_context();
+        let result = self.search_with(query, kind, &mut ctx);
+        self.checkin_context(ctx);
+        result
+    }
+
+    /// Runs one algorithm on one query with a caller-owned per-thread
+    /// [`QueryContext`] — the lock-free path. Threads sharing one
+    /// engine each bring their own context; a warm context answers
+    /// without allocating in the anchor pipeline.
+    #[must_use]
+    pub fn search_with(
+        &self,
+        query: &Query,
+        kind: AlgorithmKind,
+        ctx: &mut QueryContext,
+    ) -> SearchResult {
         let output = match &self.backend {
             Backend::Tree { tree, index } => crate::algorithms::run_query_tree(
                 tree,
@@ -160,14 +208,14 @@ impl SearchEngine {
                 query,
                 kind.anchor(),
                 kind.policy(),
-                scratch,
+                ctx,
             ),
             Backend::Source(source) => crate::algorithms::run_query_source(
                 source.as_ref(),
                 query,
                 kind.anchor(),
                 kind.policy(),
-                scratch,
+                ctx,
             ),
         };
         match output {
@@ -176,6 +224,25 @@ impl SearchEngine {
                 fragments: Vec::new(),
                 timings: StageTimings::default(),
             },
+        }
+    }
+
+    /// Takes a warm context from the pool (or makes a fresh one). The
+    /// executor's workers use this too, so batches stay warm across
+    /// calls.
+    pub(crate) fn checkout_context(&self) -> QueryContext {
+        self.contexts
+            .lock()
+            .expect("context pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a context to the pool, dropping it if the pool is full.
+    pub(crate) fn checkin_context(&self, ctx: QueryContext) {
+        let mut pool = self.contexts.lock().expect("context pool lock");
+        if pool.len() < CONTEXT_POOL_CAP {
+            pool.push(ctx);
         }
     }
 
@@ -226,6 +293,41 @@ mod tests {
 
     fn q(s: &str) -> Query {
         Query::parse(s).unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SearchEngine>();
+    }
+
+    #[test]
+    fn search_with_matches_pooled_search() {
+        let engine = SearchEngine::new(publications());
+        let query = q(PAPER_QUERIES[2]);
+        let pooled = engine.search(&query, AlgorithmKind::ValidRtf);
+        let mut ctx = QueryContext::new();
+        let explicit = engine.search_with(&query, AlgorithmKind::ValidRtf, &mut ctx);
+        assert_eq!(pooled.fragments, explicit.fragments);
+        // The pooled context was checked back in and gets reused.
+        assert_eq!(engine.contexts.lock().unwrap().len(), 1);
+        let _ = engine.search(&query, AlgorithmKind::ValidRtf);
+        assert_eq!(engine.contexts.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_source_backs_many_engines() {
+        use crate::source::MemoryCorpus;
+        use std::sync::Arc;
+        let corpus: Arc<dyn crate::source::CorpusSource> =
+            Arc::new(MemoryCorpus::new(xks_store::shred(&publications())));
+        let a = SearchEngine::from_source(Arc::clone(&corpus));
+        let b = SearchEngine::from_source(corpus);
+        let query = q(PAPER_QUERIES[2]);
+        assert_eq!(
+            a.search(&query, AlgorithmKind::ValidRtf).fragments,
+            b.search(&query, AlgorithmKind::ValidRtf).fragments,
+        );
     }
 
     #[test]

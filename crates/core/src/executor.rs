@@ -1,0 +1,186 @@
+//! Concurrent query executor: many queries, one shared engine.
+//!
+//! The read path splits into a shared immutable half (the
+//! [`SearchEngine`] over its corpus — `Send + Sync`) and a per-thread
+//! mutable half (the [`QueryContext`]). [`run_batch`] exploits that
+//! split: worker threads share one engine by reference, each owns one
+//! warm context, and they **steal work** from a single atomic cursor
+//! over the query slice — no queue, no channel, no lock on the query
+//! path. A thread that draws expensive queries simply claims fewer of
+//! them; idle threads drain the remainder.
+//!
+//! Results come back in input order regardless of which thread answered
+//! which query, so `run_batch(.., 1)` and `run_batch(.., N)` are
+//! byte-identical (asserted by the tests here and the workspace's
+//! concurrent differential test).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xks_index::Query;
+
+use crate::engine::{AlgorithmKind, SearchEngine, SearchResult};
+
+/// How a batch run distributed its work (returned by
+/// [`run_batch_stats`]).
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Worker threads actually spawned.
+    pub threads: usize,
+    /// Queries answered by each worker (sums to the batch size).
+    pub per_thread: Vec<usize>,
+}
+
+/// Runs every query through `engine` with `kind`, fanned out over
+/// `threads` worker threads, returning results **in input order**.
+///
+/// `threads == 0` is treated as 1; `threads == 1` runs inline on the
+/// calling thread (no spawn). The engine is borrowed, not cloned — all
+/// workers share its corpus, caches, and buffer pool.
+#[must_use]
+pub fn run_batch(
+    engine: &SearchEngine,
+    queries: &[Query],
+    kind: AlgorithmKind,
+    threads: usize,
+) -> Vec<SearchResult> {
+    run_batch_stats(engine, queries, kind, threads).0
+}
+
+/// Like [`run_batch`] but also reporting how many queries each worker
+/// claimed — the observability hook the `hotpath_mt` bench and the CLI
+/// use.
+#[must_use]
+pub fn run_batch_stats(
+    engine: &SearchEngine,
+    queries: &[Query],
+    kind: AlgorithmKind,
+    threads: usize,
+) -> (Vec<SearchResult>, BatchStats) {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads == 1 {
+        // Contexts come from the engine's warm pool (and go back), so
+        // repeated batches don't re-grow their buffers.
+        let mut ctx = engine.checkout_context();
+        let results = queries
+            .iter()
+            .map(|q| engine.search_with(q, kind, &mut ctx))
+            .collect();
+        engine.checkin_context(ctx);
+        return (
+            results,
+            BatchStats {
+                threads: 1,
+                per_thread: vec![queries.len()],
+            },
+        );
+    }
+
+    // Work-stealing cursor: each worker claims the next unanswered
+    // query index. Workers collect (index, result) pairs locally, so
+    // the only shared write is the cursor itself.
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, SearchResult)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut ctx = engine.checkout_context();
+                let mut mine = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(query) = queries.get(i) else { break };
+                    mine.push((i, engine.search_with(query, kind, &mut ctx)));
+                }
+                engine.checkin_context(ctx);
+                mine
+            }));
+        }
+        for handle in handles {
+            collected.push(handle.join().expect("executor worker panicked"));
+        }
+    });
+
+    let per_thread: Vec<usize> = collected.iter().map(Vec::len).collect();
+    let mut results: Vec<Option<SearchResult>> = (0..queries.len()).map(|_| None).collect();
+    for (i, result) in collected.into_iter().flatten() {
+        results[i] = Some(result);
+    }
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every query index claimed exactly once"))
+        .collect();
+    (
+        results,
+        BatchStats {
+            threads,
+            per_thread,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemoryCorpus;
+    use std::sync::Arc;
+    use xks_store::shred;
+    use xks_xmltree::fixtures::{publications, PAPER_QUERIES};
+
+    fn queries() -> Vec<Query> {
+        // Repeat the paper queries so the batch is bigger than the
+        // thread count and the cursor actually strides.
+        PAPER_QUERIES
+            .iter()
+            .cycle()
+            .take(24)
+            .map(|s| Query::parse(s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_batch_matches_sequential() {
+        let engine = SearchEngine::from_owned_source(MemoryCorpus::new(shred(&publications())));
+        let queries = queries();
+        let sequential = run_batch(&engine, &queries, AlgorithmKind::ValidRtf, 1);
+        for threads in [2, 4, 8] {
+            let concurrent = run_batch(&engine, &queries, AlgorithmKind::ValidRtf, threads);
+            assert_eq!(sequential.len(), concurrent.len());
+            for (s, c) in sequential.iter().zip(&concurrent) {
+                assert_eq!(s.fragments, c.fragments, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_query() {
+        let engine = SearchEngine::from_owned_source(MemoryCorpus::new(shred(&publications())));
+        let queries = queries();
+        let (results, stats) = run_batch_stats(&engine, &queries, AlgorithmKind::MaxMatchRtf, 3);
+        assert_eq!(results.len(), queries.len());
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.per_thread.iter().sum::<usize>(), queries.len());
+    }
+
+    #[test]
+    fn degenerate_batches() {
+        let engine = SearchEngine::new(publications());
+        assert!(run_batch(&engine, &[], AlgorithmKind::ValidRtf, 4).is_empty());
+        let one = vec![Query::parse(PAPER_QUERIES[2]).unwrap()];
+        // 0 threads clamps to 1; more threads than queries clamps down.
+        let a = run_batch(&engine, &one, AlgorithmKind::ValidRtf, 0);
+        let b = run_batch(&engine, &one, AlgorithmKind::ValidRtf, 16);
+        assert_eq!(a[0].fragments, b[0].fragments);
+        assert_eq!(a[0].fragments.len(), 1);
+    }
+
+    #[test]
+    fn engines_over_one_shared_source_run_batches_concurrently() {
+        let corpus: Arc<dyn crate::source::CorpusSource> =
+            Arc::new(MemoryCorpus::new(shred(&publications())));
+        let engine = SearchEngine::from_source(corpus);
+        let queries = queries();
+        let (results, _) = run_batch_stats(&engine, &queries, AlgorithmKind::ValidRtf, 4);
+        assert_eq!(results.len(), queries.len());
+    }
+}

@@ -43,6 +43,7 @@
 pub mod algorithms;
 pub mod axioms;
 pub mod engine;
+pub mod executor;
 pub mod fragment;
 pub mod keyset;
 pub mod metrics;
@@ -55,11 +56,12 @@ pub mod spec;
 
 pub use algorithms::{max_match_rtf, max_match_slca, valid_rtf};
 pub use engine::{AlgorithmKind, SearchEngine};
+pub use executor::{run_batch, run_batch_stats, BatchStats};
 pub use fragment::Fragment;
 pub use keyset::KeySet;
 pub use metrics::{effectiveness, Effectiveness};
 pub use prune::{prune, prune_owned, Policy};
 pub use rank::{rank, RankWeights, RankedFragment};
 pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};
-pub use scratch::QueryScratch;
+pub use scratch::{QueryContext, QueryScratch};
 pub use source::{CorpusSource, MemoryCorpus, SourceElement};

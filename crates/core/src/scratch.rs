@@ -1,45 +1,20 @@
-//! Reusable per-engine working memory for the query hot path.
+//! Per-thread query working memory — re-exported from `xks-lca`.
 //!
-//! Every stage of Algorithm 1 needs transient buffers: the merged
-//! document-ordered posting stream (shared by `getLCA` *and* `getRTF`,
-//! which previously re-merged it), the anchor list, and the ELCA mask
-//! stack. A [`QueryScratch`] owns all of them so a warm engine answers
-//! queries without re-allocating any of it — combined with inline
-//! [`Dewey`] codes this makes the anchor pipeline
-//! allocation-free (asserted by the workspace's counting-allocator
-//! test).
+//! PR 2 introduced a per-engine `QueryScratch` holding the merged
+//! posting stream, anchor list, and ELCA buffers. The concurrency
+//! refactor generalized it into [`xks_lca::QueryContext`] — the
+//! *mutable per-thread half* of the read path, owned one-per-thread by
+//! the [`crate::executor`] and checked in/out of a pool by
+//! [`crate::engine::SearchEngine::search`] — and moved it down into
+//! `xks-lca` so the scratch-taking LCA entry points
+//! ([`xks_lca::elca_into_context`], [`xks_lca::slca_into_context`])
+//! accept it directly.
 
-use xks_lca::ElcaScratch;
-use xks_xmltree::Dewey;
+pub use xks_lca::QueryContext;
 
-/// Working buffers reused across queries by one engine (or one thread).
-///
-/// [`crate::engine::SearchEngine`] holds one behind a `RefCell`;
-/// standalone callers of
-/// [`crate::algorithms::run_from_sets_with_scratch`] can manage their
-/// own.
-#[derive(Debug, Default)]
-pub struct QueryScratch {
-    /// Merged `(dewey, keyword-bitmask)` posting stream in document
-    /// order — computed once per query, consumed by both `getLCA` and
-    /// `getRTF`.
-    pub(crate) merged: Vec<(Dewey, u64)>,
-    /// The anchor nodes of the current query (ELCA or SLCA set).
-    pub(crate) anchors: Vec<Dewey>,
-    /// The ELCA stack's mask/path buffers.
-    pub(crate) elca: ElcaScratch,
-}
-
-impl QueryScratch {
-    /// A fresh scratch (buffers grow on first use).
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Drops the buffered capacity (e.g. after an unusually large
-    /// query, to return memory to the allocator).
-    pub fn shrink(&mut self) {
-        *self = Self::default();
-    }
-}
+/// The pre-concurrency name of [`QueryContext`]. The scratch-taking
+/// entry points themselves were renamed (`run_from_sets_with_scratch`
+/// → [`crate::algorithms::run_from_sets_with_context`], and likewise
+/// for the source form), so this alias only preserves the *type* name
+/// for code that constructed a `QueryScratch` directly.
+pub type QueryScratch = QueryContext;

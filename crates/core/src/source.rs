@@ -44,7 +44,13 @@ pub struct SourceElement {
 /// Implementations must present postings **sorted in document order and
 /// deduplicated**, and label ids consistent between
 /// [`CorpusSource::element`] and [`CorpusSource::label_name`].
-pub trait CorpusSource: std::fmt::Debug {
+///
+/// The trait requires `Send + Sync`: a corpus is the shared immutable
+/// half of the read path (the *index handle*), designed to back many
+/// engines and query threads at once behind an `Arc` — all per-query
+/// mutable state lives in a per-thread
+/// [`QueryContext`](crate::QueryContext) instead.
+pub trait CorpusSource: std::fmt::Debug + Send + Sync {
     /// Sorted Dewey codes of the keyword nodes for `keyword`
     /// (empty when the keyword is absent).
     fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey>;
@@ -86,7 +92,9 @@ macro_rules! delegate_corpus_source {
     ($($ptr:ident),*) => {$(
         /// Delegation so engines can share a source with outside
         /// observers (e.g. keep reading an index reader's stats while a
-        /// `SearchEngine` owns it).
+        /// `SearchEngine` owns it). `Rc` deliberately has no delegation:
+        /// a corpus is the shared `Send + Sync` half of the read path,
+        /// so cross-owner sharing goes through `Arc`.
         impl<S: CorpusSource + ?Sized> CorpusSource for $ptr<S> {
             fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
                 (**self).keyword_deweys(keyword)
@@ -110,9 +118,8 @@ macro_rules! delegate_corpus_source {
     )*};
 }
 
-use std::rc::Rc;
 use std::sync::Arc;
-delegate_corpus_source!(Box, Rc, Arc);
+delegate_corpus_source!(Box, Arc);
 
 /// The in-memory backend: shredded tables plus the derived own-content
 /// features (the shredder stores subtree features only; the keyword-node

@@ -1,0 +1,151 @@
+//! Per-thread query working memory: the mutable half of the read path.
+//!
+//! The concurrency model of the workspace splits every query into two
+//! halves: a shared **immutable** index handle (`CorpusSource` backends
+//! — safe to share across threads behind an `Arc`) and a per-thread
+//! [`QueryContext`] owning every buffer a query mutates — the merged
+//! posting stream, the anchor list, the ELCA mask stack, and a decode
+//! arena for backends that materialize posting runs per query. One
+//! context per thread means the anchor pipeline stays allocation-free
+//! when warm (asserted by the workspace's counting-allocator test)
+//! *without* any lock on the hot path.
+//!
+//! The context lives in this crate — the lowest layer that owns the
+//! scratch-taking algorithms — so [`elca_into_context`] and
+//! [`slca_into_context`] can accept it directly and higher layers
+//! (`validrtf`'s engine and executor) reuse the same type.
+
+use xks_xmltree::{Dewey, DeweyListBuf};
+
+use crate::common::merge_postings_into;
+use crate::elca::{elca_from_merged, ElcaScratch};
+use crate::slca::indexed_lookup_eager_into;
+
+/// Working buffers reused across queries by **one thread** (or one
+/// single-threaded engine).
+///
+/// All fields are public: they are plumbing buffers, and callers such
+/// as the counting-allocator test need to warm and inspect them
+/// directly. Contents are transient per query — nothing here survives
+/// as an answer; results are copied out by the caller.
+#[derive(Debug, Default)]
+pub struct QueryContext {
+    /// Merged `(dewey, keyword-bitmask)` posting stream in document
+    /// order — computed once per query, consumed by both `getLCA` and
+    /// `getRTF`.
+    pub merged: Vec<(Dewey, u64)>,
+    /// The anchor nodes of the current query (ELCA or SLCA set).
+    pub anchors: Vec<Dewey>,
+    /// The ELCA stack's mask/path buffers.
+    pub elca: ElcaScratch,
+    /// Per-context postings decode arena. Disk backends expose a
+    /// cache-bypassing decode into a caller-owned arena
+    /// (`xks-persist`'s `IndexReader::keyword_postings_into`); callers
+    /// that want per-thread isolation from the shared postings LRU
+    /// (e.g. vocabulary scans that would churn it) decode into this
+    /// buffer instead — a warm arena re-decodes without allocating and
+    /// without taking any cache lock.
+    pub postings: DeweyListBuf,
+}
+
+impl QueryContext {
+    /// A fresh context (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the buffered capacity (e.g. after an unusually large
+    /// query, to return memory to the allocator).
+    pub fn shrink(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Merges the posting sets into `ctx.merged` and computes the **ELCA**
+/// anchors into `ctx.anchors` — the context-taking form of
+/// [`merge_postings_into`] + [`elca_from_merged`]. The merged stream is
+/// left in the context for `getRTF` to consume.
+///
+/// Empty input (no sets, or any empty set) clears both buffers: no
+/// node can cover the query.
+pub fn elca_into_context(sets: &[Vec<Dewey>], ctx: &mut QueryContext) {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        ctx.merged.clear();
+        ctx.anchors.clear();
+        return;
+    }
+    merge_postings_into(sets, &mut ctx.merged);
+    elca_from_merged(&ctx.merged, sets.len(), &mut ctx.elca, &mut ctx.anchors);
+}
+
+/// Merges the posting sets into `ctx.merged` and computes the **SLCA**
+/// anchors into `ctx.anchors` — the context-taking form of
+/// [`indexed_lookup_eager_into`] (the merged stream is still produced,
+/// because `getRTF` dispatches keyword nodes over it).
+pub fn slca_into_context(sets: &[Vec<Dewey>], ctx: &mut QueryContext) {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        ctx.merged.clear();
+        ctx.anchors.clear();
+        return;
+    }
+    merge_postings_into(sets, &mut ctx.merged);
+    indexed_lookup_eager_into(sets, &mut ctx.anchors);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elca::elca_stack;
+    use crate::slca::indexed_lookup_eager;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    fn sets() -> Vec<Vec<Dewey>> {
+        vec![
+            vec![d("0.0"), d("0.2.0.0.0.0"), d("0.2.0.3.0")],
+            vec![d("0.2.0.1"), d("0.2.1.1")],
+        ]
+    }
+
+    #[test]
+    fn context_forms_match_free_functions() {
+        let sets = sets();
+        let mut ctx = QueryContext::new();
+        elca_into_context(&sets, &mut ctx);
+        assert_eq!(ctx.anchors, elca_stack(&sets));
+        assert!(!ctx.merged.is_empty());
+
+        slca_into_context(&sets, &mut ctx);
+        assert_eq!(ctx.anchors, indexed_lookup_eager(&sets));
+    }
+
+    #[test]
+    fn empty_input_clears_buffers() {
+        let mut ctx = QueryContext::new();
+        elca_into_context(&sets(), &mut ctx);
+        assert!(!ctx.anchors.is_empty());
+        elca_into_context(&[], &mut ctx);
+        assert!(ctx.anchors.is_empty() && ctx.merged.is_empty());
+
+        slca_into_context(&sets(), &mut ctx);
+        slca_into_context(&[vec![d("0.1")], vec![]], &mut ctx);
+        assert!(ctx.anchors.is_empty() && ctx.merged.is_empty());
+    }
+
+    #[test]
+    fn contexts_are_independent_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<QueryContext>();
+
+        let sets = sets();
+        let mut a = QueryContext::new();
+        let mut b = QueryContext::new();
+        elca_into_context(&sets, &mut a);
+        slca_into_context(&sets, &mut b);
+        assert_eq!(a.anchors, elca_stack(&sets));
+        assert_eq!(b.anchors, indexed_lookup_eager(&sets));
+    }
+}

@@ -19,10 +19,12 @@
 //!   lookup touches only the pages it needs, observable via
 //!   [`IndexReader::stats`].
 //! * [`IndexReader`] implements `validrtf`'s
-//!   [`CorpusSource`](validrtf::source::CorpusSource), so
-//!   `SearchEngine::from_source(IndexReader::open(..)?)` runs ValidRTF
-//!   and MaxMatch directly off disk with results byte-identical to the
-//!   in-memory backends.
+//!   [`CorpusSource`](validrtf::source::CorpusSource) and is
+//!   `Send + Sync`, so
+//!   `SearchEngine::from_owned_source(IndexReader::open(..)?)` runs
+//!   ValidRTF and MaxMatch directly off disk with results
+//!   byte-identical to the in-memory backends — and one opened index
+//!   behind an `Arc` can serve many engines and query threads at once.
 //!
 //! See `FORMAT.md` (next to this crate's manifest) for the byte-level
 //! layout.
@@ -42,7 +44,7 @@
 //! IndexWriter::new().write_tree(&tree, &path).unwrap();
 //!
 //! let reader = IndexReader::open(&path).unwrap();
-//! let engine = SearchEngine::from_source(reader);
+//! let engine = SearchEngine::from_owned_source(reader);
 //! let result = engine.search(
 //!     &Query::parse("xml keyword").unwrap(),
 //!     AlgorithmKind::ValidRtf,

@@ -9,12 +9,12 @@
 //! the pages its posting run spans. The pool counters in
 //! [`IndexReader::stats`] make that laziness observable.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use validrtf::source::{CorpusSource, SourceElement};
 use xks_xmltree::{Dewey, DeweyListBuf};
@@ -53,13 +53,18 @@ impl Default for ReaderOptions {
 /// A tiny LRU keyed by keyword, holding decoded posting runs as shared
 /// flat arenas. Capacities are small (tens of entries), so eviction is
 /// an O(n) scan — no intrusive list needed.
+///
+/// Thread-safe: slots sit behind one `Mutex` (critical sections are a
+/// short scan — the expensive decode happens outside, and a racing
+/// double-decode just inserts twice, last write wins); counters are
+/// relaxed atomics.
 #[derive(Debug)]
 struct PostingsCache {
     capacity: usize,
-    tick: Cell<u64>,
-    slots: RefCell<Vec<CacheSlot>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    tick: AtomicU64,
+    slots: Mutex<Vec<CacheSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -73,30 +78,33 @@ impl PostingsCache {
     fn new(capacity: usize) -> Self {
         PostingsCache {
             capacity,
-            tick: Cell::new(0),
-            slots: RefCell::new(Vec::with_capacity(capacity.min(64))),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            tick: AtomicU64::new(0),
+            slots: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     fn bump(&self) -> u64 {
-        let t = self.tick.get() + 1;
-        self.tick.set(t);
-        t
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn len(&self) -> usize {
+        self.slots.lock().expect("postings cache lock").len()
     }
 
     fn get(&self, keyword: &str) -> Option<Arc<DeweyListBuf>> {
         if self.capacity == 0 {
             return None;
         }
-        let mut slots = self.slots.borrow_mut();
+        let tick = self.bump();
+        let mut slots = self.slots.lock().expect("postings cache lock");
         if let Some(slot) = slots.iter_mut().find(|s| s.keyword == keyword) {
-            slot.last_used = self.bump();
-            self.hits.set(self.hits.get() + 1);
+            slot.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(&slot.postings));
         }
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -104,18 +112,17 @@ impl PostingsCache {
         if self.capacity == 0 {
             return;
         }
-        let mut slots = self.slots.borrow_mut();
         let last_used = self.bump();
-        if let Some(slot) = slots.iter_mut().find(|s| s.keyword == keyword) {
-            slot.postings = postings;
-            slot.last_used = last_used;
-            return;
-        }
         let slot = CacheSlot {
             keyword: keyword.to_owned(),
             postings,
             last_used,
         };
+        let mut slots = self.slots.lock().expect("postings cache lock");
+        if let Some(existing) = slots.iter_mut().find(|s| s.keyword == slot.keyword) {
+            *existing = slot;
+            return;
+        }
         if slots.len() < self.capacity {
             slots.push(slot);
         } else {
@@ -179,49 +186,86 @@ pub struct IndexStats {
     pub element_cache_misses: u64,
 }
 
+/// Number of independently locked element-cache shards (power of two).
+const ELEMENT_SHARDS: usize = 8;
+
 /// A flush-on-full map of decoded element facts, shared via `Arc` so a
 /// hit hands out the record without cloning its strings.
+///
+/// Thread-safe: the map is split into [`ELEMENT_SHARDS`] shards, each
+/// behind its own `Mutex` and flushed independently when its slice of
+/// the capacity fills, so concurrent element lookups on different
+/// nodes rarely contend. Counters are relaxed atomics.
 #[derive(Debug)]
 struct ElementCache {
-    capacity: usize,
-    map: RefCell<HashMap<Dewey, Option<Arc<SourceElement>>>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    shard_capacity: usize,
+    shards: [Mutex<HashMap<Dewey, Option<Arc<SourceElement>>>>; ELEMENT_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ElementCache {
     fn new(capacity: usize) -> Self {
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(ELEMENT_SHARDS).max(1)
+        };
         ElementCache {
-            capacity,
-            map: RefCell::new(HashMap::with_capacity(capacity.min(1024))),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            shard_capacity,
+            shards: std::array::from_fn(|_| {
+                Mutex::new(HashMap::with_capacity(shard_capacity.min(1024)))
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
+    /// Shard index for a Dewey code: cheap component fold, masked to
+    /// the power-of-two shard count.
+    fn shard(&self, dewey: &Dewey) -> &Mutex<HashMap<Dewey, Option<Arc<SourceElement>>>> {
+        let h = dewey
+            .components()
+            .iter()
+            .fold(0u32, |h, c| h.wrapping_mul(31).wrapping_add(*c));
+        &self.shards[(h as usize) & (ELEMENT_SHARDS - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("element cache lock").len())
+            .sum()
+    }
+
     fn get(&self, dewey: &Dewey) -> Option<Option<Arc<SourceElement>>> {
-        if self.capacity == 0 {
+        if self.shard_capacity == 0 {
             return None;
         }
-        let hit = self.map.borrow().get(dewey).cloned();
+        let hit = self
+            .shard(dewey)
+            .lock()
+            .expect("element cache lock")
+            .get(dewey)
+            .cloned();
         match hit {
             Some(found) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(found)
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     fn insert(&self, dewey: &Dewey, element: Option<Arc<SourceElement>>) {
-        if self.capacity == 0 {
+        if self.shard_capacity == 0 {
             return;
         }
-        let mut map = self.map.borrow_mut();
-        if map.len() >= self.capacity {
+        let mut map = self.shard(dewey).lock().expect("element cache lock");
+        if map.len() >= self.shard_capacity {
             map.clear();
         }
         map.insert(dewey.clone(), element);
@@ -231,6 +275,12 @@ impl ElementCache {
 /// A read-only handle on an `.xks` index file, with small per-reader
 /// caches of decoded postings and element facts in front of the buffer
 /// pool.
+///
+/// `IndexReader` is `Send + Sync`: one opened index can serve many
+/// query threads concurrently behind an `Arc` (the buffer pool is
+/// sharded-locked, the caches are lock-guarded, and every counter is
+/// atomic). See the workspace's `PERFORMANCE.md` "Concurrency model"
+/// section for the lock layout.
 #[derive(Debug)]
 pub struct IndexReader {
     path: PathBuf,
@@ -331,12 +381,12 @@ impl IndexReader {
             postings_len: postings.len,
             postings_pages: postings.len.div_ceil(page),
             pool: self.pool.stats(),
-            postings_cache_entries: self.postings_cache.slots.borrow().len(),
-            postings_cache_hits: self.postings_cache.hits.get(),
-            postings_cache_misses: self.postings_cache.misses.get(),
-            element_cache_entries: self.element_cache.map.borrow().len(),
-            element_cache_hits: self.element_cache.hits.get(),
-            element_cache_misses: self.element_cache.misses.get(),
+            postings_cache_entries: self.postings_cache.len(),
+            postings_cache_hits: self.postings_cache.hits.load(Ordering::Relaxed),
+            postings_cache_misses: self.postings_cache.misses.load(Ordering::Relaxed),
+            element_cache_entries: self.element_cache.len(),
+            element_cache_hits: self.element_cache.hits.load(Ordering::Relaxed),
+            element_cache_misses: self.element_cache.misses.load(Ordering::Relaxed),
         }
     }
 
@@ -377,10 +427,34 @@ impl IndexReader {
             return Ok(cached);
         }
         let mut buf = DeweyListBuf::new();
+        self.keyword_postings_into(keyword, &mut buf)?;
+        let decoded = Arc::new(buf);
+        self.postings_cache.insert(keyword, Arc::clone(&decoded));
+        Ok(decoded)
+    }
+
+    /// Sorted Dewey postings for `keyword` (empty when absent), reading
+    /// only the pages the lookup touches (and none at all on a postings
+    /// cache hit).
+    pub fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, PersistError> {
+        Ok(self.keyword_postings(keyword)?.to_deweys())
+    }
+
+    /// Decodes `keyword`'s posting run directly into a **caller-owned**
+    /// arena, bypassing the shared decoded-postings cache entirely —
+    /// the per-context decode path (`xks_lca::QueryContext::postings`):
+    /// a warm arena re-decodes without allocating and without taking
+    /// the cache lock, which suits vocabulary-scan workloads whose
+    /// keywords would only churn the shared LRU. Returns the number of
+    /// codes decoded; `buf` is cleared first.
+    pub fn keyword_postings_into(
+        &self,
+        keyword: &str,
+        buf: &mut DeweyListBuf,
+    ) -> Result<usize, PersistError> {
+        buf.clear();
         let Some((_, count, run_off, run_len)) = self.find_keyword(keyword)? else {
-            let empty = Arc::new(buf);
-            self.postings_cache.insert(keyword, Arc::clone(&empty));
-            return Ok(empty);
+            return Ok(0);
         };
         let postings = self.header.section(Section::Postings);
         if run_off
@@ -395,7 +469,7 @@ impl IndexReader {
             .pool
             .read_at(postings.offset + run_off, run_len as usize)?;
         let mut pos = 0;
-        get_postings_into(&bytes, &mut pos, &mut buf)?;
+        get_postings_into(&bytes, &mut pos, buf)?;
         if buf.len() as u64 != count {
             return Err(PersistError::Corrupt {
                 what: format!(
@@ -404,16 +478,7 @@ impl IndexReader {
                 ),
             });
         }
-        let decoded = Arc::new(buf);
-        self.postings_cache.insert(keyword, Arc::clone(&decoded));
-        Ok(decoded)
-    }
-
-    /// Sorted Dewey postings for `keyword` (empty when absent), reading
-    /// only the pages the lookup touches (and none at all on a postings
-    /// cache hit).
-    pub fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, PersistError> {
-        Ok(self.keyword_postings(keyword)?.to_deweys())
+        Ok(buf.len())
     }
 
     /// The element row for a Dewey code, `None` when absent. Binary
@@ -446,22 +511,24 @@ impl IndexReader {
     /// checked are the same inode lookups are served from even if the
     /// file on disk has since been replaced by a rebuild.
     pub fn verify(&self) -> Result<(), PersistError> {
-        use std::io::{Seek, SeekFrom};
+        use std::io::{Read as _, Seek as _, SeekFrom};
         let mut chunk = vec![0u8; 64 * 1024];
         for section in Section::all() {
             let entry = self.header.section(section);
-            let crc = self.pool.with_file(|file| -> Result<u32, PersistError> {
-                file.seek(SeekFrom::Start(entry.offset))?;
-                let mut crc = Crc32::new();
-                let mut remaining = entry.len as usize;
-                while remaining > 0 {
-                    let take = remaining.min(chunk.len());
-                    file.read_exact(&mut chunk[..take])?;
-                    crc.update(&chunk[..take]);
-                    remaining -= take;
-                }
-                Ok(crc.finish())
-            })?;
+            let crc = self
+                .pool
+                .with_file(|mut file| -> Result<u32, PersistError> {
+                    file.seek(SeekFrom::Start(entry.offset))?;
+                    let mut crc = Crc32::new();
+                    let mut remaining = entry.len as usize;
+                    while remaining > 0 {
+                        let take = remaining.min(chunk.len());
+                        file.read_exact(&mut chunk[..take])?;
+                        crc.update(&chunk[..take]);
+                        remaining -= take;
+                    }
+                    Ok(crc.finish())
+                })?;
             if crc != entry.crc {
                 return Err(PersistError::ChecksumMismatch {
                     section: section.name(),
@@ -814,6 +881,29 @@ mod tests {
     }
 
     #[test]
+    fn keyword_postings_into_bypasses_shared_cache() {
+        let (reader, path) = open_publications("ctx-decode.xks");
+        let mut arena = DeweyListBuf::new();
+        for kw in ["keyword", "liu", "keyword", "unobtainium"] {
+            let n = reader.keyword_postings_into(kw, &mut arena).unwrap();
+            assert_eq!(n, arena.len());
+            assert_eq!(
+                arena.to_deweys(),
+                reader.try_keyword_deweys(kw).unwrap(),
+                "{kw}"
+            );
+        }
+        // Per-context decodes never populate (or hit) the shared LRU —
+        // the try_keyword_deweys calls above account for all of its
+        // traffic (4 lookups: keyword, liu, keyword-again = 1 hit,
+        // unobtainium).
+        let stats = reader.stats();
+        assert_eq!(stats.postings_cache_hits, 1);
+        assert_eq!(stats.postings_cache_misses, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn postings_cache_evicts_least_recently_used() {
         let path = temp_path("postings-cache-evict.xks");
         IndexWriter::new()
@@ -839,6 +929,44 @@ mod tests {
         assert_eq!(reader.stats().postings_cache_hits, 1);
         reader.try_keyword_deweys("liu").unwrap();
         assert_eq!(reader.stats().postings_cache_misses, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IndexReader>();
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_reader() {
+        let (reader, path) = open_publications("mt-reader.xks");
+        let doc = shred(&publications());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reader = &reader;
+                let doc = &doc;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        for kw in ["liu", "keyword", "xml", "title", "skyline"] {
+                            assert_eq!(
+                                reader.try_keyword_deweys(kw).unwrap(),
+                                doc.keyword_deweys(kw),
+                                "{kw}"
+                            );
+                        }
+                        for row in doc.elements.iter().take(10) {
+                            let dewey: Dewey = row.dewey.parse().unwrap();
+                            let element = CorpusSource::element(reader, &dewey).expect("present");
+                            assert_eq!(element.label, row.label);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = reader.stats();
+        assert!(stats.postings_cache_hits > 0, "repeats must hit the cache");
+        assert!(stats.element_cache_hits > 0);
         std::fs::remove_file(&path).unwrap();
     }
 

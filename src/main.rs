@@ -1,8 +1,9 @@
 //! `xks` — command-line XML keyword search.
 //!
 //! ```text
-//! xks search <file.xml> "<keywords>" [--algo valid|maxmatch|slca] [--limit N] [--xml]
-//! xks search --index <file.xks> "<keywords>" [--algo ...] [--limit N]
+//! xks search <file.xml> "<keywords>" ["<keywords>" ...] [--algo valid|maxmatch|slca] [--limit N] [--xml]
+//! xks search --index <file.xks> "<keywords>" ["<keywords>" ...] [--algo ...] [--limit N] [--threads N]
+//! xks bench  --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...]
 //! xks compare <file.xml> "<keywords>"
 //! xks stats <file.xml> [--top N]
 //! xks shred <file.xml> <out.json>
@@ -14,6 +15,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use xks::core::engine::{AlgorithmKind, SearchEngine};
+use xks::core::executor::run_batch_stats;
 use xks::index::Query;
 use xks::persist::{IndexReader, IndexWriter};
 use xks::xmltree::XmlTree;
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "search" => cmd_search(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "shred" => cmd_shred(&args[1..]),
@@ -47,8 +50,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  xks search  <file.xml> \"<keywords>\" [--algo valid|maxmatch|slca] [--limit N] [--xml] [--rank]
-  xks search  --index <file.xks> \"<keywords>\" [--algo valid|maxmatch|slca] [--limit N] [--rank]
+  xks search  <file.xml> \"<keywords>\" [\"<keywords>\" ...] [--algo valid|maxmatch|slca] [--limit N] [--xml] [--rank] [--threads N]
+  xks search  --index <file.xks> \"<keywords>\" [\"<keywords>\" ...] [--algo valid|maxmatch|slca] [--limit N] [--rank] [--threads N]
+  xks bench   --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca]
+  xks bench   <file.xml> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca]
   xks compare <file.xml> \"<keywords>\"
   xks stats   <file.xml> [--top N]
   xks shred   <file.xml> <out.json>
@@ -73,14 +78,18 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown --algo {other:?}")),
     };
     let limit = flags.get_usize("limit")?.unwrap_or(usize::MAX);
+    let threads = flags.get_usize("threads")?.unwrap_or(1);
     let as_xml = flags.has("xml");
     let ranked = flags.has("rank");
 
-    let (engine, keywords) = match flags.get_str("index") {
+    // One or more query strings; several queries fan out over the
+    // executor's worker threads (`--threads N`).
+    let (engine, keyword_args) = match flags.get_str("index") {
         Some(index_file) => {
-            let [keywords] = positional.as_slice() else {
+            let keywords = positional.as_slice();
+            if keywords.is_empty() {
                 return Err(format!("search --index needs <keywords>\n{USAGE}"));
-            };
+            }
             if as_xml {
                 return Err(
                     "--xml needs the original document; shredded indexes keep only \
@@ -90,45 +99,132 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             }
             let reader = IndexReader::open(Path::new(index_file))
                 .map_err(|e| format!("cannot open index {index_file}: {e}"))?;
-            (SearchEngine::from_source(reader), keywords)
+            (SearchEngine::from_owned_source(reader), keywords)
         }
         None => {
-            let [file, keywords] = positional.as_slice() else {
+            let [file, keywords @ ..] = positional.as_slice() else {
                 return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
             };
+            if keywords.is_empty() {
+                return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
+            }
             (SearchEngine::new(load_tree(file)?), keywords)
         }
     };
-    let query = parse_query(keywords)?;
-    let mut out = engine.search(&query, algo);
-    if ranked {
-        let order = xks::core::rank(
-            &out.fragments,
-            query.len(),
-            &xks::core::RankWeights::default(),
-        );
-        out.fragments = order
-            .iter()
-            .map(|r| out.fragments[r.index].clone())
-            .collect();
-    }
+    let queries: Vec<Query> = keyword_args
+        .iter()
+        .map(|k| parse_query(k))
+        .collect::<Result<_, _>>()?;
+    let (results, _) = run_batch_stats(&engine, &queries, algo, threads);
 
-    eprintln!(
-        "{} fragment(s) in {:?} ({:?} after keyword retrieval)",
-        out.fragments.len(),
-        out.timings.total(),
-        out.timings.algorithm_time()
-    );
-    for frag in out.fragments.iter().take(limit) {
-        println!("# anchor {}", frag.anchor);
-        match engine.corpus() {
-            Some(source) => print!("{}", frag.render_source(source)),
-            None if as_xml => println!("{}", frag.to_xml(engine.tree())),
-            None => print!("{}", frag.render(engine.tree())),
+    for (query, mut out) in queries.iter().zip(results) {
+        if ranked {
+            let order = xks::core::rank(
+                &out.fragments,
+                query.len(),
+                &xks::core::RankWeights::default(),
+            );
+            out.fragments = order
+                .iter()
+                .map(|r| out.fragments[r.index].clone())
+                .collect();
+        }
+
+        if queries.len() > 1 {
+            println!("## query: {query}");
+        }
+        eprintln!(
+            "{} fragment(s) in {:?} ({:?} after keyword retrieval)",
+            out.fragments.len(),
+            out.timings.total(),
+            out.timings.algorithm_time()
+        );
+        for frag in out.fragments.iter().take(limit) {
+            println!("# anchor {}", frag.anchor);
+            match engine.corpus() {
+                Some(source) => print!("{}", frag.render_source(source)),
+                None if as_xml => println!("{}", frag.to_xml(engine.tree())),
+                None => print!("{}", frag.render(engine.tree())),
+            }
+        }
+        if out.fragments.len() > limit {
+            eprintln!("… {} more (raise --limit)", out.fragments.len() - limit);
         }
     }
-    if out.fragments.len() > limit {
-        eprintln!("… {} more (raise --limit)", out.fragments.len() - limit);
+    Ok(())
+}
+
+/// Batch mode: run a whole query file through the concurrent executor
+/// against one shared engine and report aggregate throughput.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let algo = match flags.get_str("algo").unwrap_or("valid") {
+        "valid" => AlgorithmKind::ValidRtf,
+        "maxmatch" => AlgorithmKind::MaxMatchRtf,
+        "slca" => AlgorithmKind::MaxMatchSlca,
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    let threads = flags.get_usize("threads")?.unwrap_or(1).max(1);
+    let sweeps = flags.get_usize("sweeps")?.unwrap_or(3).max(1);
+    let Some(queries_file) = flags.get_str("queries") else {
+        return Err(format!("bench needs --queries <file>\n{USAGE}"));
+    };
+
+    let engine = match flags.get_str("index") {
+        Some(index_file) => {
+            if let [extra, ..] = positional.as_slice() {
+                return Err(format!(
+                    "bench --index takes no positional file (got {extra:?}); \
+                     drop --index to bench an XML document\n{USAGE}"
+                ));
+            }
+            let reader = IndexReader::open(Path::new(index_file))
+                .map_err(|e| format!("cannot open index {index_file}: {e}"))?;
+            SearchEngine::from_owned_source(reader)
+        }
+        None => {
+            let [file] = positional.as_slice() else {
+                return Err(format!("bench needs <file.xml> or --index\n{USAGE}"));
+            };
+            SearchEngine::new(load_tree(file)?)
+        }
+    };
+
+    let text = std::fs::read_to_string(queries_file)
+        .map_err(|e| format!("cannot read {queries_file}: {e}"))?;
+    let queries: Vec<Query> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse_query)
+        .collect::<Result<_, _>>()?;
+    if queries.is_empty() {
+        return Err(format!("{queries_file} holds no queries"));
+    }
+
+    // Untimed warm-up sweep, then timed sweeps.
+    let _ = run_batch_stats(&engine, &queries, algo, threads);
+    let start = std::time::Instant::now();
+    let mut fragments = 0usize;
+    let mut last_stats = None;
+    for _ in 0..sweeps {
+        let (results, stats) = run_batch_stats(&engine, &queries, algo, threads);
+        fragments += results.iter().map(|r| r.fragments.len()).sum::<usize>();
+        last_stats = Some(stats);
+    }
+    let elapsed = start.elapsed();
+    let total = queries.len() * sweeps;
+    let qps = total as f64 / elapsed.as_secs_f64();
+    // Report the worker count the executor actually ran (it clamps the
+    // request to the batch size), not the requested --threads.
+    let ran = last_stats.as_ref().map_or(threads, |s| s.threads);
+    println!(
+        "{total} queries ({} x {sweeps} sweeps), {ran} thread(s): \
+         {qps:.0} queries/sec ({elapsed:?} total, {fragments} fragments)",
+        queries.len()
+    );
+    if let Some(stats) = last_stats {
+        println!("last sweep work split: {:?}", stats.per_thread);
     }
     Ok(())
 }
@@ -269,9 +365,19 @@ impl Flags {
 }
 
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
-/// values: `algo`, `limit`, `top`, `index`, `page-size`.
+/// values: `algo`, `limit`, `top`, `index`, `page-size`, `threads`,
+/// `queries`, `sweeps`.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 5] = ["algo", "limit", "top", "index", "page-size"];
+    const VALUED: [&str; 8] = [
+        "algo",
+        "limit",
+        "top",
+        "index",
+        "page-size",
+        "threads",
+        "queries",
+        "sweeps",
+    ];
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();

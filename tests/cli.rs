@@ -54,6 +54,86 @@ fn search_maxmatch_keeps_duplicates() {
 }
 
 #[test]
+fn search_threads_flag_matches_single_thread() {
+    // Three queries so `--threads 3` actually spawns workers (the
+    // executor clamps to the batch size); results must come back in
+    // input order, byte-identical to the single-thread run.
+    let file = sample_file();
+    let run = |threads: &str| {
+        let out = xks()
+            .args(["search"])
+            .arg(&file)
+            .args([
+                "grizzlies position",
+                "forward",
+                "guard miller",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let sequential = run("1");
+    assert_eq!(
+        sequential.matches("## query:").count(),
+        3,
+        "one header per query:\n{sequential}"
+    );
+    assert_eq!(sequential, run("3"), "--threads must not change results");
+}
+
+#[test]
+fn bench_batch_mode_reports_throughput() {
+    let dir = std::env::temp_dir().join("xks-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = sample_file();
+    let index = dir.join("team.xks");
+    let queries = dir.join("queries.txt");
+    std::fs::write(
+        &queries,
+        "# comment lines and blanks are skipped\n\n\
+         grizzlies position\nforward\nguard miller\n",
+    )
+    .unwrap();
+
+    let out = xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&index)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    let out = xks()
+        .args(["bench", "--index"])
+        .arg(&index)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--threads", "2", "--sweeps", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 3 queries x 2 sweeps through 2 threads.
+    assert!(
+        stdout.contains("6 queries (3 x 2 sweeps), 2 thread(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("queries/sec"), "{stdout}");
+    assert!(stdout.contains("work split"), "{stdout}");
+}
+
+#[test]
 fn compare_prints_effectiveness() {
     let out = xks()
         .args(["compare"])

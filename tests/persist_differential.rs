@@ -6,7 +6,7 @@
 //! counters additionally prove the reader never slurps the postings
 //! section eagerly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use xks::core::rank::RankWeights;
 use xks::core::{AlgorithmKind, CorpusSource, MemoryCorpus, SearchEngine};
@@ -53,7 +53,7 @@ fn disk_and_memory_backends_are_byte_identical() {
         let path = index_path(corpus.name);
         IndexWriter::new().write(&doc, &path).unwrap();
 
-        let reader = Rc::new(IndexReader::open(&path).unwrap());
+        let reader = Arc::new(IndexReader::open(&path).unwrap());
         assert_eq!(
             reader.stats().pool.pages_read,
             0,
@@ -61,8 +61,11 @@ fn disk_and_memory_backends_are_byte_identical() {
             corpus.name
         );
 
-        let memory = SearchEngine::from_source(MemoryCorpus::new(doc));
-        let disk = SearchEngine::from_source(Rc::clone(&reader));
+        let memory = SearchEngine::from_owned_source(MemoryCorpus::new(doc));
+        // One opened index (one buffer pool, one set of caches) backs
+        // the engine while this test keeps reading its stats — the
+        // shared index-handle pattern.
+        let disk = SearchEngine::from_source(Arc::clone(&reader) as Arc<dyn CorpusSource>);
         let weights = RankWeights::default();
 
         for (abbrev, keywords) in &corpus.workload {

@@ -12,31 +12,14 @@
 //! --test workload_golden` after a change that is *supposed* to alter
 //! results.
 
-use xks::core::{AlgorithmKind, MemoryCorpus, SearchEngine};
+mod common;
+
+use common::{digest_line, ALGORITHMS, GOLDEN};
+use xks::core::{MemoryCorpus, SearchEngine};
 use xks::datagen::queries::{dblp_workload, xmark_workload};
 use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
 use xks::index::Query;
 use xks::store::shred;
-
-const GOLDEN: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/workload_digest.txt"
-);
-
-fn fnv1a(bytes: &[u8], hash: &mut u64) {
-    for &b in bytes {
-        *hash ^= u64::from(b);
-        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-}
-
-fn algorithm_name(kind: AlgorithmKind) -> &'static str {
-    match kind {
-        AlgorithmKind::ValidRtf => "ValidRtf",
-        AlgorithmKind::MaxMatchRtf => "MaxMatchRtf",
-        AlgorithmKind::MaxMatchSlca => "MaxMatchSlca",
-    }
-}
 
 fn digest_lines() -> Vec<String> {
     let mut lines = Vec::new();
@@ -52,26 +35,13 @@ fn digest_lines() -> Vec<String> {
             xmark_workload(),
         ),
     ] {
-        let engine = SearchEngine::from_source(MemoryCorpus::new(shred(&tree)));
+        let engine = SearchEngine::from_owned_source(MemoryCorpus::new(shred(&tree)));
         let source = engine.corpus().expect("source-backed engine");
         for (abbrev, keywords) in &workload {
             let query = Query::parse(keywords).unwrap();
-            for kind in [
-                AlgorithmKind::ValidRtf,
-                AlgorithmKind::MaxMatchRtf,
-                AlgorithmKind::MaxMatchSlca,
-            ] {
+            for kind in ALGORITHMS {
                 let result = engine.search(&query, kind);
-                let mut hash = 0xCBF2_9CE4_8422_2325u64;
-                for fragment in &result.fragments {
-                    fnv1a(fragment.render_source(source).as_bytes(), &mut hash);
-                    fnv1a(b"\x1e", &mut hash);
-                }
-                lines.push(format!(
-                    "{corpus}/{abbrev}/{}: fragments={} fnv={hash:016x}",
-                    algorithm_name(kind),
-                    result.fragments.len(),
-                ));
+                lines.push(digest_line(corpus, abbrev, kind, &result.fragments, source));
             }
         }
     }

@@ -20,7 +20,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use xks::datagen::{generate_dblp, DblpConfig};
 use xks::index::{InvertedIndex, Query};
-use xks::lca::{elca_from_merged, indexed_lookup_eager_into, merge_postings_into, ElcaScratch};
+use xks::lca::{
+    elca_from_merged, elca_into_context, indexed_lookup_eager_into, merge_postings_into,
+    slca_into_context, ElcaScratch, QueryContext,
+};
 use xks::persist::codec::{get_postings_into, put_postings};
 use xks::xmltree::{Dewey, DeweyListBuf};
 
@@ -129,4 +132,37 @@ fn warm_query_hot_path_is_allocation_free() {
         get_postings_into(&encoded, &mut pos, &mut arena).expect("clean decode");
     });
     assert_eq!(n, 0, "warm arena decode allocated {n} times");
+
+    // ---- 4. Per-thread QueryContexts stay allocation-free when warm ----
+    // The concurrency refactor moved the scratch buffers into
+    // per-thread `QueryContext`s. The zero-allocation contract must
+    // hold *per context*: two contexts (as two executor threads would
+    // own), each warmed once, then both run the full anchor pipeline —
+    // ELCA on one, SLCA on the other, then swapped — without a single
+    // heap allocation.
+    let mut ctx_a = QueryContext::new();
+    let mut ctx_b = QueryContext::new();
+    elca_into_context(sets.sets(), &mut ctx_a); // warm A
+    slca_into_context(sets.sets(), &mut ctx_b); // warm B
+    elca_into_context(sets.sets(), &mut ctx_b); // B also needs ELCA capacity
+    slca_into_context(sets.sets(), &mut ctx_a); // A also needs SLCA capacity
+    let n = count_allocs(|| {
+        elca_into_context(sets.sets(), &mut ctx_a);
+        slca_into_context(sets.sets(), &mut ctx_b);
+        elca_into_context(sets.sets(), &mut ctx_b);
+        slca_into_context(sets.sets(), &mut ctx_a);
+    });
+    assert_eq!(n, 0, "warm per-thread contexts allocated {n} times");
+    assert_eq!(ctx_b.anchors.len(), warm_anchors, "ELCA results unchanged");
+
+    // Decoding a postings run into a warm context's decode arena is
+    // allocation-free too (the arena that used to live in the reader's
+    // shared cache path now rides in the context).
+    let mut pos = 0;
+    get_postings_into(&encoded, &mut pos, &mut ctx_a.postings).expect("warm-up decode");
+    let n = count_allocs(|| {
+        let mut pos = 0;
+        get_postings_into(&encoded, &mut pos, &mut ctx_a.postings).expect("clean decode");
+    });
+    assert_eq!(n, 0, "warm context decode arena allocated {n} times");
 }
