@@ -183,22 +183,22 @@ fn ablate_getrtf_check(c: &mut Criterion) {
 }
 
 fn ablate_pipeline(c: &mut Criterion) {
+    use validrtf::SearchRequest;
     let engine = xmark_engine(Scale::Small, XmarkSize::Standard);
-    let query = Query::parse("preventions description order").expect("parses");
+    let request = SearchRequest::parse("preventions description order").expect("parses");
 
     let mut group = c.benchmark_group("ablate_pipeline");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
-    group.bench_function("validrtf_end_to_end", |b| {
-        b.iter(|| engine.search(black_box(&query), AlgorithmKind::ValidRtf))
-    });
-    group.bench_function("maxmatch_end_to_end", |b| {
-        b.iter(|| engine.search(black_box(&query), AlgorithmKind::MaxMatchRtf))
-    });
-    group.bench_function("slca_variant_end_to_end", |b| {
-        b.iter(|| engine.search(black_box(&query), AlgorithmKind::MaxMatchSlca))
-    });
+    for (label, kind) in [
+        ("validrtf_end_to_end", AlgorithmKind::ValidRtf),
+        ("maxmatch_end_to_end", AlgorithmKind::MaxMatchRtf),
+        ("slca_variant_end_to_end", AlgorithmKind::MaxMatchSlca),
+    ] {
+        let request = request.clone().algorithm(kind);
+        group.bench_function(label, |b| b.iter(|| engine.execute(black_box(&request))));
+    }
     group.finish();
 }
 

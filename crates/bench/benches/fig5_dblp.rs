@@ -7,9 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use validrtf::engine::AlgorithmKind;
+use validrtf::SearchRequest;
 use xks_bench::{dblp_engine, Scale};
 use xks_datagen::queries::dblp_workload;
-use xks_index::Query;
 
 fn bench_fig5_dblp(c: &mut Criterion) {
     let engine = dblp_engine(Scale::Small);
@@ -19,13 +19,17 @@ fn bench_fig5_dblp(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(800));
 
     for (abbrev, keywords) in dblp_workload() {
-        let query = Query::parse(&keywords).expect("workload query parses");
-        group.bench_with_input(BenchmarkId::new("maxmatch", abbrev), &query, |b, query| {
-            b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf))
+        let base = SearchRequest::parse(&keywords).expect("workload query parses");
+        let mm = base.clone().algorithm(AlgorithmKind::MaxMatchRtf);
+        let valid = base.algorithm(AlgorithmKind::ValidRtf);
+        group.bench_with_input(BenchmarkId::new("maxmatch", abbrev), &mm, |b, request| {
+            b.iter(|| engine.execute(request))
         });
-        group.bench_with_input(BenchmarkId::new("validrtf", abbrev), &query, |b, query| {
-            b.iter(|| engine.search(query, AlgorithmKind::ValidRtf))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("validrtf", abbrev),
+            &valid,
+            |b, request| b.iter(|| engine.execute(request)),
+        );
     }
     group.finish();
 }

@@ -9,10 +9,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use validrtf::engine::AlgorithmKind;
+use validrtf::SearchRequest;
 use xks_bench::{xmark_engine, Scale};
 use xks_datagen::queries::xmark_workload;
 use xks_datagen::XmarkSize;
-use xks_index::Query;
 
 fn panel(c: &mut Criterion, group_name: &str, size: XmarkSize) {
     let engine = xmark_engine(Scale::Small, size);
@@ -22,13 +22,17 @@ fn panel(c: &mut Criterion, group_name: &str, size: XmarkSize) {
     group.measurement_time(std::time::Duration::from_millis(800));
 
     for (abbrev, keywords) in xmark_workload() {
-        let query = Query::parse(&keywords).expect("workload query parses");
-        group.bench_with_input(BenchmarkId::new("maxmatch", abbrev), &query, |b, query| {
-            b.iter(|| engine.search(query, AlgorithmKind::MaxMatchRtf))
+        let base = SearchRequest::parse(&keywords).expect("workload query parses");
+        let mm = base.clone().algorithm(AlgorithmKind::MaxMatchRtf);
+        let valid = base.algorithm(AlgorithmKind::ValidRtf);
+        group.bench_with_input(BenchmarkId::new("maxmatch", abbrev), &mm, |b, request| {
+            b.iter(|| engine.execute(request))
         });
-        group.bench_with_input(BenchmarkId::new("validrtf", abbrev), &query, |b, query| {
-            b.iter(|| engine.search(query, AlgorithmKind::ValidRtf))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("validrtf", abbrev),
+            &valid,
+            |b, request| b.iter(|| engine.execute(request)),
+        );
     }
     group.finish();
 }

@@ -26,10 +26,9 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use validrtf::engine::{AlgorithmKind, SearchEngine};
-use validrtf::MemoryCorpus;
+use validrtf::{MemoryCorpus, SearchRequest};
 use xks_datagen::queries::{dblp_workload, xmark_workload};
 use xks_datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
-use xks_index::Query;
 use xks_persist::{IndexReader, IndexWriter};
 use xks_store::shred;
 
@@ -47,7 +46,7 @@ const BASELINE_DISK_QPS: f64 = 234.0; // mean of two seed runs (244, 224)
 struct Workload {
     memory: SearchEngine,
     disk: SearchEngine,
-    queries: Vec<Query>,
+    requests: Vec<SearchRequest>,
 }
 
 fn build_workloads() -> Vec<Workload> {
@@ -74,14 +73,18 @@ fn build_workloads() -> Vec<Workload> {
         let doc = shred(&tree);
         let path = dir.join(format!("{corpus}.xks"));
         IndexWriter::new().write(&doc, &path).unwrap();
-        let queries = workload
+        let requests = workload
             .iter()
-            .map(|(_, keywords)| Query::parse(keywords).unwrap())
+            .map(|(_, keywords)| {
+                SearchRequest::parse(keywords)
+                    .unwrap()
+                    .algorithm(AlgorithmKind::ValidRtf)
+            })
             .collect();
         out.push(Workload {
             memory: SearchEngine::from_owned_source(MemoryCorpus::new(doc)),
             disk: SearchEngine::from_owned_source(IndexReader::open(&path).unwrap()),
-            queries,
+            requests,
         });
     }
     out
@@ -92,8 +95,12 @@ fn sweep(pick: impl Fn(&Workload) -> &SearchEngine, workloads: &[Workload]) -> u
     let mut fragments = 0usize;
     for w in workloads {
         let engine = pick(w);
-        for q in &w.queries {
-            fragments += engine.search(q, AlgorithmKind::ValidRtf).fragments.len();
+        for request in &w.requests {
+            fragments += engine
+                .execute(request)
+                .expect("bench request succeeds")
+                .hits
+                .len();
         }
     }
     fragments
@@ -107,7 +114,7 @@ fn measure(
     workloads: &[Workload],
     smoke: bool,
 ) -> (f64, usize) {
-    let per_sweep: usize = workloads.iter().map(|w| w.queries.len()).sum();
+    let per_sweep: usize = workloads.iter().map(|w| w.requests.len()).sum();
     std::hint::black_box(sweep(&pick, workloads)); // warm-up
     let budget = if smoke {
         Duration::ZERO
@@ -159,7 +166,7 @@ fn output_path(smoke: bool) -> PathBuf {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let workloads = build_workloads();
-    let total_queries: usize = workloads.iter().map(|w| w.queries.len()).sum();
+    let total_queries: usize = workloads.iter().map(|w| w.requests.len()).sum();
     assert_eq!(total_queries, 43, "the Figure 5/6 workload has 43 queries");
 
     // Sanity: both backends agree before we time anything.

@@ -31,10 +31,9 @@ use std::time::{Duration, Instant};
 
 use validrtf::engine::{AlgorithmKind, SearchEngine};
 use validrtf::executor::run_batch;
-use validrtf::MemoryCorpus;
+use validrtf::{MemoryCorpus, SearchRequest};
 use xks_datagen::queries::{dblp_workload, xmark_workload};
 use xks_datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
-use xks_index::Query;
 use xks_persist::{IndexReader, IndexWriter};
 use xks_store::shred;
 
@@ -46,7 +45,7 @@ const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 struct Workload {
     memory: SearchEngine,
     disk: SearchEngine,
-    queries: Vec<Query>,
+    requests: Vec<SearchRequest>,
 }
 
 fn build_workloads() -> Vec<Workload> {
@@ -73,14 +72,18 @@ fn build_workloads() -> Vec<Workload> {
         let doc = shred(&tree);
         let path = dir.join(format!("{corpus}.xks"));
         IndexWriter::new().write(&doc, &path).unwrap();
-        let queries = workload
+        let requests = workload
             .iter()
-            .map(|(_, keywords)| Query::parse(keywords).unwrap())
+            .map(|(_, keywords)| {
+                SearchRequest::parse(keywords)
+                    .unwrap()
+                    .algorithm(AlgorithmKind::ValidRtf)
+            })
             .collect();
         out.push(Workload {
             memory: SearchEngine::from_owned_source(MemoryCorpus::new(doc)),
             disk: SearchEngine::from_owned_source(IndexReader::open(&path).unwrap()),
-            queries,
+            requests,
         });
     }
     out
@@ -95,8 +98,11 @@ fn sweep(
 ) -> usize {
     let mut fragments = 0usize;
     for w in workloads {
-        let results = run_batch(pick(w), &w.queries, AlgorithmKind::ValidRtf, threads);
-        fragments += results.iter().map(|r| r.fragments.len()).sum::<usize>();
+        let results = run_batch(pick(w), &w.requests, threads);
+        fragments += results
+            .iter()
+            .map(|r| r.as_ref().expect("bench request succeeds").hits.len())
+            .sum::<usize>();
     }
     fragments
 }
@@ -158,7 +164,7 @@ fn output_path(smoke: bool) -> PathBuf {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let workloads = build_workloads();
-    let total_queries: usize = workloads.iter().map(|w| w.queries.len()).sum();
+    let total_queries: usize = workloads.iter().map(|w| w.requests.len()).sum();
     assert_eq!(total_queries, 43, "the Figure 5/6 workload has 43 queries");
     let parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -171,10 +177,11 @@ fn main() {
         assert_eq!(expect, sweep(|w| &w.disk, &workloads, threads));
     }
 
-    // Reference: the plain `engine.search` loop (what the single-thread
-    // `hotpath` bench times), measured in THIS process and under the
-    // same timing protocol, so the "executor adds no single-thread
-    // overhead" comparison is immune to cross-run machine noise.
+    // Reference: the plain `engine.execute` loop (what the
+    // single-thread `hotpath` bench times), measured in THIS process
+    // and under the same timing protocol, so the "executor adds no
+    // single-thread overhead" comparison is immune to cross-run
+    // machine noise.
     let reference: Vec<f64> = [("memory", 0), ("disk", 1)]
         .into_iter()
         .map(|(label, which)| {
@@ -186,8 +193,12 @@ fn main() {
                     let mut fragments = 0usize;
                     for w in &workloads {
                         let engine = if which == 0 { &w.memory } else { &w.disk };
-                        for q in &w.queries {
-                            fragments += engine.search(q, AlgorithmKind::ValidRtf).fragments.len();
+                        for request in &w.requests {
+                            fragments += engine
+                                .execute(request)
+                                .expect("bench request succeeds")
+                                .hits
+                                .len();
                         }
                     }
                     fragments

@@ -19,9 +19,8 @@ use std::path::PathBuf;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use validrtf::engine::{AlgorithmKind, SearchEngine};
-use validrtf::MemoryCorpus;
+use validrtf::{MemoryCorpus, SearchRequest};
 use xks_datagen::{generate_dblp, DblpConfig};
-use xks_index::Query;
 use xks_persist::{IndexReader, IndexWriter};
 use xks_store::{shred, snapshot};
 
@@ -49,7 +48,9 @@ fn prepare() -> (PathBuf, PathBuf) {
 
 fn cold_load(c: &mut Criterion) {
     let (json_path, xks_path) = prepare();
-    let query = Query::parse(QUERY).unwrap();
+    let request = SearchRequest::parse(QUERY)
+        .unwrap()
+        .algorithm(AlgorithmKind::ValidRtf);
 
     let mut group = c.benchmark_group("cold_load");
     group.sample_size(10);
@@ -62,8 +63,9 @@ fn cold_load(c: &mut Criterion) {
             let engine = SearchEngine::from_owned_source(MemoryCorpus::new(doc));
             black_box(
                 engine
-                    .search(&query, AlgorithmKind::ValidRtf)
-                    .fragments
+                    .execute(&request)
+                    .expect("bench query runs")
+                    .hits
                     .len(),
             )
         })
@@ -74,8 +76,9 @@ fn cold_load(c: &mut Criterion) {
             let engine = SearchEngine::from_owned_source(reader);
             black_box(
                 engine
-                    .search(&query, AlgorithmKind::ValidRtf)
-                    .fragments
+                    .execute(&request)
+                    .expect("bench query runs")
+                    .hits
                     .len(),
             )
         })
@@ -88,8 +91,9 @@ fn cold_load(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 engine
-                    .search(&query, AlgorithmKind::ValidRtf)
-                    .fragments
+                    .execute(&request)
+                    .expect("bench query runs")
+                    .hits
                     .len(),
             )
         })

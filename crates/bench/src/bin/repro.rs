@@ -131,7 +131,7 @@ fn run_dataset(name: &str, engine: &SearchEngine, workload: &[(&str, String)]) {
     for (abbrev, keywords) in workload {
         let query = Query::parse(keywords).expect("workload query parses");
         let (vt, xt) = timed(engine, &query);
-        let cmp = engine.compare(&query);
+        let cmp = engine.compare(&query).expect("comparison runs");
         println!(
             "{:<10} {:>6} {:>14} {:>14} {:>6.2} {:>7.3} {:>7.3}",
             abbrev,
@@ -150,16 +150,19 @@ fn run_dataset(name: &str, engine: &SearchEngine, workload: &[(&str, String)]) {
 fn timed(engine: &SearchEngine, query: &Query) -> (Duration, Duration) {
     let mut valid = Vec::with_capacity(RUNS);
     let mut mm = Vec::with_capacity(RUNS);
+    let request = validrtf::SearchRequest::from_query(query.clone());
     for _ in 0..RUNS {
         valid.push(
             engine
-                .search(query, AlgorithmKind::ValidRtf)
+                .execute(&request.clone().algorithm(AlgorithmKind::ValidRtf))
+                .expect("workload query runs")
                 .timings
                 .algorithm_time(),
         );
         mm.push(
             engine
-                .search(query, AlgorithmKind::MaxMatchRtf)
+                .execute(&request.clone().algorithm(AlgorithmKind::MaxMatchRtf))
+                .expect("workload query runs")
                 .timings
                 .algorithm_time(),
         );

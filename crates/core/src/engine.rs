@@ -1,17 +1,19 @@
-//! Convenience façade: one object owning document + index, answering
-//! queries with either algorithm and producing the §5.1 comparison in
-//! one call.
+//! The search engine: one object owning document + index, executing
+//! [`SearchRequest`]s through a single pipeline and producing the §5.1
+//! comparison in one call.
 
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use xks_index::{InvertedIndex, Query};
-use xks_xmltree::XmlTree;
+use xks_index::{InvertedIndex, KeywordNodeSets, Query, QuerySpec};
+use xks_xmltree::{Dewey, XmlTree};
 
 use crate::algorithms::{AnchorSemantics, StageTimings};
 use crate::fragment::Fragment;
 use crate::metrics::{effectiveness, Effectiveness};
-use crate::prune::Policy;
+use crate::prune::{prune_owned, Policy};
+use crate::rank::RankedFragment;
+use crate::request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
 use crate::scratch::QueryContext;
 use crate::source::CorpusSource;
 
@@ -179,21 +181,263 @@ impl SearchEngine {
         }
     }
 
+    /// Executes a [`SearchRequest`] — **the** entry point of the read
+    /// path. Checks a warm [`QueryContext`] out of the engine's pool
+    /// (one short `Mutex` lock each way; the query itself runs
+    /// lock-free) and delegates to [`SearchEngine::execute_with`].
+    pub fn execute(&self, request: &SearchRequest) -> Result<SearchResponse, SearchError> {
+        let mut ctx = self.checkout_context();
+        let result = self.execute_with(request, &mut ctx);
+        self.checkin_context(ctx);
+        result
+    }
+
+    /// Executes a [`SearchRequest`] with a caller-owned per-thread
+    /// [`QueryContext`] — the lock-free path the concurrent
+    /// [`crate::executor`] drives. Threads sharing one engine each
+    /// bring their own context; the warm zero-allocation anchor
+    /// pipeline of the legacy path is preserved unchanged (same
+    /// [`QueryContext`] scratch, same staged
+    /// `getKeywordNodes → getLCA → getRTF → pruneRTF` flow; asserted by
+    /// the workspace's counting-allocator test).
+    ///
+    /// Every failure comes back typed: grammar errors as
+    /// [`SearchError::Parse`] (from [`SearchRequest::parse`]), backend
+    /// I/O and index corruption as [`SearchError::Backend`]. No query
+    /// path panics.
+    pub fn execute_with(
+        &self,
+        request: &SearchRequest,
+        ctx: &mut QueryContext,
+    ) -> Result<SearchResponse, SearchError> {
+        let spec = request.spec();
+        let kind = request.kind();
+        let mut stats = SearchStats {
+            dropped_terms: spec.report().dropped.clone(),
+            normalized_terms: spec.report().normalized.clone(),
+            ..SearchStats::default()
+        };
+        let mut timings = StageTimings::default();
+
+        // getKeywordNodes — the one stage that touches cold storage.
+        let t0 = Instant::now();
+        let resolved = match &self.backend {
+            Backend::Tree { index, .. } => index.resolve(spec.query()),
+            Backend::Source(source) => source.try_resolve(spec.query())?,
+        };
+        timings.get_keyword_nodes = t0.elapsed();
+        let Some(sets) = resolved else {
+            // Some keyword matches nothing: empty result, not an error.
+            return Ok(SearchResponse::empty(timings, stats));
+        };
+
+        // getLCA + getRTF over the context's shared scratch buffers.
+        let rtfs = crate::algorithms::anchor_stages(&sets, kind.anchor(), &mut timings, ctx);
+
+        // pruneRTF — construct + prune, consuming the raw fragment so
+        // no node payload is deep-cloned.
+        let t = Instant::now();
+        let mut fragments = Vec::with_capacity(rtfs.len());
+        match &self.backend {
+            Backend::Tree { tree, .. } => {
+                for rtf in &rtfs {
+                    fragments.push(prune_owned(Fragment::construct(tree, rtf), kind.policy()));
+                }
+            }
+            Backend::Source(source) => {
+                for rtf in &rtfs {
+                    let raw = Fragment::try_construct_from_source(source.as_ref(), rtf)?;
+                    fragments.push(prune_owned(raw, kind.policy()));
+                }
+            }
+        }
+        timings.prune_rtf = t.elapsed();
+
+        // Everything past the paper's pipeline is timed as the
+        // post-process stage: the operator filters (whose exclusion
+        // lookups are real backend reads), ranking, and hit assembly.
+        let t = Instant::now();
+
+        // Operator post-filter stage: phrases, label filters,
+        // exclusions (no-op for plain keyword queries, which therefore
+        // reproduce the legacy path byte for byte).
+        if !spec.is_plain() && !fragments.is_empty() {
+            let before = fragments.len();
+            self.apply_post_filters(spec, &sets, &mut fragments)?;
+            stats.filtered_out = before - fragments.len();
+        }
+
+        // Shape the response: cap, rank, truncate, materialize hits.
+        stats.total_before_top_k = fragments.len();
+        if let Some(cap) = request.max_fragments_cap() {
+            if fragments.len() > cap {
+                fragments.truncate(cap);
+                stats.truncated = true;
+            }
+        }
+        let hits = match request.effective_weights() {
+            Some(weights) => {
+                let mut order = crate::rank::rank(&fragments, spec.query().len(), &weights);
+                if let Some(k) = request.top_k_limit() {
+                    if order.len() > k {
+                        order.truncate(k);
+                        stats.truncated = true;
+                    }
+                }
+                take_ranked(fragments, &order)
+            }
+            None => fragments
+                .into_iter()
+                .map(|fragment| Hit {
+                    fragment,
+                    score: None,
+                    signals: None,
+                })
+                .collect(),
+        };
+        timings.post_process = t.elapsed();
+        Ok(SearchResponse {
+            hits,
+            timings,
+            stats,
+        })
+    }
+
+    /// Drops every fragment violating an operator constraint. Phrases
+    /// demand one keyword node whose own content matches the whole
+    /// group; label filters demand the constrained keyword be matched
+    /// by a node with that label; exclusions reject any fragment whose
+    /// anchor subtree contains the excluded word.
+    fn apply_post_filters(
+        &self,
+        spec: &QuerySpec,
+        sets: &KeywordNodeSets,
+        fragments: &mut Vec<Fragment>,
+    ) -> Result<(), SearchError> {
+        use std::borrow::Cow;
+        use std::collections::HashMap;
+
+        let phrase_masks: Vec<u64> = spec
+            .phrases()
+            .iter()
+            .map(|group| group.iter().fold(0u64, |m, &p| m | (1 << p)))
+            .collect();
+        // Excluded keywords resolve like any other keyword; an absent
+        // word simply excludes nothing. The tree backend's postings are
+        // borrowed — only sources that hand out owned lists pay a copy.
+        let mut exclusion_postings: Vec<Cow<'_, [Dewey]>> =
+            Vec::with_capacity(spec.exclusions().len());
+        for word in spec.exclusions() {
+            let list = match &self.backend {
+                Backend::Tree { index, .. } => Cow::Borrowed(index.postings(word)),
+                Backend::Source(source) => Cow::Owned(source.try_keyword_deweys(word)?),
+            };
+            exclusion_postings.push(list);
+        }
+        // Label-name lookups cross the backend and lowercase a string;
+        // memoize per (filter, label id) so the walk below does integer
+        // compares after the first sighting of each label.
+        let mut label_memos: Vec<HashMap<u32, bool>> =
+            vec![HashMap::new(); spec.label_filters().len()];
+        // Per-fragment satisfaction flags, hoisted so retain reuses the
+        // buffers.
+        let mut phrase_ok: Vec<bool> = Vec::new();
+        let mut filter_ok: Vec<bool> = Vec::new();
+        fragments.retain(|fragment| {
+            phrase_ok.clear();
+            phrase_ok.resize(phrase_masks.len(), false);
+            filter_ok.clear();
+            filter_ok.resize(spec.label_filters().len(), false);
+            // One keyword-mask computation per node (it costs k binary
+            // searches over the posting lists), checked against every
+            // constraint in the same walk.
+            for n in fragment.iter() {
+                if !n.is_keyword {
+                    continue;
+                }
+                let mask = sets.keyword_mask(&n.dewey);
+                for (ok, &group) in phrase_ok.iter_mut().zip(&phrase_masks) {
+                    if !*ok && mask & group == group {
+                        *ok = true;
+                    }
+                }
+                for ((ok, filter), memo) in filter_ok
+                    .iter_mut()
+                    .zip(spec.label_filters())
+                    .zip(label_memos.iter_mut())
+                {
+                    if !*ok
+                        && mask & (1 << filter.position) != 0
+                        && *memo
+                            .entry(n.label.as_u32())
+                            .or_insert_with(|| self.label_name_matches(n.label, &filter.label))
+                    {
+                        *ok = true;
+                    }
+                }
+            }
+            phrase_ok.iter().all(|&ok| ok)
+                && filter_ok.iter().all(|&ok| ok)
+                && !exclusion_postings
+                    .iter()
+                    .any(|list| subtree_contains(&fragment.anchor, list))
+        });
+        Ok(())
+    }
+
+    /// Case-insensitive label comparison through whichever backend owns
+    /// the label table (`want` is already lowercased by the grammar).
+    fn label_name_matches(&self, label: xks_xmltree::LabelId, want: &str) -> bool {
+        match &self.backend {
+            Backend::Tree { tree, .. } => tree.labels().name(label).to_lowercase() == want,
+            Backend::Source(source) => source
+                .label_name(label.as_u32())
+                .is_some_and(|name| name.to_lowercase() == want),
+        }
+    }
+
+    /// Takes a warm context from the pool (or makes a fresh one). The
+    /// executor's workers use this too, so batches stay warm across
+    /// calls. A poisoned pool is recovered, not propagated: contexts
+    /// are plain scratch buffers with no invariants a panic could
+    /// break, so one panicked thread must not take down every
+    /// subsequent `&self` query.
+    pub(crate) fn checkout_context(&self) -> QueryContext {
+        self.contexts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a context to the pool, dropping it if the pool is full
+    /// (same poison recovery as [`SearchEngine::checkout_context`]).
+    pub(crate) fn checkin_context(&self, ctx: QueryContext) {
+        let mut pool = self.contexts.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < CONTEXT_POOL_CAP {
+            pool.push(ctx);
+        }
+    }
+
     /// Runs one algorithm on one query, reusing a pooled
-    /// [`QueryContext`] (one short `Mutex` lock to check it out, one to
-    /// return it; the query itself runs lock-free).
+    /// [`QueryContext`].
+    #[deprecated(note = "build a `SearchRequest` and call `SearchEngine::execute`")]
     #[must_use]
     pub fn search(&self, query: &Query, kind: AlgorithmKind) -> SearchResult {
         let mut ctx = self.checkout_context();
+        #[allow(deprecated)]
         let result = self.search_with(query, kind, &mut ctx);
         self.checkin_context(ctx);
         result
     }
 
-    /// Runs one algorithm on one query with a caller-owned per-thread
-    /// [`QueryContext`] — the lock-free path. Threads sharing one
-    /// engine each bring their own context; a warm context answers
-    /// without allocating in the anchor pipeline.
+    /// Runs one algorithm on one query with a caller-owned
+    /// [`QueryContext`].
+    ///
+    /// # Panics
+    /// Panics on backend errors — the legacy contract. Use
+    /// [`SearchEngine::execute_with`] for typed errors.
+    #[deprecated(note = "build a `SearchRequest` and call `SearchEngine::execute_with`")]
     #[must_use]
     pub fn search_with(
         &self,
@@ -201,53 +445,28 @@ impl SearchEngine {
         kind: AlgorithmKind,
         ctx: &mut QueryContext,
     ) -> SearchResult {
-        let output = match &self.backend {
-            Backend::Tree { tree, index } => crate::algorithms::run_query_tree(
-                tree,
-                index,
-                query,
-                kind.anchor(),
-                kind.policy(),
-                ctx,
-            ),
-            Backend::Source(source) => crate::algorithms::run_query_source(
-                source.as_ref(),
-                query,
-                kind.anchor(),
-                kind.policy(),
-                ctx,
-            ),
-        };
-        match output {
-            Some((fragments, timings)) => SearchResult { fragments, timings },
-            None => SearchResult {
-                fragments: Vec::new(),
-                timings: StageTimings::default(),
+        let request = SearchRequest::from_query(query.clone()).algorithm(kind);
+        match self.execute_with(&request, ctx) {
+            Ok(response) => SearchResult {
+                timings: response.timings,
+                fragments: response.into_fragments(),
             },
-        }
-    }
-
-    /// Takes a warm context from the pool (or makes a fresh one). The
-    /// executor's workers use this too, so batches stay warm across
-    /// calls.
-    pub(crate) fn checkout_context(&self) -> QueryContext {
-        self.contexts
-            .lock()
-            .expect("context pool lock")
-            .pop()
-            .unwrap_or_default()
-    }
-
-    /// Returns a context to the pool, dropping it if the pool is full.
-    pub(crate) fn checkin_context(&self, ctx: QueryContext) {
-        let mut pool = self.contexts.lock().expect("context pool lock");
-        if pool.len() < CONTEXT_POOL_CAP {
-            pool.push(ctx);
+            Err(e) => panic!("search failed: {e}"),
         }
     }
 
     /// Runs one algorithm and returns the fragments **ranked best
     /// first** (the §7 future-work stage; see [`mod@crate::rank`]).
+    /// The rank permutation is applied by moving fragments, never by
+    /// cloning them.
+    ///
+    /// # Panics
+    /// Panics on backend errors — the legacy contract. Use
+    /// [`SearchEngine::execute`] with
+    /// [`SearchRequest::weights`] for typed errors.
+    #[deprecated(
+        note = "build a `SearchRequest` with `.weights(..)` and call `SearchEngine::execute`"
+    )]
     #[must_use]
     pub fn search_ranked(
         &self,
@@ -255,44 +474,84 @@ impl SearchEngine {
         kind: AlgorithmKind,
         weights: &crate::rank::RankWeights,
     ) -> SearchResult {
-        let mut out = self.search(query, kind);
-        let order = crate::rank::rank(&out.fragments, query.len(), weights);
-        out.fragments = order
-            .iter()
-            .map(|r| out.fragments[r.index].clone())
-            .collect();
-        out
+        let request = SearchRequest::from_query(query.clone())
+            .algorithm(kind)
+            .weights(*weights);
+        match self.execute(&request) {
+            Ok(response) => SearchResult {
+                timings: response.timings,
+                fragments: response.into_fragments(),
+            },
+            Err(e) => panic!("search failed: {e}"),
+        }
     }
 
     /// Runs ValidRTF and revised MaxMatch on the same query and computes
     /// the Figure 5/6 data point.
-    #[must_use]
-    pub fn compare(&self, query: &Query) -> Comparison {
-        let valid = self.search(query, AlgorithmKind::ValidRtf);
-        let mm = self.search(query, AlgorithmKind::MaxMatchRtf);
-        debug_assert_eq!(valid.fragments.len(), mm.fragments.len());
+    pub fn compare(&self, query: &Query) -> Result<Comparison, SearchError> {
+        let valid = self.execute(
+            &SearchRequest::from_query(query.clone()).algorithm(AlgorithmKind::ValidRtf),
+        )?;
+        let mm = self.execute(
+            &SearchRequest::from_query(query.clone()).algorithm(AlgorithmKind::MaxMatchRtf),
+        )?;
+        debug_assert_eq!(valid.hits.len(), mm.hits.len());
         let pairs: Vec<(Fragment, Fragment)> = valid
-            .fragments
+            .hits
             .iter()
-            .cloned()
-            .zip(mm.fragments.iter().cloned())
+            .zip(mm.hits.iter())
+            .map(|(v, m)| (v.fragment.clone(), m.fragment.clone()))
             .collect();
-        Comparison {
-            rtf_count: valid.fragments.len(),
+        Ok(Comparison {
+            rtf_count: valid.hits.len(),
             valid_rtf_time: valid.timings.total(),
             max_match_time: mm.timings.total(),
             effectiveness: effectiveness(&pairs),
-        }
+        })
     }
 }
 
+/// Materializes ranked hits by **moving** fragments into rank order:
+/// the permutation is applied through option-slot takes, and top-k
+/// truncation happens on the (index, score) order before this runs —
+/// reordering never clones a fragment.
+fn take_ranked(fragments: Vec<Fragment>, order: &[RankedFragment]) -> Vec<Hit> {
+    let mut slots: Vec<Option<Fragment>> = fragments.into_iter().map(Some).collect();
+    order
+        .iter()
+        .filter_map(|r| {
+            let fragment = slots.get_mut(r.index).and_then(Option::take)?;
+            Some(Hit {
+                fragment,
+                score: Some(r.score),
+                signals: Some(r.signals),
+            })
+        })
+        .collect()
+}
+
+/// True when `sorted` (a document-ordered posting list) contains a node
+/// inside `anchor`'s subtree. The first posting ≥ `anchor` is either
+/// the anchor itself, one of its descendants, or past the subtree — one
+/// binary search decides.
+fn subtree_contains(anchor: &Dewey, sorted: &[Dewey]) -> bool {
+    let i = sorted.partition_point(|d| d < anchor);
+    sorted.get(i).is_some_and(|d| anchor.is_ancestor_or_self(d))
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims are asserted against `execute`
 mod tests {
     use super::*;
+    use crate::source::{MemoryCorpus, SourceElement, SourceError};
     use xks_xmltree::fixtures::{publications, team, PAPER_QUERIES};
 
     fn q(s: &str) -> Query {
         Query::parse(s).unwrap()
+    }
+
+    fn req(s: &str) -> SearchRequest {
+        SearchRequest::parse(s).unwrap()
     }
 
     #[test]
@@ -302,46 +561,66 @@ mod tests {
     }
 
     #[test]
-    fn search_with_matches_pooled_search() {
+    fn execute_with_matches_pooled_execute() {
         let engine = SearchEngine::new(publications());
-        let query = q(PAPER_QUERIES[2]);
-        let pooled = engine.search(&query, AlgorithmKind::ValidRtf);
+        let request = req(PAPER_QUERIES[2]);
+        let pooled = engine.execute(&request).unwrap();
         let mut ctx = QueryContext::new();
-        let explicit = engine.search_with(&query, AlgorithmKind::ValidRtf, &mut ctx);
-        assert_eq!(pooled.fragments, explicit.fragments);
+        let explicit = engine.execute_with(&request, &mut ctx).unwrap();
+        assert_eq!(pooled.hits, explicit.hits);
         // The pooled context was checked back in and gets reused.
         assert_eq!(engine.contexts.lock().unwrap().len(), 1);
-        let _ = engine.search(&query, AlgorithmKind::ValidRtf);
+        let _ = engine.execute(&request).unwrap();
         assert_eq!(engine.contexts.lock().unwrap().len(), 1);
     }
 
     #[test]
+    fn legacy_shims_match_execute() {
+        let engine = SearchEngine::new(publications());
+        for kind in [
+            AlgorithmKind::ValidRtf,
+            AlgorithmKind::MaxMatchRtf,
+            AlgorithmKind::MaxMatchSlca,
+        ] {
+            let legacy = engine.search(&q("liu keyword"), kind);
+            let response = engine.execute(&req("liu keyword").algorithm(kind)).unwrap();
+            let fragments: Vec<&Fragment> = response.fragments().collect();
+            assert_eq!(
+                legacy.fragments.iter().collect::<Vec<_>>(),
+                fragments,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
     fn shared_source_backs_many_engines() {
-        use crate::source::MemoryCorpus;
         use std::sync::Arc;
         let corpus: Arc<dyn crate::source::CorpusSource> =
             Arc::new(MemoryCorpus::new(xks_store::shred(&publications())));
         let a = SearchEngine::from_source(Arc::clone(&corpus));
         let b = SearchEngine::from_source(corpus);
-        let query = q(PAPER_QUERIES[2]);
+        let request = req(PAPER_QUERIES[2]);
         assert_eq!(
-            a.search(&query, AlgorithmKind::ValidRtf).fragments,
-            b.search(&query, AlgorithmKind::ValidRtf).fragments,
+            a.execute(&request).unwrap().hits,
+            b.execute(&request).unwrap().hits,
         );
     }
 
     #[test]
     fn engine_answers_paper_queries() {
         let engine = SearchEngine::new(publications());
-        let r = engine.search(&q(PAPER_QUERIES[2]), AlgorithmKind::ValidRtf);
-        assert_eq!(r.fragments.len(), 1);
-        assert_eq!(r.fragments[0].len(), 8); // Figure 2(d)
+        let r = engine.execute(&req(PAPER_QUERIES[2])).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].fragment.len(), 8); // Figure 2(d)
+        assert_eq!(r.stats.total_before_top_k, 1);
+        assert!(!r.stats.truncated);
     }
 
     #[test]
     fn compare_produces_figure6_point() {
         let engine = SearchEngine::new(team());
-        let c = engine.compare(&q("grizzlies position"));
+        let c = engine.compare(&q("grizzlies position")).unwrap();
         assert_eq!(c.rtf_count, 1);
         assert_eq!(c.effectiveness.cfr, 0.0);
         assert!(c.effectiveness.max_apr > 0.2);
@@ -350,34 +629,276 @@ mod tests {
     #[test]
     fn unmatched_query_is_empty_not_panic() {
         let engine = SearchEngine::new(team());
-        let r = engine.search(&q("nonexistent"), AlgorithmKind::ValidRtf);
-        assert!(r.fragments.is_empty());
-        let c = engine.compare(&q("nonexistent"));
+        let r = engine.execute(&req("nonexistent")).unwrap();
+        assert!(r.hits.is_empty());
+        assert_eq!(r.stats.total_before_top_k, 0);
+        let c = engine.compare(&q("nonexistent")).unwrap();
         assert_eq!(c.rtf_count, 0);
         assert_eq!(c.effectiveness.cfr, 1.0);
     }
 
     #[test]
-    fn search_ranked_orders_best_first() {
+    fn ranked_execute_orders_best_first_and_scores() {
         let engine = SearchEngine::new(publications());
-        let out = engine.search_ranked(
+        let r = engine
+            .execute(&req("liu keyword").weights(crate::rank::RankWeights::default()))
+            .unwrap();
+        assert_eq!(r.hits.len(), 2);
+        // The tight single-node ref fragment ranks above the article.
+        assert_eq!(r.hits[0].fragment.anchor.to_string(), "0.2.0.3.0");
+        assert!(r.hits[0].score.unwrap() > r.hits[1].score.unwrap());
+        assert!(r.hits.iter().all(|h| h.signals.is_some()));
+        // The deprecated shim produces the same order.
+        let legacy = engine.search_ranked(
             &q("liu keyword"),
             AlgorithmKind::ValidRtf,
             &crate::rank::RankWeights::default(),
         );
-        assert_eq!(out.fragments.len(), 2);
-        // The tight single-node ref fragment ranks above the article.
-        assert_eq!(out.fragments[0].anchor.to_string(), "0.2.0.3.0");
+        assert_eq!(legacy.fragments[0], r.hits[0].fragment);
+    }
+
+    #[test]
+    fn top_k_truncates_after_ranking() {
+        let engine = SearchEngine::new(publications());
+        let r = engine.execute(&req("liu keyword").top_k(1)).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].fragment.anchor.to_string(), "0.2.0.3.0");
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.total_before_top_k, 2);
+        // A roomy top_k truncates nothing.
+        let r = engine.execute(&req("liu keyword").top_k(10)).unwrap();
+        assert_eq!(r.hits.len(), 2);
+        assert!(!r.stats.truncated);
+    }
+
+    #[test]
+    fn max_fragments_caps_in_document_order() {
+        let engine = SearchEngine::new(publications());
+        let r = engine
+            .execute(&req("liu keyword").max_fragments(1))
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        // Document order: the article fragment comes first.
+        assert_eq!(r.hits[0].fragment.anchor.to_string(), "0.2.0");
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.total_before_top_k, 2, "counts before the cap");
+        assert!(
+            r.hits[0].score.is_none(),
+            "max_fragments alone doesn't rank"
+        );
     }
 
     #[test]
     fn slca_variant_returns_subset_of_anchors() {
         let engine = SearchEngine::new(publications());
-        let slca = engine.search(&q("liu keyword"), AlgorithmKind::MaxMatchSlca);
-        let all = engine.search(&q("liu keyword"), AlgorithmKind::MaxMatchRtf);
-        assert!(slca.fragments.len() <= all.fragments.len());
-        for f in &slca.fragments {
-            assert!(all.fragments.iter().any(|g| g.anchor == f.anchor));
+        let slca = engine
+            .execute(&req("liu keyword").algorithm(AlgorithmKind::MaxMatchSlca))
+            .unwrap();
+        let all = engine
+            .execute(&req("liu keyword").algorithm(AlgorithmKind::MaxMatchRtf))
+            .unwrap();
+        assert!(slca.hits.len() <= all.hits.len());
+        for h in &slca.hits {
+            assert!(all
+                .hits
+                .iter()
+                .any(|g| g.fragment.anchor == h.fragment.anchor));
         }
+    }
+
+    // ---- operator post-filters ----------------------------------------
+
+    /// Two books: in the first, "rust" and "async" co-occur in the
+    /// title; in the second they sit in different nodes.
+    fn library() -> XmlTree {
+        xks_xmltree::parse(
+            "<lib>\
+             <book><title>rust async</title><author>liu</author></book>\
+             <book><title>rust</title><note>async</note><author>chen</author></book>\
+             </lib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_spec_skips_post_filters() {
+        let engine = SearchEngine::new(library());
+        let r = engine.execute(&req("rust async")).unwrap();
+        assert_eq!(r.hits.len(), 2, "both books answer the flat query");
+        assert_eq!(r.stats.filtered_out, 0);
+    }
+
+    #[test]
+    fn phrase_demands_cooccurrence_in_one_node() {
+        let engine = SearchEngine::new(library());
+        let r = engine.execute(&req("\"rust async\"")).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.stats.filtered_out, 1);
+        // The surviving book is the one whose title holds both words.
+        assert!(r.hits[0]
+            .fragment
+            .iter()
+            .any(|n| n.is_keyword && n.kset.len() == 2));
+    }
+
+    #[test]
+    fn label_filter_constrains_the_matching_node() {
+        let engine = SearchEngine::new(library());
+        // async must be matched by a <title> node: only book 1.
+        let r = engine.execute(&req("rust title:async")).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.stats.filtered_out, 1);
+        // async matched by a <note> node: only book 2.
+        let r = engine.execute(&req("rust note:async")).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        // A label nothing carries filters everything.
+        let r = engine.execute(&req("rust chapter:async")).unwrap();
+        assert_eq!(r.hits.len(), 0);
+        assert_eq!(r.stats.filtered_out, 2);
+    }
+
+    #[test]
+    fn exclusion_rejects_fragments_containing_the_word() {
+        let engine = SearchEngine::new(library());
+        // "chen" occurs only in book 2's subtree — and in a node that
+        // is NOT part of the fragment (author isn't a query keyword),
+        // proving exclusions consult the corpus, not just the fragment.
+        let r = engine.execute(&req("rust async -chen")).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.stats.filtered_out, 1);
+        // Excluding an absent word excludes nothing.
+        let r = engine.execute(&req("rust async -cobol")).unwrap();
+        assert_eq!(r.hits.len(), 2);
+    }
+
+    #[test]
+    fn post_filters_work_over_sources_too() {
+        let corpus = MemoryCorpus::new(xks_store::shred(&library()));
+        let engine = SearchEngine::from_owned_source(corpus);
+        for (text, expect) in [
+            ("\"rust async\"", 1),
+            ("rust title:async", 1),
+            ("rust async -chen", 1),
+            ("rust async", 2),
+        ] {
+            let r = engine.execute(&req(text)).unwrap();
+            assert_eq!(r.hits.len(), expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn dropped_and_normalized_terms_reach_the_stats() {
+        let engine = SearchEngine::new(library());
+        let r = engine.execute(&req("Rust rust async")).unwrap();
+        assert_eq!(r.stats.dropped_terms, ["rust"]);
+        assert_eq!(
+            r.stats.normalized_terms,
+            [("Rust".to_owned(), "rust".to_owned())]
+        );
+    }
+
+    // ---- failure paths ------------------------------------------------
+
+    /// A corpus whose lookups fail like a dying disk would.
+    #[derive(Debug, Default)]
+    struct Failures {
+        all_postings: bool,
+        keyword: Option<&'static str>,
+        elements: bool,
+    }
+
+    #[derive(Debug)]
+    struct FailingCorpus {
+        inner: MemoryCorpus,
+        fail: Failures,
+    }
+
+    impl CorpusSource for FailingCorpus {
+        fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+            self.inner.keyword_deweys(keyword)
+        }
+        fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+            self.inner.element(dewey)
+        }
+        fn label_name(&self, label: u32) -> Option<String> {
+            self.inner.label_name(label)
+        }
+        fn node_count(&self) -> usize {
+            self.inner.node_count()
+        }
+        fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
+            if self.fail.all_postings || self.fail.keyword == Some(keyword) {
+                return Err(SourceError::new("synthetic postings I/O failure"));
+            }
+            Ok(self.inner.keyword_deweys(keyword))
+        }
+        fn try_element(&self, dewey: &Dewey) -> Result<Option<SourceElement>, SourceError> {
+            if self.fail.elements {
+                return Err(SourceError::new("synthetic element I/O failure"));
+            }
+            Ok(self.inner.element(dewey))
+        }
+        fn try_element_label(&self, dewey: &Dewey) -> Result<Option<u32>, SourceError> {
+            if self.fail.elements {
+                return Err(SourceError::new("synthetic element I/O failure"));
+            }
+            Ok(self.inner.element_label(dewey))
+        }
+    }
+
+    fn failing_engine(fail: Failures) -> SearchEngine {
+        SearchEngine::from_owned_source(FailingCorpus {
+            inner: MemoryCorpus::new(xks_store::shred(&library())),
+            fail,
+        })
+    }
+
+    #[test]
+    fn backend_errors_surface_typed_not_panicking() {
+        // Resolution failure (stage 1).
+        let err = failing_engine(Failures {
+            all_postings: true,
+            ..Failures::default()
+        })
+        .execute(&req("rust async"))
+        .unwrap_err();
+        assert!(matches!(err, SearchError::Backend(_)), "{err}");
+        assert!(err.to_string().contains("postings"));
+        // Fragment-construction failure (stage 4).
+        let err = failing_engine(Failures {
+            elements: true,
+            ..Failures::default()
+        })
+        .execute(&req("rust async"))
+        .unwrap_err();
+        assert!(matches!(err, SearchError::Backend(_)), "{err}");
+        assert!(err.to_string().contains("element"));
+        // Exclusion resolution failure (post-filter stage): positive
+        // keywords resolve fine, only the excluded word's lookup dies.
+        let engine = failing_engine(Failures {
+            keyword: Some("chen"),
+            ..Failures::default()
+        });
+        assert!(engine.execute(&req("rust async")).is_ok());
+        let err = engine.execute(&req("rust async -chen")).unwrap_err();
+        assert!(matches!(err, SearchError::Backend(_)), "{err}");
+    }
+
+    #[test]
+    fn poisoned_context_pool_recovers() {
+        let engine = SearchEngine::new(library());
+        // Seed the pool, then poison its mutex by panicking mid-lock.
+        let _ = engine.execute(&req("rust")).unwrap();
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.contexts.lock().unwrap();
+            panic!("poison the context pool");
+        }));
+        assert!(poison.is_err());
+        assert!(engine.contexts.lock().is_err(), "pool mutex is poisoned");
+        // Queries keep working: checkout/checkin recover the poison.
+        let r = engine.execute(&req("rust async")).unwrap();
+        assert_eq!(r.hits.len(), 2);
+        let legacy = engine.search(&q("rust"), AlgorithmKind::ValidRtf);
+        assert_eq!(legacy.fragments.len(), 2);
     }
 }

@@ -1,24 +1,27 @@
-//! Concurrent query executor: many queries, one shared engine.
+//! Concurrent request executor: many [`SearchRequest`]s, one shared
+//! engine.
 //!
 //! The read path splits into a shared immutable half (the
 //! [`SearchEngine`] over its corpus — `Send + Sync`) and a per-thread
-//! mutable half (the [`QueryContext`]). [`run_batch`] exploits that
+//! mutable half (the `QueryContext`). [`run_batch`] exploits that
 //! split: worker threads share one engine by reference, each owns one
 //! warm context, and they **steal work** from a single atomic cursor
-//! over the query slice — no queue, no channel, no lock on the query
-//! path. A thread that draws expensive queries simply claims fewer of
+//! over the request slice — no queue, no channel, no lock on the query
+//! path. A thread that draws expensive requests simply claims fewer of
 //! them; idle threads drain the remainder.
 //!
-//! Results come back in input order regardless of which thread answered
-//! which query, so `run_batch(.., 1)` and `run_batch(.., N)` are
-//! byte-identical (asserted by the tests here and the workspace's
-//! concurrent differential test).
+//! Each request is answered independently through
+//! [`SearchEngine::execute_with`], so one failing request (a backend
+//! I/O error, say) yields one `Err` slot — the rest of the batch still
+//! completes. Results come back in input order regardless of which
+//! thread answered which request, so `run_batch(.., 1)` and
+//! `run_batch(.., N)` are byte-identical (asserted by the tests here
+//! and the workspace's concurrent differential test).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use xks_index::Query;
-
-use crate::engine::{AlgorithmKind, SearchEngine, SearchResult};
+use crate::engine::SearchEngine;
+use crate::request::{SearchError, SearchRequest, SearchResponse};
 
 /// How a batch run distributed its work (returned by
 /// [`run_batch_stats`]).
@@ -26,12 +29,15 @@ use crate::engine::{AlgorithmKind, SearchEngine, SearchResult};
 pub struct BatchStats {
     /// Worker threads actually spawned.
     pub threads: usize,
-    /// Queries answered by each worker (sums to the batch size).
+    /// Requests answered by each worker (sums to the batch size).
     pub per_thread: Vec<usize>,
 }
 
-/// Runs every query through `engine` with `kind`, fanned out over
-/// `threads` worker threads, returning results **in input order**.
+/// One request's outcome within a batch.
+pub type BatchResult = Result<SearchResponse, SearchError>;
+
+/// Executes every request through `engine`, fanned out over `threads`
+/// worker threads, returning responses **in input order**.
 ///
 /// `threads == 0` is treated as 1; `threads == 1` runs inline on the
 /// calling thread (no spawn). The engine is borrowed, not cloned — all
@@ -39,47 +45,45 @@ pub struct BatchStats {
 #[must_use]
 pub fn run_batch(
     engine: &SearchEngine,
-    queries: &[Query],
-    kind: AlgorithmKind,
+    requests: &[SearchRequest],
     threads: usize,
-) -> Vec<SearchResult> {
-    run_batch_stats(engine, queries, kind, threads).0
+) -> Vec<BatchResult> {
+    run_batch_stats(engine, requests, threads).0
 }
 
-/// Like [`run_batch`] but also reporting how many queries each worker
+/// Like [`run_batch`] but also reporting how many requests each worker
 /// claimed — the observability hook the `hotpath_mt` bench and the CLI
 /// use.
 #[must_use]
 pub fn run_batch_stats(
     engine: &SearchEngine,
-    queries: &[Query],
-    kind: AlgorithmKind,
+    requests: &[SearchRequest],
     threads: usize,
-) -> (Vec<SearchResult>, BatchStats) {
-    let threads = threads.max(1).min(queries.len().max(1));
+) -> (Vec<BatchResult>, BatchStats) {
+    let threads = threads.max(1).min(requests.len().max(1));
     if threads == 1 {
         // Contexts come from the engine's warm pool (and go back), so
         // repeated batches don't re-grow their buffers.
         let mut ctx = engine.checkout_context();
-        let results = queries
+        let results = requests
             .iter()
-            .map(|q| engine.search_with(q, kind, &mut ctx))
+            .map(|r| engine.execute_with(r, &mut ctx))
             .collect();
         engine.checkin_context(ctx);
         return (
             results,
             BatchStats {
                 threads: 1,
-                per_thread: vec![queries.len()],
+                per_thread: vec![requests.len()],
             },
         );
     }
 
     // Work-stealing cursor: each worker claims the next unanswered
-    // query index. Workers collect (index, result) pairs locally, so
+    // request index. Workers collect (index, result) pairs locally, so
     // the only shared write is the cursor itself.
     let cursor = AtomicUsize::new(0);
-    let mut collected: Vec<Vec<(usize, SearchResult)>> = Vec::with_capacity(threads);
+    let mut collected: Vec<Vec<(usize, BatchResult)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -89,8 +93,10 @@ pub fn run_batch_stats(
                 let mut mine = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(query) = queries.get(i) else { break };
-                    mine.push((i, engine.search_with(query, kind, &mut ctx)));
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    mine.push((i, engine.execute_with(request, &mut ctx)));
                 }
                 engine.checkin_context(ctx);
                 mine
@@ -102,13 +108,13 @@ pub fn run_batch_stats(
     });
 
     let per_thread: Vec<usize> = collected.iter().map(Vec::len).collect();
-    let mut results: Vec<Option<SearchResult>> = (0..queries.len()).map(|_| None).collect();
+    let mut results: Vec<Option<BatchResult>> = (0..requests.len()).map(|_| None).collect();
     for (i, result) in collected.into_iter().flatten() {
         results[i] = Some(result);
     }
     let results = results
         .into_iter()
-        .map(|r| r.expect("every query index claimed exactly once"))
+        .map(|r| r.expect("every request index claimed exactly once"))
         .collect();
     (
         results,
@@ -122,56 +128,90 @@ pub fn run_batch_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::AlgorithmKind;
     use crate::source::MemoryCorpus;
     use std::sync::Arc;
     use xks_store::shred;
     use xks_xmltree::fixtures::{publications, PAPER_QUERIES};
 
-    fn queries() -> Vec<Query> {
+    fn requests() -> Vec<SearchRequest> {
         // Repeat the paper queries so the batch is bigger than the
         // thread count and the cursor actually strides.
         PAPER_QUERIES
             .iter()
             .cycle()
             .take(24)
-            .map(|s| Query::parse(s).unwrap())
+            .map(|s| SearchRequest::parse(s).unwrap())
+            .collect()
+    }
+
+    fn fragments(result: &BatchResult) -> Vec<crate::Fragment> {
+        result
+            .as_ref()
+            .expect("request succeeds")
+            .fragments()
+            .cloned()
             .collect()
     }
 
     #[test]
     fn concurrent_batch_matches_sequential() {
         let engine = SearchEngine::from_owned_source(MemoryCorpus::new(shred(&publications())));
-        let queries = queries();
-        let sequential = run_batch(&engine, &queries, AlgorithmKind::ValidRtf, 1);
+        let requests = requests();
+        let sequential = run_batch(&engine, &requests, 1);
         for threads in [2, 4, 8] {
-            let concurrent = run_batch(&engine, &queries, AlgorithmKind::ValidRtf, threads);
+            let concurrent = run_batch(&engine, &requests, threads);
             assert_eq!(sequential.len(), concurrent.len());
             for (s, c) in sequential.iter().zip(&concurrent) {
-                assert_eq!(s.fragments, c.fragments, "{threads} threads");
+                assert_eq!(fragments(s), fragments(c), "{threads} threads");
             }
         }
     }
 
     #[test]
-    fn stats_account_for_every_query() {
+    fn stats_account_for_every_request() {
         let engine = SearchEngine::from_owned_source(MemoryCorpus::new(shred(&publications())));
-        let queries = queries();
-        let (results, stats) = run_batch_stats(&engine, &queries, AlgorithmKind::MaxMatchRtf, 3);
-        assert_eq!(results.len(), queries.len());
+        let requests: Vec<SearchRequest> = requests()
+            .into_iter()
+            .map(|r| r.algorithm(AlgorithmKind::MaxMatchRtf))
+            .collect();
+        let (results, stats) = run_batch_stats(&engine, &requests, 3);
+        assert_eq!(results.len(), requests.len());
         assert_eq!(stats.threads, 3);
-        assert_eq!(stats.per_thread.iter().sum::<usize>(), queries.len());
+        assert_eq!(stats.per_thread.iter().sum::<usize>(), requests.len());
     }
 
     #[test]
     fn degenerate_batches() {
         let engine = SearchEngine::new(publications());
-        assert!(run_batch(&engine, &[], AlgorithmKind::ValidRtf, 4).is_empty());
-        let one = vec![Query::parse(PAPER_QUERIES[2]).unwrap()];
-        // 0 threads clamps to 1; more threads than queries clamps down.
-        let a = run_batch(&engine, &one, AlgorithmKind::ValidRtf, 0);
-        let b = run_batch(&engine, &one, AlgorithmKind::ValidRtf, 16);
-        assert_eq!(a[0].fragments, b[0].fragments);
-        assert_eq!(a[0].fragments.len(), 1);
+        assert!(run_batch(&engine, &[], 4).is_empty());
+        let one = vec![SearchRequest::parse(PAPER_QUERIES[2]).unwrap()];
+        // 0 threads clamps to 1; more threads than requests clamps down.
+        let a = run_batch(&engine, &one, 0);
+        let b = run_batch(&engine, &one, 16);
+        assert_eq!(fragments(&a[0]), fragments(&b[0]));
+        assert_eq!(fragments(&a[0]).len(), 1);
+    }
+
+    #[test]
+    fn per_request_knobs_apply_within_one_batch() {
+        // Requests carry their own algorithm and shaping; a mixed batch
+        // must honor each independently.
+        let engine = SearchEngine::new(publications());
+        let batch = vec![
+            SearchRequest::parse("liu keyword").unwrap(),
+            SearchRequest::parse("liu keyword").unwrap().top_k(1),
+            SearchRequest::parse("liu keyword")
+                .unwrap()
+                .algorithm(AlgorithmKind::MaxMatchSlca),
+        ];
+        let results = run_batch(&engine, &batch, 2);
+        assert_eq!(fragments(&results[0]).len(), 2);
+        let capped = results[1].as_ref().unwrap();
+        assert_eq!(capped.hits.len(), 1);
+        assert!(capped.stats.truncated);
+        assert_eq!(capped.stats.total_before_top_k, 2);
+        assert_eq!(fragments(&results[2]).len(), 1);
     }
 
     #[test]
@@ -179,8 +219,9 @@ mod tests {
         let corpus: Arc<dyn crate::source::CorpusSource> =
             Arc::new(MemoryCorpus::new(shred(&publications())));
         let engine = SearchEngine::from_source(corpus);
-        let queries = queries();
-        let (results, _) = run_batch_stats(&engine, &queries, AlgorithmKind::ValidRtf, 4);
-        assert_eq!(results.len(), queries.len());
+        let requests = requests();
+        let (results, _) = run_batch_stats(&engine, &requests, 4);
+        assert_eq!(results.len(), requests.len());
+        assert!(results.iter().all(Result::is_ok));
     }
 }

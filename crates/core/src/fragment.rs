@@ -19,7 +19,7 @@ use xks_xmltree::{Dewey, LabelId, XmlTree};
 
 use crate::keyset::KeySet;
 use crate::rtf::Rtf;
-use crate::source::CorpusSource;
+use crate::source::{CorpusSource, SourceError};
 
 /// The `cID` content feature: lexical `(min, max)` of a tree content
 /// set (§4.1). `None` when no keyword-node content is below the node.
@@ -215,6 +215,57 @@ impl Fragment {
             },
             |d| source_element(source, d).keyword_cid,
         )
+    }
+
+    /// Fallible form of [`Fragment::construct_from_source`]: backend
+    /// failures (I/O, corruption, a node the corpus lost) surface as a
+    /// typed [`SourceError`] instead of a panic — the constructing step
+    /// `SearchEngine::execute` drives.
+    pub fn try_construct_from_source<S: CorpusSource + ?Sized>(
+        source: &S,
+        rtf: &Rtf,
+    ) -> Result<Self, SourceError> {
+        use std::cell::RefCell;
+        // The two lookup closures can't both borrow an error slot
+        // mutably, so it rides in a RefCell; construction finishes the
+        // walk on dummy facts after a failure and the error wins below.
+        let first_error: RefCell<Option<SourceError>> = RefCell::new(None);
+        let fail = |e: SourceError| {
+            let mut slot = first_error.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        };
+        let fragment = construct_stream(
+            &rtf.anchor,
+            &rtf.knodes,
+            |d| match source.try_element_label(d) {
+                Ok(Some(label)) => LabelId(label),
+                Ok(None) => {
+                    fail(SourceError::missing_node(d));
+                    LabelId(0)
+                }
+                Err(e) => {
+                    fail(e);
+                    LabelId(0)
+                }
+            },
+            |d| match source.try_element(d) {
+                Ok(Some(element)) => element.keyword_cid,
+                Ok(None) => {
+                    fail(SourceError::missing_node(d));
+                    None
+                }
+                Err(e) => {
+                    fail(e);
+                    None
+                }
+            },
+        );
+        match first_error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(fragment),
+        }
     }
 
     /// A fragment with exactly the given nodes, which must be sorted in

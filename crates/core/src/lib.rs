@@ -21,9 +21,13 @@
 //!
 //! # Quickstart
 //!
+//! Searches are described by a [`SearchRequest`] (query text in the
+//! operator grammar plus execution knobs) and executed by
+//! [`SearchEngine::execute`], which returns a [`SearchResponse`] of
+//! scored hits or a typed [`SearchError`]:
+//!
 //! ```
-//! use validrtf::engine::{AlgorithmKind, SearchEngine};
-//! use xks_index::Query;
+//! use validrtf::{AlgorithmKind, SearchEngine, SearchRequest};
 //! use xks_xmltree::parse;
 //!
 //! let tree = parse(
@@ -32,9 +36,12 @@
 //! )
 //! .unwrap();
 //! let engine = SearchEngine::new(tree);
-//! let query = Query::parse("xml keyword").unwrap();
-//! let result = engine.search(&query, AlgorithmKind::ValidRtf);
-//! assert_eq!(result.fragments.len(), 1);
+//! let request = SearchRequest::parse("xml keyword")?
+//!     .algorithm(AlgorithmKind::ValidRtf)
+//!     .top_k(10);
+//! let response = engine.execute(&request)?;
+//! assert_eq!(response.hits.len(), 1);
+//! # Ok::<(), validrtf::SearchError>(())
 //! ```
 
 #![deny(missing_docs)]
@@ -49,6 +56,7 @@ pub mod keyset;
 pub mod metrics;
 pub mod prune;
 pub mod rank;
+pub mod request;
 pub mod rtf;
 pub mod scratch;
 pub mod source;
@@ -56,12 +64,13 @@ pub mod spec;
 
 pub use algorithms::{max_match_rtf, max_match_slca, valid_rtf};
 pub use engine::{AlgorithmKind, SearchEngine};
-pub use executor::{run_batch, run_batch_stats, BatchStats};
+pub use executor::{run_batch, run_batch_stats, BatchResult, BatchStats};
 pub use fragment::Fragment;
 pub use keyset::KeySet;
 pub use metrics::{effectiveness, Effectiveness};
 pub use prune::{prune, prune_owned, Policy};
 pub use rank::{rank, RankWeights, RankedFragment};
+pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
 pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};
 pub use scratch::{QueryContext, QueryScratch};
-pub use source::{CorpusSource, MemoryCorpus, SourceElement};
+pub use source::{CorpusSource, MemoryCorpus, SourceElement, SourceError};

@@ -1,0 +1,346 @@
+//! The request/response search API.
+//!
+//! [`SearchRequest`] is the one description of a search — query text in
+//! the operator grammar (phrases, exclusions, label filters; see
+//! [`xks_index::grammar`]), the algorithm, and the result-shaping knobs
+//! (`top_k`, ranking weights, `max_fragments`). It is executed by the
+//! single pair of entry points
+//! [`SearchEngine::execute`](crate::engine::SearchEngine::execute) /
+//! [`execute_with`](crate::engine::SearchEngine::execute_with), which
+//! return a [`SearchResponse`]: scored [`Hit`]s, per-stage timings, and
+//! the [`SearchStats`] observability block. Failures are typed
+//! [`SearchError`]s — parse errors from the grammar, backend I/O or
+//! corruption from the storage layer — so no query path panics.
+//!
+//! ```
+//! use validrtf::{AlgorithmKind, SearchEngine, SearchRequest};
+//!
+//! let tree = xks_xmltree::parse(
+//!     "<pubs><paper><title>xml keyword search</title></paper>\
+//!      <paper><title>skyline queries</title></paper></pubs>",
+//! )
+//! .unwrap();
+//! let engine = SearchEngine::new(tree);
+//! let request = SearchRequest::parse("xml keyword")?
+//!     .algorithm(AlgorithmKind::ValidRtf)
+//!     .top_k(10);
+//! let response = engine.execute(&request)?;
+//! assert_eq!(response.hits.len(), 1);
+//! assert!(response.hits[0].score.is_some()); // top_k implies ranking
+//! # Ok::<(), validrtf::SearchError>(())
+//! ```
+
+use std::fmt;
+
+use xks_index::{ParseError, Query, QueryError, QuerySpec};
+
+use crate::algorithms::StageTimings;
+use crate::engine::AlgorithmKind;
+use crate::fragment::Fragment;
+use crate::rank::RankWeights;
+use crate::source::SourceError;
+
+/// Everything that can go wrong executing a search — the one error
+/// type of the read path.
+#[derive(Debug)]
+pub enum SearchError {
+    /// The query text failed the operator grammar (also absorbs the
+    /// legacy [`QueryError`]).
+    Parse(ParseError),
+    /// The storage backend failed: I/O, index corruption, a poisoned
+    /// resource — anything [`SourceError`] wraps.
+    Backend(SourceError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Parse(e) => write!(f, "bad query: {e}"),
+            SearchError::Backend(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Parse(e) => Some(e),
+            SearchError::Backend(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for SearchError {
+    fn from(e: ParseError) -> Self {
+        SearchError::Parse(e)
+    }
+}
+
+impl From<QueryError> for SearchError {
+    fn from(e: QueryError) -> Self {
+        SearchError::Parse(e.into())
+    }
+}
+
+impl From<SourceError> for SearchError {
+    fn from(e: SourceError) -> Self {
+        SearchError::Backend(e)
+    }
+}
+
+/// A fully-described search: parsed query plus execution knobs.
+///
+/// Build one with [`SearchRequest::parse`] (operator grammar) or
+/// [`SearchRequest::from_query`] / [`SearchRequest::from_spec`], then
+/// chain the builder methods:
+///
+/// ```
+/// use validrtf::{AlgorithmKind, RankWeights, SearchRequest};
+///
+/// let request = SearchRequest::parse("title:xml \"keyword search\" -skyline")?
+///     .algorithm(AlgorithmKind::ValidRtf)
+///     .weights(RankWeights::default())
+///     .top_k(10)
+///     .max_fragments(1000);
+/// assert_eq!(request.query().keywords(), ["xml", "keyword", "search"]);
+/// # Ok::<(), validrtf::SearchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    spec: QuerySpec,
+    algorithm: AlgorithmKind,
+    top_k: Option<usize>,
+    weights: Option<RankWeights>,
+    max_fragments: Option<usize>,
+}
+
+impl SearchRequest {
+    /// Parses query text in the operator grammar and wraps it in a
+    /// request with default knobs ([`AlgorithmKind::ValidRtf`], no
+    /// ranking, no truncation).
+    pub fn parse(text: &str) -> Result<Self, SearchError> {
+        Ok(Self::from_spec(QuerySpec::parse(text)?))
+    }
+
+    /// A request over an already-parsed operator-grammar spec.
+    #[must_use]
+    pub fn from_spec(spec: QuerySpec) -> Self {
+        SearchRequest {
+            spec,
+            algorithm: AlgorithmKind::ValidRtf,
+            top_k: None,
+            weights: None,
+            max_fragments: None,
+        }
+    }
+
+    /// A request over a plain lowered [`Query`] (no operators).
+    #[must_use]
+    pub fn from_query(query: Query) -> Self {
+        Self::from_spec(QuerySpec::from_query(query))
+    }
+
+    /// Selects the algorithm (default [`AlgorithmKind::ValidRtf`]).
+    #[must_use]
+    pub fn algorithm(mut self, kind: AlgorithmKind) -> Self {
+        self.algorithm = kind;
+        self
+    }
+
+    /// Keeps only the `k` best hits. Setting `top_k` implies ranking:
+    /// the response's hits come back best-first and scored (with
+    /// [`SearchRequest::weights`] or the default weights), and
+    /// truncation happens **before** any hit is materialized.
+    #[must_use]
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Ranks hits best-first with these weights (without `top_k`, all
+    /// hits come back, ranked).
+    #[must_use]
+    pub fn weights(mut self, weights: RankWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Caps how many fragments the response may carry **in document
+    /// order, before ranking** — a response-size guard for queries that
+    /// explode. A hit dropped here is reported via
+    /// [`SearchStats::truncated`], never silently.
+    #[must_use]
+    pub fn max_fragments(mut self, cap: usize) -> Self {
+        self.max_fragments = Some(cap);
+        self
+    }
+
+    /// The parsed operator-grammar spec.
+    #[must_use]
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// The lowered flat query.
+    #[must_use]
+    pub fn query(&self) -> &Query {
+        self.spec.query()
+    }
+
+    /// The selected algorithm.
+    #[must_use]
+    pub fn kind(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
+    /// The `top_k` limit, if set.
+    #[must_use]
+    pub fn top_k_limit(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// The `max_fragments` cap, if set.
+    #[must_use]
+    pub fn max_fragments_cap(&self) -> Option<usize> {
+        self.max_fragments
+    }
+
+    /// The explicit ranking weights, if set.
+    #[must_use]
+    pub fn rank_weights(&self) -> Option<&RankWeights> {
+        self.weights.as_ref()
+    }
+
+    /// Whether execution ranks the hits (an explicit `weights` call or
+    /// any `top_k`).
+    #[must_use]
+    pub fn is_ranked(&self) -> bool {
+        self.weights.is_some() || self.top_k.is_some()
+    }
+
+    /// The weights execution will rank with (`None` when unranked).
+    #[must_use]
+    pub fn effective_weights(&self) -> Option<RankWeights> {
+        if self.is_ranked() {
+            Some(self.weights.unwrap_or_default())
+        } else {
+            None
+        }
+    }
+}
+
+/// One search hit: the fragment plus its ranking evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The meaningful fragment.
+    pub fragment: Fragment,
+    /// Combined rank score in `[0, 1]` (set when the request ranked).
+    pub score: Option<f64>,
+    /// The individual rank signals (specificity, compactness, density)
+    /// behind [`Hit::score`], for explainability.
+    pub signals: Option<[f64; 3]>,
+}
+
+/// The observability block of a [`SearchResponse`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// True when `top_k` / `max_fragments` cut hits away.
+    pub truncated: bool,
+    /// Meaningful fragments that survived the post-filter stage,
+    /// before any truncation.
+    pub total_before_top_k: usize,
+    /// Fragments removed by the operator post-filters (phrase,
+    /// exclusion, label).
+    pub filtered_out: usize,
+    /// Query terms the parser dropped as duplicates (raw, as typed).
+    pub dropped_terms: Vec<String>,
+    /// Query terms the parser rewrote, as `(raw, normalized)` pairs.
+    pub normalized_terms: Vec<(String, String)>,
+}
+
+/// What a search returns: scored hits, per-stage timings, stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// The hits — best-first when the request ranked, document order
+    /// otherwise.
+    pub hits: Vec<Hit>,
+    /// Wall-clock per pipeline stage.
+    pub timings: StageTimings,
+    /// Truncation / filtering / parse observability.
+    pub stats: SearchStats,
+}
+
+impl SearchResponse {
+    /// An empty response (some query keyword matched nothing).
+    pub(crate) fn empty(timings: StageTimings, stats: SearchStats) -> Self {
+        SearchResponse {
+            hits: Vec::new(),
+            timings,
+            stats,
+        }
+    }
+
+    /// The hit fragments, in response order.
+    pub fn fragments(&self) -> impl Iterator<Item = &Fragment> {
+        self.hits.iter().map(|h| &h.fragment)
+    }
+
+    /// Consumes the response into its fragments, in response order.
+    #[must_use]
+    pub fn into_fragments(self) -> Vec<Fragment> {
+        self.hits.into_iter().map(|h| h.fragment).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let r = SearchRequest::parse("xml keyword")
+            .unwrap()
+            .algorithm(AlgorithmKind::MaxMatchRtf)
+            .top_k(5)
+            .max_fragments(100);
+        assert_eq!(r.kind(), AlgorithmKind::MaxMatchRtf);
+        assert_eq!(r.top_k_limit(), Some(5));
+        assert_eq!(r.max_fragments_cap(), Some(100));
+        assert!(r.is_ranked(), "top_k implies ranking");
+        assert_eq!(r.effective_weights(), Some(RankWeights::default()));
+        assert_eq!(r.query().keywords(), ["xml", "keyword"]);
+    }
+
+    #[test]
+    fn defaults_are_unranked_valid_rtf() {
+        let r = SearchRequest::parse("xml").unwrap();
+        assert_eq!(r.kind(), AlgorithmKind::ValidRtf);
+        assert!(!r.is_ranked());
+        assert_eq!(r.effective_weights(), None);
+        assert_eq!(r.top_k_limit(), None);
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        let err = SearchRequest::parse("\"unclosed").unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::Parse(ParseError::UnclosedPhrase)
+        ));
+        assert!(err.to_string().contains("unclosed"));
+    }
+
+    #[test]
+    fn query_error_absorbed() {
+        let e: SearchError = QueryError::Empty.into();
+        assert!(matches!(e, SearchError::Parse(ParseError::Empty)));
+    }
+
+    #[test]
+    fn backend_error_chains_source() {
+        use std::error::Error as _;
+        let e = SearchError::Backend(SourceError::new("disk on fire"));
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.source().is_some());
+    }
+}

@@ -16,12 +16,54 @@
 //! [`crate::algorithms::run_source`].
 
 use std::collections::HashMap;
+use std::fmt;
 
 use xks_index::{KeywordNodeSets, Query};
 use xks_store::ShreddedDoc;
 use xks_xmltree::Dewey;
 
 use crate::fragment::Cid;
+
+/// A storage-backend failure surfaced on the query path — the typed
+/// alternative to the panics the infallible [`CorpusSource`] accessors
+/// raise. Wraps whatever error the backend produces (`xks-persist`'s
+/// `PersistError`, an I/O error, …) so `validrtf` stays independent of
+/// any particular storage crate.
+#[derive(Debug)]
+pub struct SourceError(Box<dyn std::error::Error + Send + Sync + 'static>);
+
+impl SourceError {
+    /// Wraps a backend error.
+    pub fn new(error: impl Into<Box<dyn std::error::Error + Send + Sync + 'static>>) -> Self {
+        SourceError(error.into())
+    }
+
+    /// The error for an RTF referencing a node the corpus does not
+    /// contain — keyword nodes always come from the same corpus, so
+    /// this indicates a corrupted index.
+    #[must_use]
+    pub fn missing_node(dewey: &Dewey) -> Self {
+        SourceError::new(format!("node {dewey} is missing from the corpus"))
+    }
+
+    /// The wrapped backend error.
+    #[must_use]
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        self.0.as_ref()
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage backend error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.0.as_ref() as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// The per-node facts a fragment constructor needs from storage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +128,45 @@ pub trait CorpusSource: std::fmt::Debug + Send + Sync {
         }
         Some(KeywordNodeSets::new(query.clone(), sets))
     }
+
+    // ---- fallible accessors -------------------------------------------
+    //
+    // The `try_` family is what `SearchEngine::execute` drives: backends
+    // that can fail after opening (an on-disk index hitting I/O errors
+    // or latent corruption) override these to surface a typed
+    // [`SourceError`] instead of panicking. The defaults delegate to
+    // the infallible accessors, so purely in-memory backends implement
+    // nothing extra.
+
+    /// Fallible form of [`CorpusSource::keyword_deweys`].
+    fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
+        Ok(self.keyword_deweys(keyword))
+    }
+
+    /// Fallible form of [`CorpusSource::element`].
+    fn try_element(&self, dewey: &Dewey) -> Result<Option<SourceElement>, SourceError> {
+        Ok(self.element(dewey))
+    }
+
+    /// Fallible form of [`CorpusSource::element_label`].
+    fn try_element_label(&self, dewey: &Dewey) -> Result<Option<u32>, SourceError> {
+        Ok(self.element_label(dewey))
+    }
+
+    /// Fallible form of [`CorpusSource::resolve`] — built on
+    /// [`CorpusSource::try_keyword_deweys`], so overriding that one
+    /// method is enough to make resolution error-aware.
+    fn try_resolve(&self, query: &Query) -> Result<Option<KeywordNodeSets>, SourceError> {
+        let mut sets = Vec::with_capacity(query.len());
+        for kw in query.keywords() {
+            let list = self.try_keyword_deweys(kw)?;
+            if list.is_empty() {
+                return Ok(None);
+            }
+            sets.push(list);
+        }
+        Ok(Some(KeywordNodeSets::new(query.clone(), sets)))
+    }
 }
 
 macro_rules! delegate_corpus_source {
@@ -114,6 +195,21 @@ macro_rules! delegate_corpus_source {
             fn resolve(&self, query: &Query) -> Option<KeywordNodeSets> {
                 (**self).resolve(query)
             }
+            fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
+                (**self).try_keyword_deweys(keyword)
+            }
+            fn try_element(&self, dewey: &Dewey) -> Result<Option<SourceElement>, SourceError> {
+                (**self).try_element(dewey)
+            }
+            fn try_element_label(&self, dewey: &Dewey) -> Result<Option<u32>, SourceError> {
+                (**self).try_element_label(dewey)
+            }
+            fn try_resolve(
+                &self,
+                query: &Query,
+            ) -> Result<Option<KeywordNodeSets>, SourceError> {
+                (**self).try_resolve(query)
+            }
         }
     )*};
 }
@@ -138,7 +234,7 @@ pub struct MemoryCorpus {
 
 impl MemoryCorpus {
     /// Wraps a shredded document (derived lookups must already be
-    /// rebuilt, which [`xks_store::shred`] and the snapshot loader do).
+    /// rebuilt, which [`xks_store::shred()`] and the snapshot loader do).
     ///
     /// Element facts are keyed by parsed [`Dewey`] here — the tables
     /// key rows by dotted strings, and formatting a code per lookup

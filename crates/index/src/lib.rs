@@ -6,6 +6,8 @@
 //! `w_i` — as sorted Dewey-code lists. This crate provides that lookup:
 //!
 //! * [`Query`] — a parsed keyword query `Q = {w1..wk}`;
+//! * [`QuerySpec`] — the operator grammar (quoted phrases, `-word`
+//!   exclusions, `label:word` filters) that lowers onto [`Query`];
 //! * [`InvertedIndex`] — keyword → sorted Dewey postings, plus the
 //!   frequency statistics behind the paper's §5.1 keyword table;
 //! * [`KeywordNodeSets`] — the resolved `D_1..D_k` bundle handed to the
@@ -14,8 +16,10 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod grammar;
 pub mod index;
 pub mod query;
 
+pub use grammar::{LabelFilter, ParseError, ParseReport, QuerySpec, Term};
 pub use index::{InvertedIndex, KeywordNodeSets};
 pub use query::{Query, QueryError};

@@ -17,6 +17,11 @@ pub const MAX_KEYWORDS: usize = 64;
 /// Keywords are normalized (lowercased, trimmed) and deduplicated while
 /// preserving first-occurrence order; the position of a keyword is its
 /// bit index in the `KeySet` masks used downstream.
+///
+/// `Query` is the *lowered* form the retrieval pipeline consumes. The
+/// richer operator grammar — quoted phrases, `-word` exclusions,
+/// `label:word` filters — lives in [`crate::grammar::QuerySpec`], which
+/// lowers every positive term into one of these flat keyword lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     keywords: Vec<String>,

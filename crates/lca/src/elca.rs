@@ -148,7 +148,7 @@ fn pop_to(scratch: &mut ElcaScratch, target: usize, full: u64, results: &mut Vec
 }
 
 /// The candidate + range-minimum-verification ELCA algorithm — a second
-/// fast implementation in the spirit of [12]'s Indexed Stack (smallest
+/// fast implementation in the spirit of ref. \[12\]'s Indexed Stack (smallest
 /// list drives candidate generation; each candidate is verified with
 /// indexed probes instead of re-scans).
 ///

@@ -23,9 +23,18 @@
 use std::collections::HashMap;
 use std::fs::File;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::error::PersistError;
+
+/// Locks a mutex, recovering from poisoning instead of propagating the
+/// panic: pool frames and the file cursor hold no invariant a panic
+/// mid-read could break (the worst case is an unindexed frame, which
+/// later lookups simply refetch), and a reader shared across query
+/// threads must not let one panicked thread wedge every other.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of independently locked frame shards. A power of two so the
 /// shard of a page is a mask away; 8 keeps per-shard capacity useful
@@ -137,7 +146,7 @@ impl BufferPool {
         let cached = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("pool shard lock").frames.len())
+            .map(|s| lock_unpoisoned(s).frames.len())
             .sum();
         PoolStats {
             capacity_pages: self.shard_capacity * SHARD_COUNT,
@@ -156,7 +165,7 @@ impl BufferPool {
     /// freely (`&File` implements `Read + Seek`); positioned page
     /// fetches never touch the cursor and keep running concurrently.
     pub fn with_file<R>(&self, f: impl FnOnce(&File) -> R) -> R {
-        let _cursor = self.cursor.lock().expect("pool cursor lock");
+        let _cursor = lock_unpoisoned(&self.cursor);
         f(&self.file)
     }
 
@@ -235,7 +244,7 @@ impl BufferPool {
     fn with_page<R>(&self, page_no: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R, PersistError> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let shard = &self.shards[shard_of(page_no)];
-        let mut shard = shard.lock().expect("pool shard lock");
+        let mut shard = lock_unpoisoned(shard);
 
         if let Some(&idx) = shard.by_page.get(&page_no) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -306,7 +315,7 @@ impl BufferPool {
     #[cfg(not(unix))]
     fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), PersistError> {
         use std::io::{Read as _, Seek as _, SeekFrom};
-        let _cursor = self.cursor.lock().expect("pool cursor lock");
+        let _cursor = lock_unpoisoned(&self.cursor);
         let mut file = &self.file;
         file.seek(SeekFrom::Start(offset))?;
         file.read_exact(buf)?;

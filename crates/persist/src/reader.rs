@@ -16,13 +16,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use validrtf::source::{CorpusSource, SourceElement};
+use validrtf::source::{CorpusSource, SourceElement, SourceError};
 use xks_xmltree::{Dewey, DeweyListBuf};
 
 use crate::codec::{crc32, get_postings_into, get_varint, Crc32};
 use crate::error::PersistError;
 use crate::format::{Header, Section, HEADER_LEN};
-use crate::pool::{BufferPool, PoolStats};
+use crate::pool::{lock_unpoisoned, BufferPool, PoolStats};
 
 /// Tuning knobs for [`IndexReader::open_with`].
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +90,7 @@ impl PostingsCache {
     }
 
     fn len(&self) -> usize {
-        self.slots.lock().expect("postings cache lock").len()
+        lock_unpoisoned(&self.slots).len()
     }
 
     fn get(&self, keyword: &str) -> Option<Arc<DeweyListBuf>> {
@@ -98,7 +98,7 @@ impl PostingsCache {
             return None;
         }
         let tick = self.bump();
-        let mut slots = self.slots.lock().expect("postings cache lock");
+        let mut slots = lock_unpoisoned(&self.slots);
         if let Some(slot) = slots.iter_mut().find(|s| s.keyword == keyword) {
             slot.last_used = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -118,7 +118,7 @@ impl PostingsCache {
             postings,
             last_used,
         };
-        let mut slots = self.slots.lock().expect("postings cache lock");
+        let mut slots = lock_unpoisoned(&self.slots);
         if let Some(existing) = slots.iter_mut().find(|s| s.keyword == slot.keyword) {
             *existing = slot;
             return;
@@ -232,10 +232,7 @@ impl ElementCache {
     }
 
     fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("element cache lock").len())
-            .sum()
+        self.shards.iter().map(|s| lock_unpoisoned(s).len()).sum()
     }
 
     fn get(&self, dewey: &Dewey) -> Option<Option<Arc<SourceElement>>> {
@@ -264,7 +261,7 @@ impl ElementCache {
         if self.shard_capacity == 0 {
             return;
         }
-        let mut map = self.shard(dewey).lock().expect("element cache lock");
+        let mut map = lock_unpoisoned(self.shard(dewey));
         if map.len() >= self.shard_capacity {
             map.clear();
         }
@@ -745,8 +742,10 @@ fn decode_labels(bytes: &[u8], expected: u64) -> Result<Vec<String>, PersistErro
 impl CorpusSource for IndexReader {
     /// # Panics
     /// Panics on I/O errors or index corruption detected *after* a
-    /// successful [`IndexReader::open`] (the trait is infallible; use
-    /// [`IndexReader::try_keyword_deweys`] for a `Result`).
+    /// successful [`IndexReader::open`] (this legacy accessor is
+    /// infallible; the `try_` trait family — what
+    /// `SearchEngine::execute` drives — surfaces the same failures as
+    /// typed errors instead).
     fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
         self.try_keyword_deweys(keyword)
             .unwrap_or_else(|e| panic!("xks-persist: keyword lookup failed: {e}"))
@@ -770,6 +769,29 @@ impl CorpusSource for IndexReader {
 
     fn node_count(&self) -> usize {
         self.header.element_count as usize
+    }
+
+    // The fallible family routes every PersistError (I/O, truncation,
+    // checksum, corruption) into a typed SourceError, keeping the
+    // engine's execute path panic-free on any backend failure.
+
+    fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
+        // Inherent method (returns PersistError), not this trait fn.
+        IndexReader::try_keyword_deweys(self, keyword).map_err(SourceError::new)
+    }
+
+    fn try_element(&self, dewey: &Dewey) -> Result<Option<SourceElement>, SourceError> {
+        Ok(self
+            .cached_element(dewey)
+            .map_err(SourceError::new)?
+            .map(|rc| (*rc).clone()))
+    }
+
+    fn try_element_label(&self, dewey: &Dewey) -> Result<Option<u32>, SourceError> {
+        Ok(self
+            .cached_element(dewey)
+            .map_err(SourceError::new)?
+            .map(|rc| rc.label))
     }
 }
 

@@ -2,9 +2,10 @@
 //!
 //! The build environment has no crates.io access, so snapshots are
 //! (de)serialized through this small hand-rolled JSON module instead of
-//! `serde_json`. It supports exactly what [`crate::snapshot`] needs:
-//! objects, arrays, strings (with `\uXXXX` escapes), unsigned integers,
-//! `null`, and booleans.
+//! `serde_json`. It supports what [`crate::snapshot`] needs — objects,
+//! arrays, strings (with `\uXXXX` escapes), unsigned integers, `null`,
+//! and booleans — plus finite floats for the CLI's `--format json`
+//! search output (rank scores, fractional timings).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -18,6 +19,9 @@ pub enum Value {
     Bool(bool),
     /// A number (snapshots only use unsigned integers).
     Num(u64),
+    /// A floating-point number (CLI scores/timings; never NaN or
+    /// infinite — non-finite floats serialize as `null`).
+    Float(f64),
     /// A string.
     Str(String),
     /// An array.
@@ -36,11 +40,21 @@ impl Value {
         }
     }
 
-    /// The value as `u64`, if it is a number.
+    /// The value as `u64`, if it is an integer.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
             _ => None,
         }
     }
@@ -169,20 +183,52 @@ impl Parser<'_> {
             Some(b'n') => self.literal("null", Value::Null),
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'0'..=b'9') => self.number(),
+            Some(b'0'..=b'9' | b'-') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
     fn number(&mut self) -> Result<Value, JsonError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
+        let mut float = false;
+        let digits = |p: &mut Self| {
+            let from = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        if self.peek() == Some(b'-') {
+            float = true;
             self.pos += 1;
         }
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
-            return Err(self.err("only unsigned integers are supported"));
+        if !digits(self) {
+            return Err(self.err("malformed number"));
+        }
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.err("malformed number"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'-' | b'+')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("malformed number"));
+            }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
+        if float {
+            return match text.parse::<f64>() {
+                Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+                _ => Err(self.err("malformed number")),
+            };
+        }
         text.parse()
             .map(Value::Num)
             .map_err(|_| self.err("integer out of range"))
@@ -339,6 +385,16 @@ pub fn write(value: &Value, out: &mut String) {
             use fmt::Write as _;
             let _ = write!(out, "{n}");
         }
+        Value::Float(f) => {
+            use fmt::Write as _;
+            if f.is_finite() {
+                // Rust's Debug float rendering is shortest-round-trip
+                // and valid JSON (always a '.' or exponent).
+                let _ = write!(out, "{f:?}");
+            } else {
+                out.push_str("null"); // JSON has no NaN/Infinity
+            }
+        }
         Value::Str(s) => write_string(s, out),
         Value::Arr(items) => {
             out.push('[');
@@ -428,8 +484,9 @@ mod tests {
             "[1,",
             "\"open",
             "{\"a\" 1}",
-            "1.5",
-            "-3",
+            "1.",
+            "-",
+            "1e",
             "[1] x",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
@@ -445,6 +502,26 @@ mod tests {
         assert!(parse(&ok).is_ok());
         let too_deep = "[".repeat(129) + &"]".repeat(129);
         assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for (text, want) in [
+            ("1.5", 1.5),
+            ("-3", -3.0),
+            ("0.8333333333333334", 0.833_333_333_333_333_4),
+            ("2e3", 2000.0),
+            ("-2.5e-2", -0.025),
+        ] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.as_f64(), Some(want), "{text}");
+            assert_eq!(parse(&to_string(&v)).unwrap(), v, "{text}");
+        }
+        // Integers stay integers (snapshots depend on as_u64).
+        assert_eq!(parse("7").unwrap(), Value::Num(7));
+        // Non-finite floats degrade to null on write.
+        assert_eq!(to_string(&Value::Float(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Float(f64::INFINITY)), "null");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use xks::core::axioms::{
     check_data_consistency, check_data_monotonicity, check_query_consistency,
     check_query_monotonicity, Algorithm,
 };
-use xks::core::{valid_rtf, SearchEngine};
+use xks::core::{valid_rtf, SearchEngine, SearchRequest};
 use xks::index::Query;
 use xks::xmltree::fixtures::publications;
 
@@ -19,11 +19,13 @@ fn main() {
     let engine = SearchEngine::new(before.clone());
     let query = Query::parse("xml keyword").unwrap();
 
-    let base = engine.search(&query, xks::core::AlgorithmKind::ValidRtf);
+    let base = engine
+        .execute(&SearchRequest::from_query(query.clone()))
+        .expect("tree backend cannot fail");
     println!(
         "query {:?} on the Figure 1(a) instance: {} result(s)",
         query.to_string(),
-        base.fragments.len()
+        base.hits.len()
     );
 
     // Perturbation 1: insert a new article containing both keywords.
@@ -34,11 +36,13 @@ fn main() {
     let inserted = after.dewey(title).clone();
 
     let engine2 = SearchEngine::new(after.clone());
-    let grown = engine2.search(&query, xks::core::AlgorithmKind::ValidRtf);
+    let grown = engine2
+        .execute(&SearchRequest::from_query(query.clone()))
+        .expect("tree backend cannot fail");
     println!(
         "after inserting {} (a new matching article): {} result(s)",
         inserted,
-        grown.fragments.len()
+        grown.hits.len()
     );
 
     let algo = valid_rtf as Algorithm;
@@ -53,11 +57,13 @@ fn main() {
 
     // Perturbation 2: extend the query.
     let extended = query.with_keyword("liu").unwrap();
-    let narrowed = engine.search(&extended, xks::core::AlgorithmKind::ValidRtf);
+    let narrowed = engine
+        .execute(&SearchRequest::from_query(extended.clone()))
+        .expect("tree backend cannot fail");
     println!(
         "extending the query to {:?}: {} result(s)",
         extended.to_string(),
-        narrowed.fragments.len()
+        narrowed.hits.len()
     );
     println!(
         "  query monotonicity: {:?}",

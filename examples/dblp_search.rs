@@ -29,7 +29,7 @@ fn main() {
     );
     for (abbrev, keywords) in dblp_workload() {
         let query = Query::parse(&keywords).expect("workload query parses");
-        let cmp = engine.compare(&query);
+        let cmp = engine.compare(&query).expect("workload query runs");
         println!(
             "{:<10} {:>6} {:>12} {:>12} {:>6.2} {:>7.3} {:>7.3}",
             abbrev,

@@ -7,7 +7,7 @@
 //! ```
 
 use xks::core::spec::{enumerate_ect, spec_rtfs};
-use xks::core::{AlgorithmKind, SearchEngine};
+use xks::core::{AlgorithmKind, SearchEngine, SearchRequest};
 use xks::index::Query;
 use xks::xmltree::fixtures::{publications, team, PAPER_QUERIES};
 
@@ -16,9 +16,10 @@ fn q(s: &str) -> Query {
 }
 
 fn show(engine: &SearchEngine, query: &Query, kind: AlgorithmKind, caption: &str) {
-    let out = engine.search(query, kind);
+    let request = SearchRequest::from_query(query.clone()).algorithm(kind);
+    let out = engine.execute(&request).expect("tree backend cannot fail");
     println!("--- {caption}");
-    for frag in &out.fragments {
+    for frag in out.fragments() {
         println!("fragment @ {}:", frag.anchor);
         print!("{}", frag.render(engine.tree()));
     }

@@ -6,8 +6,7 @@
 //! cargo run --example quickstart -- "skyline query"
 //! ```
 
-use xks::core::{AlgorithmKind, SearchEngine};
-use xks::index::Query;
+use xks::core::{AlgorithmKind, SearchEngine, SearchRequest};
 use xks::xmltree::parse;
 
 const SAMPLE: &str = r#"
@@ -44,28 +43,32 @@ fn main() {
     println!("Document ({} nodes):\n{tree}", tree.len());
 
     let engine = SearchEngine::new(tree);
-    let query = match Query::parse(&query_text) {
-        Ok(q) => q,
+    // The operator grammar understands "quoted phrases", -exclusions,
+    // and label:word filters alongside plain keywords.
+    let request = match SearchRequest::parse(&query_text) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("bad query: {e}");
+            eprintln!("{e}");
             std::process::exit(1);
         }
     };
 
-    println!("Query: {query}\n");
+    println!("Query: {}\n", request.spec());
     for (name, kind) in [
         ("ValidRTF", AlgorithmKind::ValidRtf),
         ("MaxMatch (revised)", AlgorithmKind::MaxMatchRtf),
     ] {
-        let result = engine.search(&query, kind);
+        let response = engine
+            .execute(&request.clone().algorithm(kind))
+            .expect("in-memory backend cannot fail");
         println!(
             "== {name}: {} meaningful fragment(s) in {:?}",
-            result.fragments.len(),
-            result.timings.total()
+            response.hits.len(),
+            response.timings.total()
         );
-        for frag in &result.fragments {
-            println!("-- fragment anchored at {}:", frag.anchor);
-            print!("{}", frag.render(engine.tree()));
+        for hit in &response.hits {
+            println!("-- fragment anchored at {}:", hit.fragment.anchor);
+            print!("{}", hit.fragment.render(engine.tree()));
         }
         println!();
     }

@@ -30,7 +30,7 @@ fn main() {
         );
         for (abbrev, keywords) in xmark_workload() {
             let query = Query::parse(&keywords).expect("workload query parses");
-            let cmp = engine.compare(&query);
+            let cmp = engine.compare(&query).expect("workload query runs");
             println!(
                 "{:<8} {:>6} {:>12} {:>12} {:>6.2} {:>7.3} {:>7.3}",
                 abbrev,

@@ -1,24 +1,34 @@
 //! `xks` — command-line XML keyword search.
 //!
 //! ```text
-//! xks search <file.xml> "<keywords>" ["<keywords>" ...] [--algo valid|maxmatch|slca] [--limit N] [--xml]
-//! xks search --index <file.xks> "<keywords>" ["<keywords>" ...] [--algo ...] [--limit N] [--threads N]
-//! xks bench  --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...]
-//! xks compare <file.xml> "<keywords>"
+//! xks search <file.xml> "<query>" ["<query>" ...] [--algo valid|maxmatch|slca] [--top-k N]
+//!            [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
+//! xks search --index <file.xks> "<query>" ... [same flags]
+//! xks bench  --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...] [--format json|text]
+//! xks compare <file.xml> "<query>" [--format json|text]
 //! xks stats <file.xml> [--top N]
 //! xks shred <file.xml> <out.json>
 //! xks build-index <file.xml> <out.xks> [--page-size N]
 //! xks index-stats <file.xks>
 //! ```
+//!
+//! Queries use the operator grammar: plain keywords, quoted
+//! `"phrases"`, `-word` exclusions, and `label:word` filters (see
+//! `docs/API.md`). All query commands route through the
+//! request/response API (`SearchRequest` → `SearchEngine::execute`),
+//! so backend failures surface as clean errors, never panics.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 
 use xks::core::engine::{AlgorithmKind, SearchEngine};
 use xks::core::executor::run_batch_stats;
+use xks::core::{RankWeights, SearchRequest, SearchResponse};
 use xks::index::Query;
 use xks::persist::{IndexReader, IndexWriter};
-use xks::xmltree::XmlTree;
+use xks::store::json::{self, Value};
+use xks::xmltree::{LabelId, XmlTree};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,45 +60,99 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  xks search  <file.xml> \"<keywords>\" [\"<keywords>\" ...] [--algo valid|maxmatch|slca] [--limit N] [--xml] [--rank] [--threads N]
-  xks search  --index <file.xks> \"<keywords>\" [\"<keywords>\" ...] [--algo valid|maxmatch|slca] [--limit N] [--rank] [--threads N]
-  xks bench   --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca]
-  xks bench   <file.xml> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca]
-  xks compare <file.xml> \"<keywords>\"
+  xks search  <file.xml> \"<query>\" [\"<query>\" ...] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
+  xks search  --index <file.xks> \"<query>\" [\"<query>\" ...] [same flags, no --xml]
+  xks bench   --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text]
+  xks bench   <file.xml> --queries <queries.txt> [same flags]
+  xks compare <file.xml> \"<query>\" [--format json|text]
   xks stats   <file.xml> [--top N]
   xks shred   <file.xml> <out.json>
   xks build-index <file.xml> <out.xks> [--page-size N]
-  xks index-stats <file.xks>";
+  xks index-stats <file.xks>
+
+query grammar: plain keywords, \"quoted phrases\", -excluded, label:word
+(docs/API.md documents the grammar and the JSON output schema)";
 
 fn load_tree(path: &str) -> Result<XmlTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     xks::xmltree::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn parse_query(text: &str) -> Result<Query, String> {
-    Query::parse(text).map_err(|e| format!("bad query: {e}"))
+/// Which output shape the query commands emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+impl Format {
+    fn from_flags(flags: &Flags) -> Result<Self, String> {
+        match flags.get_str("format") {
+            None | Some("text") => Ok(Format::Text),
+            Some("json") => Ok(Format::Json),
+            Some(other) => Err(format!("unknown --format {other:?} (json|text)")),
+        }
+    }
+}
+
+fn parse_algo(flags: &Flags) -> Result<AlgorithmKind, String> {
+    match flags.get_str("algo").unwrap_or("valid") {
+        "valid" => Ok(AlgorithmKind::ValidRtf),
+        "maxmatch" => Ok(AlgorithmKind::MaxMatchRtf),
+        "slca" => Ok(AlgorithmKind::MaxMatchSlca),
+        other => Err(format!("unknown --algo {other:?}")),
+    }
+}
+
+fn algo_name(kind: AlgorithmKind) -> &'static str {
+    match kind {
+        AlgorithmKind::ValidRtf => "valid",
+        AlgorithmKind::MaxMatchRtf => "maxmatch",
+        AlgorithmKind::MaxMatchSlca => "slca",
+    }
+}
+
+/// Builds one request per query string, applying the shared flags.
+fn build_requests(
+    texts: &[String],
+    algo: AlgorithmKind,
+    top_k: Option<usize>,
+    ranked: bool,
+) -> Result<Vec<SearchRequest>, String> {
+    texts
+        .iter()
+        .map(|text| {
+            let mut request = SearchRequest::parse(text)
+                .map_err(|e| format!("{e} (in query {text:?})"))?
+                .algorithm(algo);
+            if let Some(k) = top_k {
+                request = request.top_k(k);
+            }
+            if ranked {
+                request = request.weights(RankWeights::default());
+            }
+            Ok(request)
+        })
+        .collect()
 }
 
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
-    let algo = match flags.get_str("algo").unwrap_or("valid") {
-        "valid" => AlgorithmKind::ValidRtf,
-        "maxmatch" => AlgorithmKind::MaxMatchRtf,
-        "slca" => AlgorithmKind::MaxMatchSlca,
-        other => return Err(format!("unknown --algo {other:?}")),
-    };
+    let algo = parse_algo(&flags)?;
+    let format = Format::from_flags(&flags)?;
     let limit = flags.get_usize("limit")?.unwrap_or(usize::MAX);
+    let top_k = flags.get_usize("top-k")?;
     let threads = flags.get_usize("threads")?.unwrap_or(1);
     let as_xml = flags.has("xml");
     let ranked = flags.has("rank");
 
     // One or more query strings; several queries fan out over the
     // executor's worker threads (`--threads N`).
-    let (engine, keyword_args) = match flags.get_str("index") {
+    let (engine, query_args) = match flags.get_str("index") {
         Some(index_file) => {
-            let keywords = positional.as_slice();
-            if keywords.is_empty() {
-                return Err(format!("search --index needs <keywords>\n{USAGE}"));
+            let queries = positional.as_slice();
+            if queries.is_empty() {
+                return Err(format!("search --index needs <query>\n{USAGE}"));
             }
             if as_xml {
                 return Err(
@@ -99,71 +163,101 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             }
             let reader = IndexReader::open(Path::new(index_file))
                 .map_err(|e| format!("cannot open index {index_file}: {e}"))?;
-            (SearchEngine::from_owned_source(reader), keywords)
+            (SearchEngine::from_owned_source(reader), queries)
         }
         None => {
-            let [file, keywords @ ..] = positional.as_slice() else {
-                return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
+            let [file, queries @ ..] = positional.as_slice() else {
+                return Err(format!("search needs <file.xml> and <query>\n{USAGE}"));
             };
-            if keywords.is_empty() {
-                return Err(format!("search needs <file.xml> and <keywords>\n{USAGE}"));
+            if queries.is_empty() {
+                return Err(format!("search needs <file.xml> and <query>\n{USAGE}"));
             }
-            (SearchEngine::new(load_tree(file)?), keywords)
+            (SearchEngine::new(load_tree(file)?), queries)
         }
     };
-    let queries: Vec<Query> = keyword_args
-        .iter()
-        .map(|k| parse_query(k))
-        .collect::<Result<_, _>>()?;
-    let (results, _) = run_batch_stats(&engine, &queries, algo, threads);
+    let requests = build_requests(query_args, algo, top_k, ranked)?;
+    let (results, _) = run_batch_stats(&engine, &requests, threads);
 
-    for (query, mut out) in queries.iter().zip(results) {
-        if ranked {
-            let order = xks::core::rank(
-                &out.fragments,
-                query.len(),
-                &xks::core::RankWeights::default(),
-            );
-            out.fragments = order
-                .iter()
-                .map(|r| out.fragments[r.index].clone())
-                .collect();
-        }
-
-        if queries.len() > 1 {
-            println!("## query: {query}");
-        }
-        eprintln!(
-            "{} fragment(s) in {:?} ({:?} after keyword retrieval)",
-            out.fragments.len(),
-            out.timings.total(),
-            out.timings.algorithm_time()
-        );
-        for frag in out.fragments.iter().take(limit) {
-            println!("# anchor {}", frag.anchor);
-            match engine.corpus() {
-                Some(source) => print!("{}", frag.render_source(source)),
-                None if as_xml => println!("{}", frag.to_xml(engine.tree())),
-                None => print!("{}", frag.render(engine.tree())),
-            }
-        }
-        if out.fragments.len() > limit {
-            eprintln!("… {} more (raise --limit)", out.fragments.len() - limit);
+    let mut json_results: Vec<Value> = Vec::new();
+    let many = requests.len() > 1;
+    for (request, result) in requests.iter().zip(results) {
+        let response = result.map_err(|e| e.to_string())?;
+        match format {
+            Format::Json => json_results.push(response_json(&engine, request, &response, limit)),
+            Format::Text => print_text_response(&engine, request, &response, limit, as_xml, many),
         }
     }
+    if format == Format::Json {
+        println!(
+            "{}",
+            json::to_string(&Value::Obj(obj([("results", Value::Arr(json_results),)])))
+        );
+    }
     Ok(())
+}
+
+/// The text rendering of one response (the legacy human-readable form,
+/// now with scores and truncation/parse reporting).
+fn print_text_response(
+    engine: &SearchEngine,
+    request: &SearchRequest,
+    response: &SearchResponse,
+    limit: usize,
+    as_xml: bool,
+    show_header: bool,
+) {
+    if show_header {
+        println!("## query: {}", request.spec());
+    }
+    let stats = &response.stats;
+    eprintln!(
+        "{} hit(s) in {:?} ({:?} after keyword retrieval)",
+        response.hits.len(),
+        response.timings.total(),
+        response.timings.algorithm_time()
+    );
+    if stats.truncated {
+        eprintln!(
+            "truncated to {} of {} fragment(s)",
+            response.hits.len(),
+            stats.total_before_top_k
+        );
+    }
+    if stats.filtered_out > 0 {
+        eprintln!(
+            "{} fragment(s) removed by query operators",
+            stats.filtered_out
+        );
+    }
+    for (raw, normalized) in &stats.normalized_terms {
+        eprintln!("note: term {raw:?} normalized to {normalized:?}");
+    }
+    for raw in &stats.dropped_terms {
+        eprintln!("note: duplicate term {raw:?} dropped");
+    }
+    for hit in response.hits.iter().take(limit) {
+        match hit.score {
+            Some(score) => println!("# anchor {} (score {score:.3})", hit.fragment.anchor),
+            None => println!("# anchor {}", hit.fragment.anchor),
+        }
+        match engine.corpus() {
+            Some(source) => print!("{}", hit.fragment.render_source(source)),
+            None if as_xml => println!("{}", hit.fragment.to_xml(engine.tree())),
+            None => print!("{}", hit.fragment.render(engine.tree())),
+        }
+    }
+    if response.hits.len() > limit {
+        eprintln!("… {} more (raise --limit)", response.hits.len() - limit);
+    }
 }
 
 /// Batch mode: run a whole query file through the concurrent executor
 /// against one shared engine and report aggregate throughput.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
-    let algo = match flags.get_str("algo").unwrap_or("valid") {
-        "valid" => AlgorithmKind::ValidRtf,
-        "maxmatch" => AlgorithmKind::MaxMatchRtf,
-        "slca" => AlgorithmKind::MaxMatchSlca,
-        other => return Err(format!("unknown --algo {other:?}")),
-    };
+    let algo = parse_algo(&flags)?;
+    let format = Format::from_flags(&flags)?;
+    let top_k = flags.get_usize("top-k")?;
     let threads = flags.get_usize("threads")?.unwrap_or(1).max(1);
     let sweeps = flags.get_usize("sweeps")?.unwrap_or(3).max(1);
     let Some(queries_file) = flags.get_str("queries") else {
@@ -192,61 +286,256 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     let text = std::fs::read_to_string(queries_file)
         .map_err(|e| format!("cannot read {queries_file}: {e}"))?;
-    let queries: Vec<Query> = text
+    let lines: Vec<String> = text
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(parse_query)
-        .collect::<Result<_, _>>()?;
-    if queries.is_empty() {
+        .map(str::to_owned)
+        .collect();
+    let requests = build_requests(&lines, algo, top_k, false)?;
+    if requests.is_empty() {
         return Err(format!("{queries_file} holds no queries"));
     }
 
-    // Untimed warm-up sweep, then timed sweeps.
-    let _ = run_batch_stats(&engine, &queries, algo, threads);
+    // Untimed warm-up sweep, then timed sweeps. Any backend failure
+    // aborts the bench with the typed error.
+    let check = |results: Vec<xks::core::BatchResult>| -> Result<usize, String> {
+        let mut fragments = 0usize;
+        for result in results {
+            fragments += result.map_err(|e| e.to_string())?.hits.len();
+        }
+        Ok(fragments)
+    };
+    let (warmup, _) = run_batch_stats(&engine, &requests, threads);
+    check(warmup)?;
     let start = std::time::Instant::now();
     let mut fragments = 0usize;
     let mut last_stats = None;
     for _ in 0..sweeps {
-        let (results, stats) = run_batch_stats(&engine, &queries, algo, threads);
-        fragments += results.iter().map(|r| r.fragments.len()).sum::<usize>();
+        let (results, stats) = run_batch_stats(&engine, &requests, threads);
+        fragments += check(results)?;
         last_stats = Some(stats);
     }
     let elapsed = start.elapsed();
-    let total = queries.len() * sweeps;
+    let total = requests.len() * sweeps;
     let qps = total as f64 / elapsed.as_secs_f64();
     // Report the worker count the executor actually ran (it clamps the
     // request to the batch size), not the requested --threads.
     let ran = last_stats.as_ref().map_or(threads, |s| s.threads);
-    println!(
-        "{total} queries ({} x {sweeps} sweeps), {ran} thread(s): \
-         {qps:.0} queries/sec ({elapsed:?} total, {fragments} fragments)",
-        queries.len()
-    );
-    if let Some(stats) = last_stats {
-        println!("last sweep work split: {:?}", stats.per_thread);
+    match format {
+        Format::Json => {
+            let mut fields = obj([
+                ("bench", Value::Str("batch".to_owned())),
+                ("algorithm", Value::Str(algo_name(algo).to_owned())),
+                ("queries", Value::Num(requests.len() as u64)),
+                ("sweeps", Value::Num(sweeps as u64)),
+                ("threads", Value::Num(ran as u64)),
+                ("total_queries", Value::Num(total as u64)),
+                ("elapsed_us", Value::Num(elapsed.as_micros() as u64)),
+                ("queries_per_sec", Value::Float(qps)),
+                ("fragments", Value::Num(fragments as u64)),
+            ]);
+            if let Some(stats) = &last_stats {
+                fields.insert(
+                    "last_sweep_work_split".to_owned(),
+                    Value::Arr(
+                        stats
+                            .per_thread
+                            .iter()
+                            .map(|&n| Value::Num(n as u64))
+                            .collect(),
+                    ),
+                );
+            }
+            println!("{}", json::to_string(&Value::Obj(fields)));
+        }
+        Format::Text => {
+            println!(
+                "{total} queries ({} x {sweeps} sweeps), {ran} thread(s): \
+                 {qps:.0} queries/sec ({elapsed:?} total, {fragments} fragments)",
+                requests.len()
+            );
+            if let Some(stats) = last_stats {
+                println!("last sweep work split: {:?}", stats.per_thread);
+            }
+        }
     }
     Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
-    let (positional, _) = split_flags(args)?;
+    let (positional, flags) = split_flags(args)?;
+    let format = Format::from_flags(&flags)?;
     let [file, keywords] = positional.as_slice() else {
-        return Err(format!("compare needs <file.xml> and <keywords>\n{USAGE}"));
+        return Err(format!("compare needs <file.xml> and <query>\n{USAGE}"));
     };
     let tree = load_tree(file)?;
     let engine = SearchEngine::new(tree);
-    let query = parse_query(keywords)?;
-    let cmp = engine.compare(&query);
-    println!("RTFs      : {}", cmp.rtf_count);
-    println!("ValidRTF  : {:?}", cmp.valid_rtf_time);
-    println!("MaxMatch  : {:?}", cmp.max_match_time);
-    println!("CFR       : {:.3}", cmp.effectiveness.cfr);
-    println!("APR       : {:.3}", cmp.effectiveness.apr);
-    println!("APR'      : {:.3}", cmp.effectiveness.apr_prime);
-    println!("Max APR   : {:.3}", cmp.effectiveness.max_apr);
+    let query = Query::parse(keywords).map_err(|e| format!("bad query: {e}"))?;
+    let cmp = engine.compare(&query).map_err(|e| e.to_string())?;
+    match format {
+        Format::Json => {
+            let value = Value::Obj(obj([
+                ("query", Value::Str(query.to_string())),
+                ("rtf_count", Value::Num(cmp.rtf_count as u64)),
+                (
+                    "valid_rtf_us",
+                    Value::Num(cmp.valid_rtf_time.as_micros() as u64),
+                ),
+                (
+                    "max_match_us",
+                    Value::Num(cmp.max_match_time.as_micros() as u64),
+                ),
+                ("cfr", Value::Float(cmp.effectiveness.cfr)),
+                ("apr", Value::Float(cmp.effectiveness.apr)),
+                ("apr_prime", Value::Float(cmp.effectiveness.apr_prime)),
+                ("max_apr", Value::Float(cmp.effectiveness.max_apr)),
+            ]));
+            println!("{}", json::to_string(&value));
+        }
+        Format::Text => {
+            println!("RTFs      : {}", cmp.rtf_count);
+            println!("ValidRTF  : {:?}", cmp.valid_rtf_time);
+            println!("MaxMatch  : {:?}", cmp.max_match_time);
+            println!("CFR       : {:.3}", cmp.effectiveness.cfr);
+            println!("APR       : {:.3}", cmp.effectiveness.apr);
+            println!("APR'      : {:.3}", cmp.effectiveness.apr_prime);
+            println!("Max APR   : {:.3}", cmp.effectiveness.max_apr);
+        }
+    }
     Ok(())
 }
+
+// -- JSON rendering -----------------------------------------------------
+
+fn obj<const N: usize>(entries: [(&str, Value); N]) -> BTreeMap<String, Value> {
+    entries
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect()
+}
+
+fn label_string(engine: &SearchEngine, label: LabelId) -> String {
+    match engine.corpus() {
+        Some(source) => source
+            .label_name(label.as_u32())
+            .unwrap_or_else(|| label.to_string()),
+        None => engine.tree().labels().name(label).to_owned(),
+    }
+}
+
+/// One response as the documented JSON schema (docs/API.md). `--limit`
+/// caps the emitted hits exactly like the text renderer; anything cut
+/// is reported via `hits_omitted`, never dropped silently.
+fn response_json(
+    engine: &SearchEngine,
+    request: &SearchRequest,
+    response: &SearchResponse,
+    limit: usize,
+) -> Value {
+    let hits: Vec<Value> = response
+        .hits
+        .iter()
+        .take(limit)
+        .map(|hit| {
+            let nodes: Vec<Value> = hit
+                .fragment
+                .iter()
+                .map(|n| {
+                    Value::Obj(obj([
+                        ("dewey", Value::Str(n.dewey.to_string())),
+                        ("label", Value::Str(label_string(engine, n.label))),
+                        ("keyword", Value::Bool(n.is_keyword)),
+                    ]))
+                })
+                .collect();
+            let mut fields = obj([
+                ("anchor", Value::Str(hit.fragment.anchor.to_string())),
+                ("nodes", Value::Arr(nodes)),
+                ("score", hit.score.map_or(Value::Null, Value::Float)),
+            ]);
+            if let Some(signals) = hit.signals {
+                fields.insert(
+                    "signals".to_owned(),
+                    Value::Arr(signals.iter().map(|&s| Value::Float(s)).collect()),
+                );
+            }
+            Value::Obj(fields)
+        })
+        .collect();
+    let stats = &response.stats;
+    let timings = &response.timings;
+    let mut result = obj([
+        ("query", Value::Str(request.spec().to_string())),
+        (
+            "algorithm",
+            Value::Str(algo_name(request.kind()).to_owned()),
+        ),
+        ("hits", Value::Arr(hits)),
+        (
+            "stats",
+            Value::Obj(obj([
+                ("truncated", Value::Bool(stats.truncated)),
+                (
+                    "total_before_top_k",
+                    Value::Num(stats.total_before_top_k as u64),
+                ),
+                ("filtered_out", Value::Num(stats.filtered_out as u64)),
+                (
+                    "dropped_terms",
+                    Value::Arr(
+                        stats
+                            .dropped_terms
+                            .iter()
+                            .map(|t| Value::Str(t.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "normalized_terms",
+                    Value::Arr(
+                        stats
+                            .normalized_terms
+                            .iter()
+                            .map(|(raw, norm)| {
+                                Value::Arr(vec![Value::Str(raw.clone()), Value::Str(norm.clone())])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])),
+        ),
+        (
+            "timings_us",
+            Value::Obj(obj([
+                (
+                    "get_keyword_nodes",
+                    Value::Num(timings.get_keyword_nodes.as_micros() as u64),
+                ),
+                ("get_lca", Value::Num(timings.get_lca.as_micros() as u64)),
+                ("get_rtf", Value::Num(timings.get_rtf.as_micros() as u64)),
+                (
+                    "prune_rtf",
+                    Value::Num(timings.prune_rtf.as_micros() as u64),
+                ),
+                (
+                    "post_process",
+                    Value::Num(timings.post_process.as_micros() as u64),
+                ),
+                ("total", Value::Num(timings.total().as_micros() as u64)),
+            ])),
+        ),
+    ]);
+    if response.hits.len() > limit {
+        result.insert(
+            "hits_omitted".to_owned(),
+            Value::Num((response.hits.len() - limit) as u64),
+        );
+    }
+    Value::Obj(result)
+}
+
+// -- remaining commands (unchanged surface) -----------------------------
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
@@ -365,13 +654,15 @@ impl Flags {
 }
 
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
-/// values: `algo`, `limit`, `top`, `index`, `page-size`, `threads`,
-/// `queries`, `sweeps`.
+/// values: `algo`, `limit`, `top`, `top-k`, `format`, `index`,
+/// `page-size`, `threads`, `queries`, `sweeps`.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 8] = [
+    const VALUED: [&str; 10] = [
         "algo",
         "limit",
         "top",
+        "top-k",
+        "format",
         "index",
         "page-size",
         "threads",

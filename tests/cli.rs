@@ -134,6 +134,267 @@ fn bench_batch_mode_reports_throughput() {
 }
 
 #[test]
+fn search_format_json_matches_documented_schema() {
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["grizzlies position", "--format", "json", "--top-k", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).expect("stdout is one JSON document");
+
+    // Schema of docs/API.md: results[] of {query, algorithm, hits,
+    // stats, timings_us}.
+    let results = value.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 1);
+    let result = &results[0];
+    assert_eq!(
+        result.get("query").unwrap().as_str(),
+        Some("grizzlies position")
+    );
+    assert_eq!(result.get("algorithm").unwrap().as_str(), Some("valid"));
+
+    let hits = result.get("hits").unwrap().as_arr().unwrap();
+    assert_eq!(hits.len(), 1, "one meaningful fragment for the team doc");
+    let hit = &hits[0];
+    assert!(hit.get("anchor").unwrap().as_str().is_some());
+    // --top-k implies ranking: a numeric score plus its signals.
+    let score = hit.get("score").unwrap().as_f64().expect("ranked hit");
+    assert!((0.0..=1.0).contains(&score));
+    assert_eq!(hit.get("signals").unwrap().as_arr().unwrap().len(), 3);
+    let nodes = hit.get("nodes").unwrap().as_arr().unwrap();
+    assert!(!nodes.is_empty());
+    for node in nodes {
+        assert!(node.get("dewey").unwrap().as_str().is_some());
+        assert!(node.get("label").unwrap().as_str().is_some());
+        assert!(matches!(
+            node.get("keyword").unwrap(),
+            xks::store::json::Value::Bool(_)
+        ));
+    }
+    // The duplicate forward player is pruned even through JSON: two
+    // position nodes.
+    let positions = nodes
+        .iter()
+        .filter(|n| n.get("label").unwrap().as_str() == Some("position"))
+        .count();
+    assert_eq!(positions, 2);
+
+    let stats = result.get("stats").unwrap();
+    assert!(matches!(
+        stats.get("truncated").unwrap(),
+        xks::store::json::Value::Bool(false)
+    ));
+    assert_eq!(stats.get("total_before_top_k").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("filtered_out").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        stats.get("dropped_terms").unwrap().as_arr().unwrap().len(),
+        0
+    );
+
+    let timings = result.get("timings_us").unwrap();
+    for stage in [
+        "get_keyword_nodes",
+        "get_lca",
+        "get_rtf",
+        "prune_rtf",
+        "total",
+    ] {
+        assert!(timings.get(stage).unwrap().as_u64().is_some(), "{stage}");
+    }
+}
+
+#[test]
+fn search_top_k_truncates_and_reports() {
+    // "position" alone anchors one fragment per player-subtree match;
+    // use the multi-anchor query "forward" (two forwards) to see
+    // truncation.
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["forward", "--format", "json", "--top-k", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    let result = &value.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(result.get("hits").unwrap().as_arr().unwrap().len(), 1);
+    let stats = result.get("stats").unwrap();
+    assert!(matches!(
+        stats.get("truncated").unwrap(),
+        xks::store::json::Value::Bool(true)
+    ));
+    assert_eq!(stats.get("total_before_top_k").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn search_limit_caps_json_hits_and_reports_omissions() {
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["forward", "--format", "json", "--limit", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    let result = &value.get("results").unwrap().as_arr().unwrap()[0];
+    // Two forwards match; --limit 1 emits one hit and says so.
+    assert_eq!(result.get("hits").unwrap().as_arr().unwrap().len(), 1);
+    assert_eq!(result.get("hits_omitted").unwrap().as_u64(), Some(1));
+    // The engine-side stats still describe the full response.
+    assert_eq!(
+        result
+            .get("stats")
+            .unwrap()
+            .get("total_before_top_k")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+}
+
+#[test]
+fn search_operator_grammar_reaches_the_cli() {
+    // Exclusion: dropping fragments whose subtree contains "gassol".
+    let run = |query: &str| {
+        let out = xks()
+            .args(["search"])
+            .arg(sample_file())
+            .args([query, "--format", "json"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        xks::store::json::parse(stdout.trim()).unwrap()
+    };
+    let hits_of = |value: &xks::store::json::Value| {
+        value.get("results").unwrap().as_arr().unwrap()[0]
+            .get("hits")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len()
+    };
+    // "grizzlies forward" anchors one fragment at the team root, whose
+    // subtree contains "gassol" — the exclusion rejects it.
+    assert_eq!(hits_of(&run("grizzlies forward")), 1);
+    let filtered = run("grizzlies forward -gassol");
+    let result = &filtered.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(result.get("hits").unwrap().as_arr().unwrap().len(), 0);
+    assert_eq!(
+        result
+            .get("stats")
+            .unwrap()
+            .get("filtered_out")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+    assert_eq!(
+        result.get("query").unwrap().as_str(),
+        Some("grizzlies forward -gassol"),
+        "canonical grammar rendering round-trips through the CLI"
+    );
+    // Exclusions scope to the anchor subtree: "forward" alone anchors
+    // at the position leaves, which never contain "gassol".
+    assert_eq!(hits_of(&run("forward -gassol")), 2);
+
+    // A label filter: position:forward keeps only nodes labeled
+    // position; name:forward matches nothing.
+    let labeled = run("position:forward");
+    assert_eq!(
+        labeled.get("results").unwrap().as_arr().unwrap()[0]
+            .get("hits")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        2
+    );
+    let impossible = run("name:forward");
+    assert_eq!(
+        impossible.get("results").unwrap().as_arr().unwrap()[0]
+            .get("hits")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn search_bad_grammar_fails_cleanly() {
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["\"unclosed phrase"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unclosed"), "{stderr}");
+}
+
+#[test]
+fn bench_format_json_reports_throughput() {
+    let dir = std::env::temp_dir().join("xks-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = sample_file();
+    let queries = dir.join("queries-json.txt");
+    std::fs::write(&queries, "grizzlies position\nforward\n").unwrap();
+
+    let out = xks()
+        .args(["bench"])
+        .arg(&xml)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--sweeps", "1", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    assert_eq!(value.get("queries").unwrap().as_u64(), Some(2));
+    assert_eq!(value.get("sweeps").unwrap().as_u64(), Some(1));
+    assert!(value.get("queries_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    assert!(value.get("fragments").unwrap().as_u64().is_some());
+}
+
+#[test]
+fn compare_format_json() {
+    let out = xks()
+        .args(["compare"])
+        .arg(sample_file())
+        .args(["grizzlies position", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    assert_eq!(value.get("rtf_count").unwrap().as_u64(), Some(1));
+    for field in ["cfr", "apr", "apr_prime", "max_apr"] {
+        assert!(value.get(field).unwrap().as_f64().is_some(), "{field}");
+    }
+}
+
+#[test]
 fn compare_prints_effectiveness() {
     let out = xks()
         .args(["compare"])

@@ -15,10 +15,9 @@ mod common;
 use std::sync::Arc;
 
 use common::{digest_line, ALGORITHMS, GOLDEN};
-use xks::core::{CorpusSource, MemoryCorpus, QueryContext, SearchEngine};
+use xks::core::{CorpusSource, MemoryCorpus, QueryContext, SearchEngine, SearchRequest};
 use xks::datagen::queries::{dblp_workload, xmark_workload};
 use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
-use xks::index::Query;
 use xks::persist::{IndexReader, IndexWriter};
 use xks::store::shred;
 
@@ -30,7 +29,7 @@ fn thread_count() -> usize {
 }
 
 /// One thread's full pass over one corpus' workload: every query × all
-/// three algorithms through `search_with` and a private context,
+/// three algorithms through `execute_with` and a private context,
 /// digested exactly like `tests/workload_golden.rs` digests them (the
 /// line format is shared via `tests/common`).
 fn digest_corpus(
@@ -42,10 +41,13 @@ fn digest_corpus(
     let mut ctx = QueryContext::new();
     let mut lines = Vec::new();
     for (abbrev, keywords) in workload {
-        let query = Query::parse(keywords).unwrap();
+        let request = SearchRequest::parse(keywords).unwrap();
         for kind in ALGORITHMS {
-            let result = engine.search_with(&query, kind, &mut ctx);
-            lines.push(digest_line(corpus, abbrev, kind, &result.fragments, source));
+            let response = engine
+                .execute_with(&request.clone().algorithm(kind), &mut ctx)
+                .unwrap();
+            let fragments: Vec<xks::core::Fragment> = response.into_fragments();
+            lines.push(digest_line(corpus, abbrev, kind, &fragments, source));
         }
     }
     lines

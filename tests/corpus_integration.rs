@@ -1,7 +1,7 @@
 //! End-to-end integration over the generated corpora: the full workload
 //! pipelines of Figures 5/6 at test scale.
 
-use xks::core::{AlgorithmKind, SearchEngine};
+use xks::core::{AlgorithmKind, SearchEngine, SearchRequest};
 use xks::datagen::queries::{dblp_workload, xmark_workload};
 use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
 use xks::index::Query;
@@ -23,7 +23,7 @@ fn dblp_workload_runs_end_to_end() {
     let mut nonempty = 0;
     for (abbrev, keywords) in dblp_workload() {
         let query = Query::parse(&keywords).unwrap();
-        let cmp = engine.compare(&query);
+        let cmp = engine.compare(&query).unwrap();
         // Anchor sets align, CFR is a valid ratio.
         assert!((0.0..=1.0).contains(&cmp.effectiveness.cfr), "{abbrev}");
         assert!(cmp.effectiveness.max_apr <= 1.0, "{abbrev}");
@@ -44,8 +44,10 @@ fn dblp_fragments_cover_their_queries() {
     let engine = dblp_engine();
     for (_, keywords) in dblp_workload().into_iter().take(6) {
         let query = Query::parse(&keywords).unwrap();
-        let out = engine.search(&query, AlgorithmKind::ValidRtf);
-        for frag in &out.fragments {
+        let out = engine
+            .execute(&SearchRequest::from_query(query.clone()))
+            .unwrap();
+        for frag in out.fragments() {
             // Every fragment must contain at least one keyword node per
             // query keyword (keyword requirement of §2).
             for kw in query.keywords() {
@@ -70,7 +72,7 @@ fn xmark_standard_workload_runs() {
     let mut with_pruning = 0;
     for (abbrev, keywords) in xmark_workload() {
         let query = Query::parse(&keywords).unwrap();
-        let cmp = engine.compare(&query);
+        let cmp = engine.compare(&query).unwrap();
         assert!((0.0..=1.0).contains(&cmp.effectiveness.cfr), "{abbrev}");
         if cmp.effectiveness.max_apr > 0.0 {
             with_pruning += 1;
@@ -92,8 +94,8 @@ fn xmark_ladder_monotone_in_size() {
     let d1_engine = xmark_engine(XmarkSize::Data1);
     for (_, keywords) in xmark_workload().into_iter().take(5) {
         let query = Query::parse(&keywords).unwrap();
-        let a = std_engine.compare(&query).rtf_count;
-        let b = d1_engine.compare(&query).rtf_count;
+        let a = std_engine.compare(&query).unwrap().rtf_count;
+        let b = d1_engine.compare(&query).unwrap().rtf_count;
         // Not strictly guaranteed per query, but gross inversions would
         // signal a generator bug; allow slack.
         assert!(b * 3 >= a, "rtf count collapsed: {a} → {b}");
@@ -105,9 +107,11 @@ fn valid_rtf_and_maxmatch_runtime_same_order() {
     // §4.3 claim (4): competent performance. At integration-test scale
     // we only guard against asymptotic blowups (>20x).
     let engine = dblp_engine();
-    let query = Query::parse("data algorithm").unwrap();
-    let v = engine.search(&query, AlgorithmKind::ValidRtf);
-    let x = engine.search(&query, AlgorithmKind::MaxMatchRtf);
+    let request = SearchRequest::parse("data algorithm").unwrap();
+    let v = engine.execute(&request.clone()).unwrap();
+    let x = engine
+        .execute(&request.algorithm(AlgorithmKind::MaxMatchRtf))
+        .unwrap();
     let (vt, xt) = (v.timings.total(), x.timings.total());
     assert!(
         vt < xt * 20 && xt < vt * 20,
@@ -183,29 +187,27 @@ fn degenerate_documents_are_handled() {
     // fragment all at once.
     let tree = xks::xmltree::parse("<note>xml keyword</note>").unwrap();
     let engine = SearchEngine::new(tree);
-    let out = engine.search(
-        &Query::parse("xml keyword").unwrap(),
-        AlgorithmKind::ValidRtf,
-    );
-    assert_eq!(out.fragments.len(), 1);
-    assert_eq!(out.fragments[0].len(), 1);
-    assert_eq!(out.fragments[0].anchor.to_string(), "0");
+    let out = engine
+        .execute(&SearchRequest::parse("xml keyword").unwrap())
+        .unwrap();
+    assert_eq!(out.hits.len(), 1);
+    assert_eq!(out.hits[0].fragment.len(), 1);
+    assert_eq!(out.hits[0].fragment.anchor.to_string(), "0");
 
     // Keyword split across root text and root label.
     let tree = xks::xmltree::parse("<note>keyword</note>").unwrap();
     let engine = SearchEngine::new(tree);
-    let out = engine.search(
-        &Query::parse("note keyword").unwrap(),
-        AlgorithmKind::ValidRtf,
-    );
-    assert_eq!(out.fragments.len(), 1);
+    let out = engine
+        .execute(&SearchRequest::parse("note keyword").unwrap())
+        .unwrap();
+    assert_eq!(out.hits.len(), 1);
 
     // Single keyword, many matches: every match is its own fragment.
     let tree = xks::xmltree::parse("<a><b>w</b><b>w</b><b>w</b></a>").unwrap();
     let engine = SearchEngine::new(tree);
-    let out = engine.search(&Query::parse("w").unwrap(), AlgorithmKind::ValidRtf);
-    assert_eq!(out.fragments.len(), 3);
-    for f in &out.fragments {
-        assert_eq!(f.len(), 1);
+    let out = engine.execute(&SearchRequest::parse("w").unwrap()).unwrap();
+    assert_eq!(out.hits.len(), 3);
+    for h in &out.hits {
+        assert_eq!(h.fragment.len(), 1);
     }
 }

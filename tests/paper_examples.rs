@@ -5,7 +5,7 @@
 //! reconstructed Figure 1(a) *Publications* instance and Figure 1(b)
 //! *team* segment (`xks::xmltree::fixtures`).
 
-use xks::core::{AlgorithmKind, SearchEngine};
+use xks::core::{AlgorithmKind, SearchEngine, SearchRequest};
 use xks::index::Query;
 use xks::xmltree::fixtures::{publications, team, PAPER_QUERIES};
 use xks::xmltree::Dewey;
@@ -22,6 +22,22 @@ fn frag_deweys(frag: &xks::core::Fragment) -> Vec<String> {
     frag.deweys().iter().map(ToString::to_string).collect()
 }
 
+/// One search through the request/response API, unwrapped to the
+/// fragment list (the paper artifacts are about fragments, not hits).
+struct Results {
+    fragments: Vec<xks::core::Fragment>,
+}
+
+fn search(engine: &SearchEngine, query: &Query, kind: AlgorithmKind) -> Results {
+    let request = SearchRequest::from_query(query.clone()).algorithm(kind);
+    Results {
+        fragments: engine
+            .execute(&request)
+            .expect("tree backend cannot fail")
+            .into_fragments(),
+    }
+}
+
 /// Example 1, "[SLCA v.s LCA]": for Q2 the SLCA semantics returns only
 /// the ref fragment (Figure 2(a)); the LCA fragment rooted at the
 /// article (Figure 2(b)) is also interesting and ValidRTF returns both.
@@ -30,13 +46,13 @@ fn example1_slca_vs_lca() {
     let engine = SearchEngine::new(publications());
     let query = q(PAPER_QUERIES[1]); // Q2 = "liu keyword"
 
-    let slca_only = engine.search(&query, AlgorithmKind::MaxMatchSlca);
+    let slca_only = search(&engine, &query, AlgorithmKind::MaxMatchSlca);
     assert_eq!(slca_only.fragments.len(), 1);
     assert_eq!(slca_only.fragments[0].anchor, d("0.2.0.3.0"));
     // Figure 2(a): the single ref node.
     assert_eq!(frag_deweys(&slca_only.fragments[0]), ["0.2.0.3.0"]);
 
-    let valid = engine.search(&query, AlgorithmKind::ValidRtf);
+    let valid = search(&engine, &query, AlgorithmKind::ValidRtf);
     assert_eq!(valid.fragments.len(), 2);
     // Figure 2(b): article with authors-name, title, abstract paths.
     assert_eq!(
@@ -62,7 +78,7 @@ fn example1_returning_only_lca_nodes_is_redundant() {
     let engine = SearchEngine::new(publications());
     let query = q(PAPER_QUERIES[2]); // Q3
 
-    let valid = engine.search(&query, AlgorithmKind::ValidRtf);
+    let valid = search(&engine, &query, AlgorithmKind::ValidRtf);
     assert_eq!(valid.fragments.len(), 1);
     let result = frag_deweys(&valid.fragments[0]);
     // Figure 2(d): everything about the XML-keyword-search paper plus
@@ -91,7 +107,7 @@ fn example2_positive_example_q5() {
     let query = q(PAPER_QUERIES[4]); // Q5
 
     for kind in [AlgorithmKind::ValidRtf, AlgorithmKind::MaxMatchRtf] {
-        let out = engine.search(&query, kind);
+        let out = search(&engine, &query, kind);
         assert_eq!(out.fragments.len(), 1, "{kind:?}");
         let nodes = frag_deweys(&out.fragments[0]);
         assert!(nodes.contains(&"0.1.0.0".to_owned()), "Gassol kept");
@@ -107,7 +123,7 @@ fn example2_false_positive_q1() {
     let engine = SearchEngine::new(publications());
     let query = q(PAPER_QUERIES[0]); // Q1
 
-    let valid = engine.search(&query, AlgorithmKind::ValidRtf);
+    let valid = search(&engine, &query, AlgorithmKind::ValidRtf);
     assert_eq!(valid.fragments.len(), 1);
     // Figure 3(b): the full SLCA fragment.
     assert_eq!(
@@ -124,7 +140,7 @@ fn example2_false_positive_q1() {
         ]
     );
 
-    let mm = engine.search(&query, AlgorithmKind::MaxMatchRtf);
+    let mm = search(&engine, &query, AlgorithmKind::MaxMatchRtf);
     // Figure 3(c): same minus the title.
     assert_eq!(
         frag_deweys(&mm.fragments[0]),
@@ -147,13 +163,13 @@ fn example2_redundancy_q4() {
     let engine = SearchEngine::new(team());
     let query = q(PAPER_QUERIES[3]); // Q4
 
-    let mm = engine.search(&query, AlgorithmKind::MaxMatchRtf);
+    let mm = search(&engine, &query, AlgorithmKind::MaxMatchRtf);
     let mm_nodes = frag_deweys(&mm.fragments[0]);
     for p in ["0.1.0.1", "0.1.1.1", "0.1.2.1"] {
         assert!(mm_nodes.contains(&p.to_owned()), "MaxMatch keeps {p}");
     }
 
-    let valid = engine.search(&query, AlgorithmKind::ValidRtf);
+    let valid = search(&engine, &query, AlgorithmKind::ValidRtf);
     let v_nodes = frag_deweys(&valid.fragments[0]);
     assert!(v_nodes.contains(&"0.1.0.1".to_owned()), "first forward");
     assert!(v_nodes.contains(&"0.1.1.1".to_owned()), "guard");
@@ -218,7 +234,7 @@ fn examples6_7_running_example() {
     // Example 7: pruning keeps both children of the root (distinct
     // labels), keeps child 0.2.0 of Articles (key number 15, largest)
     // and discards 0.2.1 (8, covered by 15).
-    let valid = engine.search(&query, AlgorithmKind::ValidRtf);
+    let valid = search(&engine, &query, AlgorithmKind::ValidRtf);
     let nodes = frag_deweys(&valid.fragments[0]);
     assert!(nodes.contains(&"0.0".to_owned()));
     assert!(nodes.contains(&"0.2".to_owned()));
@@ -237,8 +253,8 @@ fn all_paper_queries_run_on_both_algorithms() {
     ] {
         let engine = SearchEngine::new(tree);
         for query in queries {
-            let v = engine.search(&q(query), AlgorithmKind::ValidRtf);
-            let x = engine.search(&q(query), AlgorithmKind::MaxMatchRtf);
+            let v = search(&engine, &q(query), AlgorithmKind::ValidRtf);
+            let x = search(&engine, &q(query), AlgorithmKind::MaxMatchRtf);
             assert_eq!(v.fragments.len(), x.fragments.len(), "{query}");
             for (a, b) in v.fragments.iter().zip(&x.fragments) {
                 assert_eq!(a.anchor, b.anchor, "{query}");

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use xks::core::rank::RankWeights;
-use xks::core::{AlgorithmKind, CorpusSource, MemoryCorpus, SearchEngine};
+use xks::core::{AlgorithmKind, CorpusSource, MemoryCorpus, SearchEngine, SearchRequest};
 use xks::datagen::queries::{dblp_workload, xmark_workload};
 use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
 use xks::index::Query;
@@ -75,23 +75,27 @@ fn disk_and_memory_backends_are_byte_identical() {
                 AlgorithmKind::MaxMatchRtf,
                 AlgorithmKind::MaxMatchSlca,
             ] {
-                let m = memory.search_ranked(&query, kind, &weights);
-                let d = disk.search_ranked(&query, kind, &weights);
+                // Ranked requests through the one execute path: hits,
+                // scores, and signals must all agree across backends.
+                let request = SearchRequest::from_query(query.clone())
+                    .algorithm(kind)
+                    .weights(weights);
+                let m = memory.execute(&request).unwrap();
+                let d = disk.execute(&request).unwrap();
                 assert_eq!(
-                    m.fragments, d.fragments,
-                    "{}/{abbrev}/{kind:?}: fragments diverge",
+                    m.hits, d.hits,
+                    "{}/{abbrev}/{kind:?}: hits diverge",
                     corpus.name
                 );
+                assert_eq!(m.stats, d.stats, "{}/{abbrev}/{kind:?}", corpus.name);
                 // Rendered output must match byte for byte too (labels
                 // resolve through each backend's own dictionary).
                 let mem_text: Vec<String> = m
-                    .fragments
-                    .iter()
+                    .fragments()
                     .map(|f| f.render_source(memory.corpus().expect("source-backed")))
                     .collect();
                 let disk_text: Vec<String> = d
-                    .fragments
-                    .iter()
+                    .fragments()
                     .map(|f| f.render_source(disk.corpus().expect("source-backed")))
                     .collect();
                 assert_eq!(
@@ -99,7 +103,7 @@ fn disk_and_memory_backends_are_byte_identical() {
                     "{}/{abbrev}/{kind:?}: rendering diverges",
                     corpus.name
                 );
-                if !m.fragments.is_empty() {
+                if !m.hits.is_empty() {
                     nonempty += 1;
                 }
             }

@@ -15,10 +15,9 @@
 mod common;
 
 use common::{digest_line, ALGORITHMS, GOLDEN};
-use xks::core::{MemoryCorpus, SearchEngine};
+use xks::core::{MemoryCorpus, SearchEngine, SearchRequest};
 use xks::datagen::queries::{dblp_workload, xmark_workload};
 use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
-use xks::index::Query;
 use xks::store::shred;
 
 fn digest_lines() -> Vec<String> {
@@ -38,10 +37,13 @@ fn digest_lines() -> Vec<String> {
         let engine = SearchEngine::from_owned_source(MemoryCorpus::new(shred(&tree)));
         let source = engine.corpus().expect("source-backed engine");
         for (abbrev, keywords) in &workload {
-            let query = Query::parse(keywords).unwrap();
+            // The 43-query workload replays through the redesigned
+            // request/response path; the digest must not move.
+            let request = SearchRequest::parse(keywords).unwrap();
             for kind in ALGORITHMS {
-                let result = engine.search(&query, kind);
-                lines.push(digest_line(corpus, abbrev, kind, &result.fragments, source));
+                let response = engine.execute(&request.clone().algorithm(kind)).unwrap();
+                let fragments: Vec<xks::core::Fragment> = response.into_fragments();
+                lines.push(digest_line(corpus, abbrev, kind, &fragments, source));
             }
         }
     }

@@ -165,4 +165,37 @@ fn warm_query_hot_path_is_allocation_free() {
         get_postings_into(&encoded, &mut pos, &mut ctx_a.postings).expect("clean decode");
     });
     assert_eq!(n, 0, "warm context decode arena allocated {n} times");
+
+    // ---- 5. The request/response path preserves the warm pipeline -----
+    // `SearchEngine::execute_with` drives the exact anchor stages
+    // asserted zero-allocation above through the same `QueryContext`.
+    // A warm context must reach a steady state: the second and third
+    // warm executions allocate exactly the same amount (only the
+    // unavoidable per-query output — postings clones, fragments, hits —
+    // and no scratch re-growth), and strictly less than the cold run
+    // that grew the buffers.
+    use xks::core::{MemoryCorpus, SearchEngine, SearchRequest};
+    let engine = SearchEngine::from_owned_source(MemoryCorpus::new(xks::store::shred(&tree)));
+    let request = SearchRequest::parse("data algorithm").expect("parses");
+    let mut ctx = QueryContext::new();
+    let run = |ctx: &mut QueryContext| {
+        std::hint::black_box(
+            engine
+                .execute_with(&request, ctx)
+                .expect("memory backend cannot fail")
+                .hits
+                .len(),
+        );
+    };
+    let cold = count_allocs(|| run(&mut ctx));
+    let warm1 = count_allocs(|| run(&mut ctx));
+    let warm2 = count_allocs(|| run(&mut ctx));
+    assert!(
+        warm1 < cold,
+        "warm execute_with must reuse the context scratch (cold {cold}, warm {warm1})"
+    );
+    assert_eq!(
+        warm1, warm2,
+        "warm execute_with must be in steady state: no per-query scratch growth"
+    );
 }
