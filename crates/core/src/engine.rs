@@ -15,6 +15,7 @@ use crate::prune::{prune_owned, Policy};
 use crate::rank::RankedFragment;
 use crate::request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
 use crate::scratch::QueryContext;
+use crate::shards::ShardSet;
 use crate::source::CorpusSource;
 
 /// Which end-to-end algorithm to run.
@@ -68,12 +69,24 @@ pub struct Comparison {
 }
 
 /// The storage behind an engine: a parsed tree with its in-memory
-/// inverted index, or any [`CorpusSource`] backend (shredded tables,
-/// an `xks-persist` on-disk index, …).
+/// inverted index, any [`CorpusSource`] backend (shredded tables, an
+/// `xks-persist` on-disk index, …), or a [`ShardSet`] searched with
+/// scatter-gather (keyword resolution fanned out per shard, fragment
+/// construction fanned out per RTF, anchors computed globally — see
+/// [`crate::shards`] for why that split is what keeps sharded results
+/// byte-identical).
 #[derive(Debug)]
 enum Backend {
-    Tree { tree: XmlTree, index: InvertedIndex },
+    Tree {
+        tree: XmlTree,
+        index: InvertedIndex,
+    },
     Source(Arc<dyn CorpusSource>),
+    Sharded {
+        set: Arc<ShardSet>,
+        /// Worker threads each scatter stage fans out to (1 = inline).
+        threads: usize,
+    },
 }
 
 /// Document + index, ready to answer keyword queries.
@@ -141,6 +154,74 @@ impl SearchEngine {
         Self::from_source(Arc::new(source))
     }
 
+    /// Builds the engine over a sharded corpus, searched with
+    /// **scatter-gather**: keyword resolution fans out one task per
+    /// (keyword × shard) and fragment construction one task per RTF,
+    /// both over the work-stealing cursor pattern of
+    /// [`crate::executor`] with warm [`QueryContext`]s drawn from the
+    /// engine pool; the anchor stages stay a single global pass, which
+    /// is what keeps results byte-identical to the unsharded engine
+    /// (see [`crate::shards`]).
+    ///
+    /// The fan-out defaults to
+    /// `min(shard count, available parallelism)`; override it with
+    /// [`SearchEngine::with_scatter_threads`] (1 runs every stage
+    /// inline — same results, no spawns).
+    ///
+    /// Cost model: each scattered stage spawns scoped OS threads per
+    /// query (there is no persistent worker pool yet), so the fan-out
+    /// pays a fixed ~tens-of-µs spawn/join cost per query. That is
+    /// noise for disk-bound or large queries — the scatter's target —
+    /// but can dominate sub-100µs warm in-memory queries; set the
+    /// fan-out to 1 for those (or batch them through
+    /// [`crate::executor::run_batch`], which amortizes its spawns over
+    /// the whole batch and leaves per-query scatter off by default
+    /// when you pass `with_scatter_threads(1)` engines).
+    #[must_use]
+    pub fn from_shard_set(set: ShardSet) -> Self {
+        let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let threads = set.shard_count().min(parallelism).max(1);
+        SearchEngine {
+            backend: Backend::Sharded {
+                set: Arc::new(set),
+                threads,
+            },
+            contexts: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the scatter fan-out of a sharded engine (clamped to
+    /// ≥ 1; no-op for unsharded backends). Note the fan-out is *per
+    /// query*: a batch run through [`crate::executor::run_batch`] with
+    /// `T` worker threads over a sharded engine with `S` scatter
+    /// threads may run up to `T × S` workers at once.
+    #[must_use]
+    pub fn with_scatter_threads(mut self, threads: usize) -> Self {
+        if let Backend::Sharded { threads: t, .. } = &mut self.backend {
+            *t = threads.max(1);
+        }
+        self
+    }
+
+    /// The scatter fan-out of a sharded engine (`None` for unsharded
+    /// backends).
+    #[must_use]
+    pub fn scatter_threads(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Sharded { threads, .. } => Some(*threads),
+            _ => None,
+        }
+    }
+
+    /// The shard set of a sharded engine (`None` otherwise).
+    #[must_use]
+    pub fn shard_set(&self) -> Option<&ShardSet> {
+        match &self.backend {
+            Backend::Sharded { set, .. } => Some(set),
+            _ => None,
+        }
+    }
+
     /// The underlying document.
     ///
     /// # Panics
@@ -150,7 +231,7 @@ impl SearchEngine {
     pub fn tree(&self) -> &XmlTree {
         match &self.backend {
             Backend::Tree { tree, .. } => tree,
-            Backend::Source(_) => {
+            Backend::Source(_) | Backend::Sharded { .. } => {
                 panic!("SearchEngine::tree() on a source-backed engine")
             }
         }
@@ -165,19 +246,21 @@ impl SearchEngine {
     pub fn index(&self) -> &InvertedIndex {
         match &self.backend {
             Backend::Tree { index, .. } => index,
-            Backend::Source(_) => {
+            Backend::Source(_) | Backend::Sharded { .. } => {
                 panic!("SearchEngine::index() on a source-backed engine")
             }
         }
     }
 
     /// The corpus source for source-backed engines (`None` for
-    /// tree-backed ones).
+    /// tree-backed ones). Sharded engines expose their [`ShardSet`] —
+    /// itself a routing [`CorpusSource`] over the whole corpus.
     #[must_use]
     pub fn corpus(&self) -> Option<&dyn CorpusSource> {
         match &self.backend {
             Backend::Tree { .. } => None,
             Backend::Source(source) => Some(source.as_ref()),
+            Backend::Sharded { set, .. } => Some(set.as_ref() as &dyn CorpusSource),
         }
     }
 
@@ -219,11 +302,16 @@ impl SearchEngine {
         };
         let mut timings = StageTimings::default();
 
-        // getKeywordNodes — the one stage that touches cold storage.
+        // getKeywordNodes — the one stage that touches cold storage
+        // (scattered across shards on sharded backends; the recorded
+        // timing is the wall clock of the whole fan-out).
         let t0 = Instant::now();
         let resolved = match &self.backend {
             Backend::Tree { index, .. } => index.resolve(spec.query()),
             Backend::Source(source) => source.try_resolve(spec.query())?,
+            Backend::Sharded { set, threads } => {
+                crate::shards::scatter_resolve(self, set, *threads, spec.query())?
+            }
         };
         timings.get_keyword_nodes = t0.elapsed();
         let Some(sets) = resolved else {
@@ -235,20 +323,27 @@ impl SearchEngine {
         let rtfs = crate::algorithms::anchor_stages(&sets, kind.anchor(), &mut timings, ctx);
 
         // pruneRTF — construct + prune, consuming the raw fragment so
-        // no node payload is deep-cloned.
+        // no node payload is deep-cloned. Sharded backends fan the
+        // per-RTF work out; gather preserves anchor document order.
         let t = Instant::now();
-        let mut fragments = Vec::with_capacity(rtfs.len());
+        let mut fragments;
         match &self.backend {
             Backend::Tree { tree, .. } => {
+                fragments = Vec::with_capacity(rtfs.len());
                 for rtf in &rtfs {
                     fragments.push(prune_owned(Fragment::construct(tree, rtf), kind.policy()));
                 }
             }
             Backend::Source(source) => {
+                fragments = Vec::with_capacity(rtfs.len());
                 for rtf in &rtfs {
                     let raw = Fragment::try_construct_from_source(source.as_ref(), rtf)?;
                     fragments.push(prune_owned(raw, kind.policy()));
                 }
+            }
+            Backend::Sharded { set, threads } => {
+                fragments =
+                    crate::shards::scatter_construct(self, set, *threads, &rtfs, kind.policy())?;
             }
         }
         timings.prune_rtf = t.elapsed();
@@ -331,6 +426,7 @@ impl SearchEngine {
             let list = match &self.backend {
                 Backend::Tree { index, .. } => Cow::Borrowed(index.postings(word)),
                 Backend::Source(source) => Cow::Owned(source.try_keyword_deweys(word)?),
+                Backend::Sharded { set, .. } => Cow::Owned(set.try_keyword_deweys(word)?),
             };
             exclusion_postings.push(list);
         }
@@ -391,6 +487,9 @@ impl SearchEngine {
         match &self.backend {
             Backend::Tree { tree, .. } => tree.labels().name(label).to_lowercase() == want,
             Backend::Source(source) => source
+                .label_name(label.as_u32())
+                .is_some_and(|name| name.to_lowercase() == want),
+            Backend::Sharded { set, .. } => set
                 .label_name(label.as_u32())
                 .is_some_and(|name| name.to_lowercase() == want),
         }

@@ -59,6 +59,7 @@ pub mod rank;
 pub mod request;
 pub mod rtf;
 pub mod scratch;
+pub mod shards;
 pub mod source;
 pub mod spec;
 
@@ -73,4 +74,5 @@ pub use rank::{rank, RankWeights, RankedFragment};
 pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
 pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};
 pub use scratch::{QueryContext, QueryScratch};
+pub use shards::ShardSet;
 pub use source::{CorpusSource, MemoryCorpus, SourceElement, SourceError};

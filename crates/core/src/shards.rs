@@ -1,0 +1,510 @@
+//! Sharded corpora: routing [`CorpusSource`] over N document
+//! partitions, plus the scatter-gather execution the engine drives.
+//!
+//! # Topology
+//!
+//! A sharded corpus splits the document set (the top-level children of
+//! the corpus root) into **contiguous ordinal ranges**, one shard per
+//! range; shard 0 additionally owns the corpus root's own rows. Every
+//! shard is an ordinary [`CorpusSource`] over its slice — an
+//! `xks-persist` index file, a [`MemoryCorpus`](crate::MemoryCorpus)
+//! over a partitioned table set, anything. [`ShardSet`] glues them back
+//! into one logical corpus:
+//!
+//! * **keyword → postings** concatenates the per-shard lists in shard
+//!   order — contiguity makes that a document-ordered merge with no
+//!   k-way comparison;
+//! * **Dewey → element** routes to the owning shard with one binary
+//!   search over the range boundaries (`O(log shards)`, no fan-out).
+//!
+//! # Why scatter-gather happens *below* the anchor stages
+//!
+//! Per-shard end-to-end pipelines cannot be merged exactly: an ELCA
+//! anchor may sit **above** the document level (the corpus root is an
+//! interesting LCA whenever unshadowed witnesses live in different
+//! documents — Example 3 of the paper's workload hits this constantly),
+//! and such an anchor's fragment draws keyword nodes from *every*
+//! shard. A shard searching alone either misses the anchor (its
+//! keyword lists look empty for terms it doesn't hold) or reports a
+//! root fragment covering only its slice. Either way the gathered
+//! result would diverge from the unsharded engine.
+//!
+//! The engine therefore scatters only the **storage-bound** stages and
+//! keeps the cheap in-memory pass global:
+//!
+//! 1. `getKeywordNodes` — fan out (shard × keyword) lookups across
+//!    worker threads, gather by concatenation ([`ShardSet`] invariant
+//!    above). Exactly the unsharded keyword-node sets come out.
+//! 2. `getLCA` / `getRTF` — one single-pass scan over the merged
+//!    stream, unchanged (it is allocation-free and memory-bound; a
+//!    parallel version would buy nothing and lose determinism).
+//! 3. `pruneRTF` — fan out per-RTF fragment construction; each lookup
+//!    routes to the owning shard, root-anchored fragments transparently
+//!    read from all of them. Gather preserves RTF order.
+//!
+//! Results are therefore **byte-identical** to the unsharded engine by
+//! construction — not just on friendly workloads — which the workspace
+//! pins against the golden digest in `tests/sharded_differential.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use xks_index::{KeywordNodeSets, Query};
+use xks_xmltree::Dewey;
+
+use crate::engine::SearchEngine;
+use crate::fragment::Fragment;
+use crate::prune::{prune_owned, Policy};
+use crate::rtf::Rtf;
+use crate::scratch::QueryContext;
+use crate::source::{CorpusSource, SourceElement, SourceError};
+
+/// N corpus shards glued into one logical [`CorpusSource`] (see the
+/// module docs for the topology and merge/routing invariants).
+///
+/// `ShardSet` is `Send + Sync` like every corpus source: one set can
+/// back many engines and query threads at once behind an `Arc`.
+/// Cloning is cheap — shard handles are `Arc`s — and clones share the
+/// underlying shards (and, for disk shards, their pools and caches).
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    shards: Vec<Arc<dyn CorpusSource>>,
+    /// `first_docs[i]` is the first top-level document ordinal shard
+    /// `i` owns; ranges are contiguous, so shard `i` ends where shard
+    /// `i + 1` begins.
+    first_docs: Vec<u32>,
+}
+
+impl ShardSet {
+    /// Builds a set from shards and their range starts.
+    ///
+    /// `first_docs` must have one entry per shard, start at 0 (shard 0
+    /// owns the corpus root and the first documents), and be strictly
+    /// increasing; anything else is a corrupted topology and comes back
+    /// as a [`SourceError`].
+    pub fn new(
+        shards: Vec<Arc<dyn CorpusSource>>,
+        first_docs: Vec<u32>,
+    ) -> Result<Self, SourceError> {
+        if shards.is_empty() {
+            return Err(SourceError::new("shard set holds no shards"));
+        }
+        if shards.len() != first_docs.len() {
+            return Err(SourceError::new(format!(
+                "{} shards but {} range starts",
+                shards.len(),
+                first_docs.len()
+            )));
+        }
+        if first_docs[0] != 0 {
+            return Err(SourceError::new(format!(
+                "shard 0 must start at document 0, found {}",
+                first_docs[0]
+            )));
+        }
+        if !first_docs.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SourceError::new(
+                "shard range starts must be strictly increasing",
+            ));
+        }
+        Ok(ShardSet { shards, first_docs })
+    }
+
+    /// A single-shard set over any source (the degenerate topology —
+    /// useful for differential tests and CLI fallbacks).
+    #[must_use]
+    pub fn single(shard: Arc<dyn CorpusSource>) -> Self {
+        ShardSet {
+            shards: vec![shard],
+            first_docs: vec![0],
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in document order.
+    #[must_use]
+    pub fn shards(&self) -> &[Arc<dyn CorpusSource>] {
+        &self.shards
+    }
+
+    /// First top-level document ordinal of each shard.
+    #[must_use]
+    pub fn first_docs(&self) -> &[u32] {
+        &self.first_docs
+    }
+
+    /// Index of the shard owning `dewey`: codes at or above the
+    /// document level (the corpus root) belong to shard 0; everything
+    /// else routes by its top-level ordinal. Codes past the last range
+    /// route to the last shard, which simply reports them absent.
+    #[must_use]
+    pub fn owning_shard(&self, dewey: &Dewey) -> usize {
+        match dewey.components().get(1) {
+            None => 0,
+            Some(&ordinal) => self.first_docs.partition_point(|&f| f <= ordinal) - 1,
+        }
+    }
+
+    /// The shard owning `dewey`, as a source.
+    #[must_use]
+    pub fn route(&self, dewey: &Dewey) -> &Arc<dyn CorpusSource> {
+        &self.shards[self.owning_shard(dewey)]
+    }
+}
+
+impl CorpusSource for ShardSet {
+    fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+        self.try_keyword_deweys(keyword)
+            .unwrap_or_else(|e| panic!("sharded keyword lookup failed: {e}"))
+    }
+
+    fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+        self.route(dewey).element(dewey)
+    }
+
+    fn element_label(&self, dewey: &Dewey) -> Option<u32> {
+        self.route(dewey).element_label(dewey)
+    }
+
+    fn label_name(&self, label: u32) -> Option<String> {
+        // Label tables are replicated in full across shards (a
+        // partition invariant — `xks_store::partition`), so any shard
+        // answers for the whole corpus.
+        self.shards[0].label_name(label)
+    }
+
+    fn node_count(&self) -> usize {
+        self.shards.iter().map(|s| s.node_count()).sum()
+    }
+
+    fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
+        // Contiguous document ranges ⇒ concatenation in shard order IS
+        // document order; disjoint ranges ⇒ nothing to dedup.
+        let mut lists = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            lists.push(shard.try_keyword_deweys(keyword)?);
+        }
+        let mut merged = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        for list in lists {
+            merged.extend(list);
+        }
+        debug_assert!(merged.is_sorted(), "shard ranges out of document order");
+        Ok(merged)
+    }
+
+    fn try_element(&self, dewey: &Dewey) -> Result<Option<SourceElement>, SourceError> {
+        self.route(dewey).try_element(dewey)
+    }
+
+    fn try_element_label(&self, dewey: &Dewey) -> Result<Option<u32>, SourceError> {
+        self.route(dewey).try_element_label(dewey)
+    }
+}
+
+/// Runs the cursor-strided scatter loop shared by both fan-out stages:
+/// `threads` workers (inline when 1) claim task indices from one atomic
+/// cursor — the same work-stealing shape as [`crate::executor`] — each
+/// holding one warm [`QueryContext`] drawn from the engine's pool, and
+/// results land in input order.
+fn scatter<T: Send>(
+    engine: &SearchEngine,
+    tasks: usize,
+    threads: usize,
+    task: impl Fn(usize, &mut QueryContext) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.clamp(1, tasks.max(1));
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    if threads == 1 {
+        let mut ctx = engine.checkout_context();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(task(i, &mut ctx));
+        }
+        engine.checkin_context(ctx);
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let task = &task;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = engine.checkout_context();
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        mine.push((i, task(i, &mut ctx)));
+                    }
+                    engine.checkin_context(ctx);
+                    mine
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("scatter worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every scatter task claimed exactly once"))
+        .collect()
+}
+
+/// `getKeywordNodes`, scattered: every (keyword × shard) lookup is one
+/// task; the gather concatenates per-shard lists in shard order (see
+/// the module docs for why that IS document order). Returns `None` when
+/// a keyword matches nothing in **any** shard — the same empty-result
+/// contract as unsharded resolution, even when individual shards lack
+/// the term.
+pub(crate) fn scatter_resolve(
+    engine: &SearchEngine,
+    set: &ShardSet,
+    threads: usize,
+    query: &Query,
+) -> Result<Option<KeywordNodeSets>, SourceError> {
+    let keywords = query.keywords();
+    let shards = set.shards();
+    let lists = scatter(
+        engine,
+        keywords.len() * shards.len(),
+        threads,
+        |i, ctx| -> Result<Vec<Dewey>, SourceError> {
+            let shard = &shards[i % shards.len()];
+            let keyword = &keywords[i / shards.len()];
+            // Decode into the context's warm arena (reused across every
+            // shard this worker visits), bypassing shard-shared caches.
+            shard.try_keyword_deweys_into(keyword, &mut ctx.postings)?;
+            Ok(ctx.postings.to_deweys())
+        },
+    );
+    let mut lists = lists.into_iter();
+    let mut sets: Vec<Vec<Dewey>> = Vec::with_capacity(keywords.len());
+    for _ in 0..keywords.len() {
+        let per_shard: Vec<Vec<Dewey>> = lists
+            .by_ref()
+            .take(shards.len())
+            .collect::<Result<_, _>>()?;
+        let total: usize = per_shard.iter().map(Vec::len).sum();
+        if total == 0 {
+            return Ok(None);
+        }
+        let mut merged = Vec::with_capacity(total);
+        for list in per_shard {
+            merged.extend(list);
+        }
+        sets.push(merged);
+    }
+    Ok(Some(KeywordNodeSets::new(query.clone(), sets)))
+}
+
+/// `pruneRTF`, scattered: one task per RTF, constructed through the
+/// set's routing source (so a root-anchored RTF transparently reads
+/// from every shard it spans) and pruned in place by the worker. The
+/// gather preserves RTF (anchor document) order; the first backend
+/// error aborts the whole stage.
+pub(crate) fn scatter_construct(
+    engine: &SearchEngine,
+    set: &ShardSet,
+    threads: usize,
+    rtfs: &[Rtf],
+    policy: Policy,
+) -> Result<Vec<Fragment>, SourceError> {
+    scatter(
+        engine,
+        rtfs.len(),
+        threads,
+        |i, _ctx| -> Result<Fragment, SourceError> {
+            let raw = Fragment::try_construct_from_source(set, &rtfs[i])?;
+            Ok(prune_owned(raw, policy))
+        },
+    )
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemoryCorpus;
+    use xks_store::{partition, shred};
+    use xks_xmltree::fixtures::publications;
+
+    fn sharded(parts: usize) -> (ShardSet, MemoryCorpus) {
+        let doc = shred(&publications());
+        let whole = MemoryCorpus::new(doc.clone());
+        let split = partition(&doc, parts);
+        let first_docs: Vec<u32> = split.iter().map(|p| p.first_doc).collect();
+        let shards: Vec<Arc<dyn CorpusSource>> = split
+            .into_iter()
+            .map(|p| Arc::new(MemoryCorpus::new(p.doc)) as Arc<dyn CorpusSource>)
+            .collect();
+        (ShardSet::new(shards, first_docs).unwrap(), whole)
+    }
+
+    #[test]
+    fn merged_postings_match_unsharded() {
+        for parts in [1, 2, 3] {
+            let (set, whole) = sharded(parts);
+            for kw in ["liu", "keyword", "xml", "publications", "unobtainium"] {
+                assert_eq!(
+                    set.try_keyword_deweys(kw).unwrap(),
+                    whole.keyword_deweys(kw),
+                    "{kw} with {parts} parts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn element_lookups_route_to_the_owner() {
+        let (set, whole) = sharded(3);
+        // Root and deep nodes alike.
+        for dewey in ["0", "0.0", "0.2.0.1", "0.2.1.1", "0.9.9"] {
+            let d: Dewey = dewey.parse().unwrap();
+            assert_eq!(set.element(&d), whole.element(&d), "{dewey}");
+            assert_eq!(set.element_label(&d), whole.element_label(&d));
+        }
+        assert_eq!(set.node_count(), whole.node_count());
+        assert_eq!(set.label_name(0), whole.label_name(0));
+        assert!(set.owning_shard(&"0".parse().unwrap()) == 0);
+    }
+
+    #[test]
+    fn topology_validation_rejects_bad_inputs() {
+        let (set, _) = sharded(2);
+        let shards: Vec<Arc<dyn CorpusSource>> = set.shards().to_vec();
+        assert!(ShardSet::new(Vec::new(), Vec::new()).is_err(), "no shards");
+        assert!(
+            ShardSet::new(shards.clone(), vec![0]).is_err(),
+            "count mismatch"
+        );
+        assert!(
+            ShardSet::new(shards.clone(), vec![1, 2]).is_err(),
+            "must start at 0"
+        );
+        assert!(
+            ShardSet::new(shards.clone(), vec![0, 0]).is_err(),
+            "must strictly increase"
+        );
+        assert!(ShardSet::new(shards, vec![0, 2]).is_ok());
+    }
+
+    #[test]
+    fn set_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardSet>();
+    }
+
+    fn shard_tree(tree: &xks_xmltree::XmlTree, parts: usize) -> ShardSet {
+        let doc = shred(tree);
+        let split = partition(&doc, parts);
+        let first_docs: Vec<u32> = split.iter().map(|p| p.first_doc).collect();
+        let shards: Vec<Arc<dyn CorpusSource>> = split
+            .into_iter()
+            .map(|p| Arc::new(MemoryCorpus::new(p.doc)) as Arc<dyn CorpusSource>)
+            .collect();
+        ShardSet::new(shards, first_docs).unwrap()
+    }
+
+    #[test]
+    fn sharded_engine_matches_unsharded_for_every_thread_count() {
+        use crate::request::SearchRequest;
+        let tree = publications();
+        let whole = crate::engine::SearchEngine::from_owned_source(MemoryCorpus::new(shred(&tree)));
+        for parts in [1, 2, 3] {
+            for threads in [1, 2, 4] {
+                let engine = crate::engine::SearchEngine::from_shard_set(shard_tree(&tree, parts))
+                    .with_scatter_threads(threads);
+                assert_eq!(engine.scatter_threads(), Some(threads));
+                assert_eq!(engine.shard_set().unwrap().shard_count(), parts);
+                for text in xks_xmltree::fixtures::PAPER_QUERIES {
+                    let request = SearchRequest::parse(text).unwrap();
+                    assert_eq!(
+                        whole.execute(&request).unwrap().hits,
+                        engine.execute(&request).unwrap().hits,
+                        "{text} ({parts} shards, {threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_anchored_fragments_span_shards_exactly() {
+        use crate::request::SearchRequest;
+        // "alpha" lives only in document 0, "beta" only in document 1:
+        // the sole interesting LCA is the corpus root, whose fragment
+        // draws keyword nodes from BOTH shards. Per-shard pipelines
+        // would miss it entirely (each shard lacks one keyword); the
+        // scatter-below-anchors design must reproduce it byte for byte.
+        let tree = xks_xmltree::parse(
+            "<lib><a><t>alpha</t></a><b><t>beta</t></b><c><t>gamma</t></c></lib>",
+        )
+        .unwrap();
+        let whole = crate::engine::SearchEngine::from_owned_source(MemoryCorpus::new(shred(&tree)));
+        let request = SearchRequest::parse("alpha beta").unwrap();
+        let expect = whole.execute(&request).unwrap();
+        assert_eq!(expect.hits.len(), 1, "root anchor exists unsharded");
+        assert_eq!(expect.hits[0].fragment.anchor.to_string(), "0");
+        for parts in [2, 3] {
+            let engine = crate::engine::SearchEngine::from_shard_set(shard_tree(&tree, parts))
+                .with_scatter_threads(2);
+            let got = engine.execute(&request).unwrap();
+            assert_eq!(expect.hits, got.hits, "{parts} shards");
+            // And the ranked/top-k merge shapes identically too.
+            let ranked = request.clone().top_k(1);
+            assert_eq!(
+                whole.execute(&ranked).unwrap().hits,
+                engine.execute(&ranked).unwrap().hits,
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_surfaces_backend_errors_typed() {
+        use crate::request::SearchRequest;
+        /// A shard whose postings lookups always fail.
+        #[derive(Debug)]
+        struct DeadShard;
+        impl CorpusSource for DeadShard {
+            fn keyword_deweys(&self, _: &str) -> Vec<Dewey> {
+                panic!("legacy accessor unused")
+            }
+            fn element(&self, _: &Dewey) -> Option<SourceElement> {
+                None
+            }
+            fn label_name(&self, _: u32) -> Option<String> {
+                None
+            }
+            fn node_count(&self) -> usize {
+                0
+            }
+            fn try_keyword_deweys(&self, _: &str) -> Result<Vec<Dewey>, SourceError> {
+                Err(SourceError::new("synthetic shard I/O failure"))
+            }
+        }
+        let tree = publications();
+        let healthy = shard_tree(&tree, 2);
+        let mut shards = healthy.shards().to_vec();
+        shards.push(Arc::new(DeadShard));
+        let set = ShardSet::new(shards, vec![0, healthy.first_docs()[1], u32::MAX]).unwrap();
+        let engine = crate::engine::SearchEngine::from_shard_set(set).with_scatter_threads(2);
+        let err = engine
+            .execute(&SearchRequest::parse("liu keyword").unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::request::SearchError::Backend(_)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("shard I/O failure"));
+    }
+}

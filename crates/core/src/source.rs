@@ -153,6 +153,25 @@ pub trait CorpusSource: std::fmt::Debug + Send + Sync {
         Ok(self.element_label(dewey))
     }
 
+    /// Decodes `keyword`'s postings into a **caller-owned** arena
+    /// (cleared first), returning the number of codes. The default
+    /// delegates to [`CorpusSource::try_keyword_deweys`] and repacks;
+    /// disk backends override it with their cache-bypassing decode
+    /// (`xks-persist`'s `IndexReader::keyword_postings_into`) so a
+    /// scatter worker sweeping many shards reuses one warm per-thread
+    /// arena instead of churning every shard's shared postings LRU.
+    fn try_keyword_deweys_into(
+        &self,
+        keyword: &str,
+        arena: &mut xks_xmltree::DeweyListBuf,
+    ) -> Result<usize, SourceError> {
+        arena.clear();
+        for dewey in self.try_keyword_deweys(keyword)? {
+            arena.push(dewey.components());
+        }
+        Ok(arena.len())
+    }
+
     /// Fallible form of [`CorpusSource::resolve`] — built on
     /// [`CorpusSource::try_keyword_deweys`], so overriding that one
     /// method is enough to make resolution error-aware.
@@ -203,6 +222,13 @@ macro_rules! delegate_corpus_source {
             }
             fn try_element_label(&self, dewey: &Dewey) -> Result<Option<u32>, SourceError> {
                 (**self).try_element_label(dewey)
+            }
+            fn try_keyword_deweys_into(
+                &self,
+                keyword: &str,
+                arena: &mut xks_xmltree::DeweyListBuf,
+            ) -> Result<usize, SourceError> {
+                (**self).try_keyword_deweys_into(keyword, arena)
             }
             fn try_resolve(
                 &self,

@@ -25,6 +25,13 @@
 //!   ValidRTF and MaxMatch directly off disk with results
 //!   byte-identical to the in-memory backends — and one opened index
 //!   behind an `Arc` can serve many engines and query threads at once.
+//! * [`shard`] scales past one file: [`write_sharded`] partitions the
+//!   corpus into N independent `.xks` shards under a CRC'd manifest,
+//!   and [`ShardedCorpus`] opens them back into one logical corpus —
+//!   searched serially through its own `CorpusSource` impl, or with
+//!   scatter-gather via
+//!   `SearchEngine::from_shard_set(corpus.shard_set())`; either way
+//!   results stay byte-identical to the unsharded index.
 //!
 //! See `FORMAT.md` (next to this crate's manifest) for the byte-level
 //! layout.
@@ -61,9 +68,11 @@ pub mod error;
 pub mod format;
 pub mod pool;
 pub mod reader;
+pub mod shard;
 pub mod writer;
 
 pub use error::PersistError;
 pub use pool::PoolStats;
 pub use reader::{ElementRecord, IndexReader, IndexStats, ReaderOptions};
+pub use shard::{write_sharded, ShardEntry, ShardManifest, ShardedCorpus, ShardedWriteSummary};
 pub use writer::{IndexWriter, WriteSummary};

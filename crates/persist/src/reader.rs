@@ -793,6 +793,18 @@ impl CorpusSource for IndexReader {
             .map_err(SourceError::new)?
             .map(|rc| rc.label))
     }
+
+    fn try_keyword_deweys_into(
+        &self,
+        keyword: &str,
+        arena: &mut DeweyListBuf,
+    ) -> Result<usize, SourceError> {
+        // The cache-bypassing decode: sharded scatter workers sweep
+        // many readers with one warm per-thread arena, so their
+        // traffic never churns this reader's shared postings LRU.
+        self.keyword_postings_into(keyword, arena)
+            .map_err(SourceError::new)
+    }
 }
 
 #[cfg(test)]

@@ -20,9 +20,11 @@
 #![warn(clippy::all)]
 
 pub mod json;
+pub mod partition;
 pub mod shred;
 pub mod snapshot;
 pub mod tables;
 
+pub use partition::{partition, CorpusPart};
 pub use shred::shred;
 pub use tables::{ElementRow, ShreddedDoc, ValueRow, WordSource};

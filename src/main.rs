@@ -3,13 +3,14 @@
 //! ```text
 //! xks search <file.xml> "<query>" ["<query>" ...] [--algo valid|maxmatch|slca] [--top-k N]
 //!            [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
-//! xks search --index <file.xks> "<query>" ... [same flags]
-//! xks bench  --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...] [--format json|text]
+//! xks search --index <file.xks|file.xksm> "<query>" ... [same flags] [--shard-threads N]
+//! xks bench  --index <file.xks|file.xksm> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...] [--format json|text]
 //! xks compare <file.xml> "<query>" [--format json|text]
 //! xks stats <file.xml> [--top N]
 //! xks shred <file.xml> <out.json>
 //! xks build-index <file.xml> <out.xks> [--page-size N]
-//! xks index-stats <file.xks>
+//! xks build-index <file.xml> <out.xksm> --shards N [--page-size N]
+//! xks index-stats <file.xks|file.xksm> [--format json|text]
 //! ```
 //!
 //! Queries use the operator grammar: plain keywords, quoted
@@ -17,6 +18,12 @@
 //! `docs/API.md`). All query commands route through the
 //! request/response API (`SearchRequest` → `SearchEngine::execute`),
 //! so backend failures surface as clean errors, never panics.
+//!
+//! `--index` accepts either a monolithic `.xks` index or a shard
+//! manifest written by `build-index --shards N` — the file magic
+//! decides, not the extension. Sharded corpora are searched with
+//! scatter-gather (`--shard-threads` caps the per-query fan-out);
+//! results are byte-identical either way.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -26,7 +33,7 @@ use xks::core::engine::{AlgorithmKind, SearchEngine};
 use xks::core::executor::run_batch_stats;
 use xks::core::{RankWeights, SearchRequest, SearchResponse};
 use xks::index::Query;
-use xks::persist::{IndexReader, IndexWriter};
+use xks::persist::{IndexReader, IndexWriter, ShardedCorpus};
 use xks::store::json::{self, Value};
 use xks::xmltree::{LabelId, XmlTree};
 
@@ -61,21 +68,57 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   xks search  <file.xml> \"<query>\" [\"<query>\" ...] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
-  xks search  --index <file.xks> \"<query>\" [\"<query>\" ...] [same flags, no --xml]
-  xks bench   --index <file.xks> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text]
+  xks search  --index <file.xks|file.xksm> \"<query>\" [\"<query>\" ...] [same flags, no --xml] [--shard-threads N]
+  xks bench   --index <file.xks|file.xksm> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--shard-threads N]
   xks bench   <file.xml> --queries <queries.txt> [same flags]
   xks compare <file.xml> \"<query>\" [--format json|text]
   xks stats   <file.xml> [--top N]
   xks shred   <file.xml> <out.json>
   xks build-index <file.xml> <out.xks> [--page-size N]
-  xks index-stats <file.xks>
+  xks build-index <file.xml> <out.xksm> --shards N [--page-size N]
+  xks index-stats <file.xks|file.xksm> [--format json|text]
 
 query grammar: plain keywords, \"quoted phrases\", -excluded, label:word
-(docs/API.md documents the grammar and the JSON output schema)";
+(docs/API.md documents the grammar, the JSON output schemas, and the
+sharded index surface; --index sniffs the file magic, so a shard
+manifest from build-index --shards works everywhere a .xks does)";
 
 fn load_tree(path: &str) -> Result<XmlTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     xks::xmltree::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// True when the file at `path` starts with the shard-manifest magic
+/// (`XKSM`) — the format sniff behind every `--index` flag.
+fn is_shard_manifest(path: &str) -> Result<bool, String> {
+    use std::io::Read as _;
+    let mut magic = [0u8; 4];
+    let mut file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open index {path}: {e}"))?;
+    match file.read_exact(&mut magic) {
+        Ok(()) => Ok(magic == xks::persist::shard::MANIFEST_MAGIC),
+        Err(_) => Ok(false), // shorter than any magic; let the opener diagnose
+    }
+}
+
+/// Opens `--index` as whatever it is: a shard manifest becomes a
+/// scatter-gather engine over a [`ShardedCorpus`] (fan-out from
+/// `--shard-threads`, default `min(shards, cores)`), a monolithic
+/// `.xks` becomes the familiar single-reader engine.
+fn open_index_engine(path: &str, shard_threads: Option<usize>) -> Result<SearchEngine, String> {
+    if is_shard_manifest(path)? {
+        let corpus = ShardedCorpus::open(Path::new(path))
+            .map_err(|e| format!("cannot open sharded index {path}: {e}"))?;
+        let mut engine = SearchEngine::from_shard_set(corpus.shard_set());
+        if let Some(threads) = shard_threads {
+            engine = engine.with_scatter_threads(threads);
+        }
+        Ok(engine)
+    } else {
+        let reader = IndexReader::open(Path::new(path))
+            .map_err(|e| format!("cannot open index {path}: {e}"))?;
+        Ok(SearchEngine::from_owned_source(reader))
+    }
 }
 
 /// Which output shape the query commands emit.
@@ -161,9 +204,8 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
                         .to_owned(),
                 );
             }
-            let reader = IndexReader::open(Path::new(index_file))
-                .map_err(|e| format!("cannot open index {index_file}: {e}"))?;
-            (SearchEngine::from_owned_source(reader), queries)
+            let engine = open_index_engine(index_file, flags.get_usize("shard-threads")?)?;
+            (engine, queries)
         }
         None => {
             let [file, queries @ ..] = positional.as_slice() else {
@@ -272,9 +314,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                      drop --index to bench an XML document\n{USAGE}"
                 ));
             }
-            let reader = IndexReader::open(Path::new(index_file))
-                .map_err(|e| format!("cannot open index {index_file}: {e}"))?;
-            SearchEngine::from_owned_source(reader)
+            open_index_engine(index_file, flags.get_usize("shard-threads")?)?
         }
         None => {
             let [file] = positional.as_slice() else {
@@ -589,42 +629,179 @@ fn cmd_build_index(args: &[String]) -> Result<(), String> {
         }
     };
     let tree = load_tree(file)?;
-    let summary = writer
-        .write_tree(&tree, Path::new(out))
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
-    eprintln!(
-        "indexed {} elements / {} keywords ({} postings bytes) -> {out} \
-         ({} bytes, {}-byte pages)",
-        summary.element_count,
-        summary.keyword_count,
-        summary.postings_len,
-        summary.file_len,
-        summary.page_size
-    );
+    // Any explicit --shards (including 1) writes the manifest format;
+    // the partitioner clamps the count, never this dispatch — so the
+    // output format follows the flag, not an arithmetic accident.
+    match flags.get_usize("shards")?.map(|n| n.max(1)) {
+        None => {
+            let summary = writer
+                .write_tree(&tree, Path::new(out))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!(
+                "indexed {} elements / {} keywords ({} postings bytes) -> {out} \
+                 ({} bytes, {}-byte pages)",
+                summary.element_count,
+                summary.keyword_count,
+                summary.postings_len,
+                summary.file_len,
+                summary.page_size
+            );
+        }
+        Some(shards) => {
+            let doc = xks::store::shred(&tree);
+            let summary = xks::persist::write_sharded(&writer, &doc, Path::new(out), shards)
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            let manifest = &summary.manifest;
+            eprintln!(
+                "indexed {} elements / {} keywords into {} shard(s) -> {out} \
+                 ({} bytes total)",
+                manifest.total_elements,
+                manifest.total_keywords,
+                manifest.shards.len(),
+                summary.total_file_len(),
+            );
+            for entry in &manifest.shards {
+                eprintln!(
+                    "  {}: docs {}..{} ({}), {} elements, {} keywords, {} bytes",
+                    entry.file_name,
+                    entry.first_doc,
+                    u64::from(entry.first_doc) + entry.doc_count.saturating_sub(1),
+                    entry.doc_count,
+                    entry.element_count,
+                    entry.keyword_count,
+                    entry.file_len
+                );
+            }
+            if manifest.shards.len() < shards {
+                eprintln!(
+                    "note: --shards {shards} clamped to {} (one shard per document at most)",
+                    manifest.shards.len()
+                );
+            }
+        }
+    }
     Ok(())
 }
 
+/// The JSON fields shared by single-index stats and each shard's entry
+/// (documented in docs/API.md).
+fn index_stats_json(stats: &xks::persist::IndexStats) -> BTreeMap<String, Value> {
+    obj([
+        ("file_len", Value::Num(stats.file_len)),
+        ("page_size", Value::Num(u64::from(stats.page_size))),
+        ("elements", Value::Num(stats.element_count)),
+        ("keywords", Value::Num(stats.keyword_count)),
+        ("labels", Value::Num(stats.label_count)),
+        ("postings_len", Value::Num(stats.postings_len)),
+        ("postings_pages", Value::Num(stats.postings_pages)),
+    ])
+}
+
 fn cmd_index_stats(args: &[String]) -> Result<(), String> {
-    let (positional, _) = split_flags(args)?;
+    let (positional, flags) = split_flags(args)?;
+    let format = Format::from_flags(&flags)?;
     let [file] = positional.as_slice() else {
-        return Err(format!("index-stats needs <file.xks>\n{USAGE}"));
+        return Err(format!("index-stats needs <file.xks|file.xksm>\n{USAGE}"));
     };
+    if is_shard_manifest(file)? {
+        let corpus = ShardedCorpus::open(Path::new(file))
+            .map_err(|e| format!("cannot open sharded index {file}: {e}"))?;
+        corpus
+            .verify()
+            .map_err(|e| format!("sharded index {file} fails verification: {e}"))?;
+        let manifest = corpus.manifest();
+        let shard_stats = corpus.shard_stats();
+        match format {
+            Format::Json => {
+                let shards: Vec<Value> = manifest
+                    .shards
+                    .iter()
+                    .zip(&shard_stats)
+                    .map(|(entry, stats)| {
+                        let mut fields = index_stats_json(stats);
+                        fields.insert("file".to_owned(), Value::Str(entry.file_name.clone()));
+                        fields.insert(
+                            "first_doc".to_owned(),
+                            Value::Num(u64::from(entry.first_doc)),
+                        );
+                        fields.insert("docs".to_owned(), Value::Num(entry.doc_count));
+                        Value::Obj(fields)
+                    })
+                    .collect();
+                let value = Value::Obj(obj([
+                    ("sharded", Value::Bool(true)),
+                    ("shard_count", Value::Num(manifest.shards.len() as u64)),
+                    (
+                        "totals",
+                        Value::Obj(obj([
+                            (
+                                "file_len",
+                                Value::Num(shard_stats.iter().map(|s| s.file_len).sum()),
+                            ),
+                            ("elements", Value::Num(manifest.total_elements)),
+                            ("keywords", Value::Num(manifest.total_keywords)),
+                            ("labels", Value::Num(manifest.label_count)),
+                        ])),
+                    ),
+                    ("shards", Value::Arr(shards)),
+                    ("checksums", Value::Str("ok".to_owned())),
+                ]));
+                println!("{}", json::to_string(&value));
+            }
+            Format::Text => {
+                println!("shards         : {}", manifest.shards.len());
+                println!("elements       : {}", manifest.total_elements);
+                println!(
+                    "keywords       : {} (distinct, corpus-wide)",
+                    manifest.total_keywords
+                );
+                println!("labels         : {}", manifest.label_count);
+                println!(
+                    "file length    : {} bytes across shards",
+                    shard_stats.iter().map(|s| s.file_len).sum::<u64>()
+                );
+                for (entry, stats) in manifest.shards.iter().zip(&shard_stats) {
+                    println!(
+                        "  {} : docs {}+{}, {} elements, {} keywords, {} bytes",
+                        entry.file_name,
+                        entry.first_doc,
+                        entry.doc_count,
+                        stats.element_count,
+                        stats.keyword_count,
+                        stats.file_len
+                    );
+                }
+                println!("checksums      : ok");
+            }
+        }
+        return Ok(());
+    }
     let reader =
         IndexReader::open(Path::new(file)).map_err(|e| format!("cannot open index {file}: {e}"))?;
     reader
         .verify()
         .map_err(|e| format!("index {file} fails verification: {e}"))?;
     let stats = reader.stats();
-    println!("file length    : {} bytes", stats.file_len);
-    println!("page size      : {}", stats.page_size);
-    println!("elements       : {}", stats.element_count);
-    println!("keywords       : {}", stats.keyword_count);
-    println!("labels         : {}", stats.label_count);
-    println!(
-        "postings       : {} bytes ({} pages)",
-        stats.postings_len, stats.postings_pages
-    );
-    println!("checksums      : ok");
+    match format {
+        Format::Json => {
+            let mut fields = index_stats_json(&stats);
+            fields.insert("sharded".to_owned(), Value::Bool(false));
+            fields.insert("checksums".to_owned(), Value::Str("ok".to_owned()));
+            println!("{}", json::to_string(&Value::Obj(fields)));
+        }
+        Format::Text => {
+            println!("file length    : {} bytes", stats.file_len);
+            println!("page size      : {}", stats.page_size);
+            println!("elements       : {}", stats.element_count);
+            println!("keywords       : {}", stats.keyword_count);
+            println!("labels         : {}", stats.label_count);
+            println!(
+                "postings       : {} bytes ({} pages)",
+                stats.postings_len, stats.postings_pages
+            );
+            println!("checksums      : ok");
+        }
+    }
     Ok(())
 }
 
@@ -655,9 +832,10 @@ impl Flags {
 
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
 /// values: `algo`, `limit`, `top`, `top-k`, `format`, `index`,
-/// `page-size`, `threads`, `queries`, `sweeps`.
+/// `page-size`, `threads`, `queries`, `sweeps`, `shards`,
+/// `shard-threads`.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 10] = [
+    const VALUED: [&str; 12] = [
         "algo",
         "limit",
         "top",
@@ -668,6 +846,8 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         "threads",
         "queries",
         "sweeps",
+        "shards",
+        "shard-threads",
     ];
     let mut positional = Vec::new();
     let mut flags = Vec::new();

@@ -443,3 +443,187 @@ fn bad_usage_fails_cleanly() {
         assert!(!out.stderr.is_empty());
     }
 }
+
+#[test]
+fn sharded_index_matches_monolithic_through_the_cli() {
+    let dir = std::env::temp_dir().join("xks-cli-test-sharded");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("corpus.xml");
+    std::fs::write(
+        &xml,
+        "<dblp>\
+         <article><title>xml keyword search</title><author>liu</author></article>\
+         <article><title>skyline query</title><author>chen</author></article>\
+         <article><title>keyword search relational</title><author>liu</author></article>\
+         <article><title>spatial index</title><author>kim</author></article>\
+         </dblp>",
+    )
+    .unwrap();
+    let mono = dir.join("corpus.xks");
+    let manifest = dir.join("corpus.xksm");
+
+    let out = xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&mono)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&manifest)
+        .args(["--shards", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("3 shard(s)"), "{stderr}");
+
+    // search --index sniffs the magic: the manifest and the monolithic
+    // index must produce identical results (hits and stats — the
+    // timings_us block is wall clock and may differ).
+    let run = |index: &std::path::Path, extra: &[&str]| {
+        let out = xks()
+            .args(["search", "--index"])
+            .arg(index)
+            .args(["keyword search", "liu", "--format", "json"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+        let results = value.get("results").unwrap().as_arr().unwrap();
+        results
+            .iter()
+            .map(|r| {
+                (
+                    xks::store::json::to_string(r.get("hits").unwrap()),
+                    xks::store::json::to_string(r.get("stats").unwrap()),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let mono_out = run(&mono, &[]);
+    assert_eq!(mono_out.len(), 2, "one result per query");
+    assert_eq!(mono_out, run(&manifest, &[]), "default fan-out");
+    assert_eq!(
+        mono_out,
+        run(&manifest, &["--shard-threads", "2"]),
+        "explicit fan-out"
+    );
+}
+
+#[test]
+fn sharded_index_stats_json_schema() {
+    let dir = std::env::temp_dir().join("xks-cli-test-sharded-stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("corpus.xml");
+    std::fs::write(&xml, "<r><a><t>alpha beta</t></a><b><t>gamma</t></b></r>").unwrap();
+    let manifest = dir.join("corpus.xksm");
+    let out = xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&manifest)
+        .args(["--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = xks()
+        .args(["index-stats"])
+        .arg(&manifest)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).expect("one JSON document");
+    // Schema of docs/API.md §index-stats.
+    assert!(matches!(
+        value.get("sharded").unwrap(),
+        xks::store::json::Value::Bool(true)
+    ));
+    assert_eq!(value.get("shard_count").unwrap().as_u64(), Some(2));
+    assert_eq!(value.get("checksums").unwrap().as_str(), Some("ok"));
+    let totals = value.get("totals").unwrap();
+    assert!(totals.get("elements").unwrap().as_u64().unwrap() > 0);
+    assert!(totals.get("file_len").unwrap().as_u64().unwrap() > 0);
+    let shards = value.get("shards").unwrap().as_arr().unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert!(shard.get("file").unwrap().as_str().is_some());
+        assert!(shard.get("first_doc").unwrap().as_u64().is_some());
+        assert!(shard.get("docs").unwrap().as_u64().is_some());
+        assert!(shard.get("elements").unwrap().as_u64().is_some());
+        assert!(shard.get("keywords").unwrap().as_u64().is_some());
+    }
+
+    // The monolithic schema keeps its flat shape, now tagged.
+    let mono = dir.join("corpus.xks");
+    assert!(xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&mono)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = xks()
+        .args(["index-stats"])
+        .arg(&mono)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert!(matches!(
+        value.get("sharded").unwrap(),
+        xks::store::json::Value::Bool(false)
+    ));
+    assert!(value.get("elements").unwrap().as_u64().is_some());
+}
+
+#[test]
+fn build_index_shards_one_still_writes_a_manifest() {
+    // --shards follows the flag, not an arithmetic accident: even a
+    // computed shard count of 1 (or 0) must produce the manifest
+    // format, not silently fall back to a monolithic .xks at the
+    // .xksm path.
+    let dir = std::env::temp_dir().join("xks-cli-test-shards-one");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("corpus.xml");
+    std::fs::write(&xml, "<r><a><t>alpha</t></a><b><t>beta</t></b></r>").unwrap();
+    for shards in ["1", "0"] {
+        let manifest = dir.join(format!("one-{shards}.xksm"));
+        let out = xks()
+            .args(["build-index"])
+            .arg(&xml)
+            .arg(&manifest)
+            .args(["--shards", shards])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let magic = &std::fs::read(&manifest).unwrap()[..4];
+        assert_eq!(magic, b"XKSM", "--shards {shards} wrote {magic:?}");
+        let out = xks().args(["index-stats"]).arg(&manifest).output().unwrap();
+        assert!(out.status.success());
+        assert!(String::from_utf8_lossy(&out.stdout).contains("shards         : 1"));
+    }
+}
