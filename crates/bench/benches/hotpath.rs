@@ -29,6 +29,7 @@ use validrtf::engine::{AlgorithmKind, SearchEngine};
 use validrtf::{MemoryCorpus, SearchRequest};
 use xks_datagen::queries::{dblp_workload, xmark_workload};
 use xks_datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
+use xks_obs::{Histogram, HistogramSnapshot};
 use xks_persist::{IndexReader, IndexWriter};
 use xks_store::shred;
 
@@ -90,41 +91,48 @@ fn build_workloads() -> Vec<Workload> {
     out
 }
 
-/// One full sweep: every workload query against one backend.
-fn sweep(pick: impl Fn(&Workload) -> &SearchEngine, workloads: &[Workload]) -> usize {
+/// One full sweep: every workload query against one backend. Timed
+/// sweeps pass a histogram to collect each query's engine-side total.
+fn sweep(
+    pick: impl Fn(&Workload) -> &SearchEngine,
+    workloads: &[Workload],
+    latency: Option<&Histogram>,
+) -> usize {
     let mut fragments = 0usize;
     for w in workloads {
         let engine = pick(w);
         for request in &w.requests {
-            fragments += engine
-                .execute(request)
-                .expect("bench request succeeds")
-                .hits
-                .len();
+            let response = engine.execute(request).expect("bench request succeeds");
+            fragments += response.hits.len();
+            if let Some(latency) = latency {
+                latency.record_duration(response.timings.total());
+            }
         }
     }
     fragments
 }
 
 /// Measures warm queries/sec for one backend: one untimed warm-up
-/// sweep, then repeated sweeps until the time budget is spent.
+/// sweep, then repeated sweeps until the time budget is spent. Also
+/// returns the per-query latency distribution over all timed sweeps.
 fn measure(
     name: &str,
     pick: impl Fn(&Workload) -> &SearchEngine,
     workloads: &[Workload],
     smoke: bool,
-) -> (f64, usize) {
+) -> (f64, HistogramSnapshot) {
     let per_sweep: usize = workloads.iter().map(|w| w.requests.len()).sum();
-    std::hint::black_box(sweep(&pick, workloads)); // warm-up
+    std::hint::black_box(sweep(&pick, workloads, None)); // warm-up
     let budget = if smoke {
         Duration::ZERO
     } else {
         Duration::from_secs(3)
     };
+    let latency = Histogram::new();
     let start = Instant::now();
     let mut sweeps = 0usize;
     loop {
-        std::hint::black_box(sweep(&pick, workloads));
+        std::hint::black_box(sweep(&pick, workloads, Some(&latency)));
         sweeps += 1;
         if start.elapsed() >= budget {
             break;
@@ -132,11 +140,31 @@ fn measure(
     }
     let elapsed = start.elapsed();
     let qps = (per_sweep * sweeps) as f64 / elapsed.as_secs_f64();
+    let lat = latency.snapshot();
     println!(
         "bench hotpath/{name}: {qps:.0} queries/sec  \
-         ({sweeps} sweeps x {per_sweep} queries in {elapsed:?})"
+         ({sweeps} sweeps x {per_sweep} queries in {elapsed:?}); \
+         per-query p50 {}µs p90 {}µs p99 {}µs max {}µs",
+        lat.p50() / 1_000,
+        lat.p90() / 1_000,
+        lat.p99() / 1_000,
+        lat.max / 1_000,
     );
-    (qps, per_sweep)
+    (qps, lat)
+}
+
+/// A latency distribution as a JSON object (nanosecond integers).
+fn latency_json(lat: &HistogramSnapshot) -> String {
+    format!(
+        "{{ \"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+         \"p99_ns\": {}, \"max_ns\": {} }}",
+        lat.count,
+        lat.mean(),
+        lat.p50(),
+        lat.p90(),
+        lat.p99(),
+        lat.max,
+    )
 }
 
 fn json_escape_free(v: f64) -> String {
@@ -170,16 +198,17 @@ fn main() {
     assert_eq!(total_queries, 43, "the Figure 5/6 workload has 43 queries");
 
     // Sanity: both backends agree before we time anything.
-    let mem_frags = sweep(|w| &w.memory, &workloads);
-    let disk_frags = sweep(|w| &w.disk, &workloads);
+    let mem_frags = sweep(|w| &w.memory, &workloads, None);
+    let disk_frags = sweep(|w| &w.disk, &workloads, None);
     assert_eq!(mem_frags, disk_frags, "backends disagree on the workload");
 
-    let (memory_qps, _) = measure("memory_warm", |w| &w.memory, &workloads, smoke);
-    let (disk_qps, _) = measure("disk_warm", |w| &w.disk, &workloads, smoke);
+    let (memory_qps, memory_lat) = measure("memory_warm", |w| &w.memory, &workloads, smoke);
+    let (disk_qps, disk_lat) = measure("disk_warm", |w| &w.disk, &workloads, smoke);
 
     let path = output_path(smoke);
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"algorithm\": \"ValidRtf\",\n  \
+        "{{\n  \"bench\": \"hotpath\",\n  \"schema_version\": 2,\n  \
+         \"algorithm\": \"ValidRtf\",\n  \
          \"smoke\": {smoke},\n  \
          \"workload\": {{\n    \"queries\": {total_queries},\n    \
          \"dblp_records\": {DBLP_RECORDS},\n    \
@@ -187,11 +216,14 @@ fn main() {
          \"baseline\": {{\n    \"memory_qps\": {b_mem},\n    \"disk_qps\": {b_disk},\n    \
          \"note\": \"pre-change seed: Vec<u32> Dewey, per-query postings decode\"\n  }},\n  \
          \"current\": {{\n    \"memory_qps\": {mem},\n    \"disk_qps\": {disk}\n  }},\n  \
+         \"latency\": {{\n    \"memory\": {lat_mem},\n    \"disk\": {lat_disk}\n  }},\n  \
          \"speedup\": {{\n    \"memory\": {s_mem},\n    \"disk\": {s_disk}\n  }}\n}}\n",
         b_mem = json_escape_free(BASELINE_MEMORY_QPS),
         b_disk = json_escape_free(BASELINE_DISK_QPS),
         mem = json_escape_free(memory_qps),
         disk = json_escape_free(disk_qps),
+        lat_mem = latency_json(&memory_lat),
+        lat_disk = latency_json(&disk_lat),
         s_mem = json_escape_free(memory_qps / BASELINE_MEMORY_QPS),
         s_disk = json_escape_free(disk_qps / BASELINE_DISK_QPS),
     );

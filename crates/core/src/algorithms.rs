@@ -134,10 +134,12 @@ pub(crate) fn anchor_stages(
         AnchorSemantics::SlcaOnly => slca_into_context(sets.sets(), ctx),
     }
     timings.get_lca = t.elapsed();
+    ctx.trace.record_since(xks_obs::Stage::MergeAnchor, t);
 
     let t = Instant::now();
     let rtfs = get_rtf_from_merged(&ctx.anchors, &ctx.merged, sets);
     timings.get_rtf = t.elapsed();
+    ctx.trace.record_since(xks_obs::Stage::RtfDispatch, t);
     rtfs
 }
 

@@ -2,10 +2,11 @@
 //! [`SearchRequest`]s through a single pipeline and producing the §5.1
 //! comparison in one call.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use xks_index::{InvertedIndex, KeywordNodeSets, Query, QuerySpec};
+use xks_obs::{Counter, Histogram, Stage};
 use xks_xmltree::{Dewey, XmlTree};
 
 use crate::algorithms::{AnchorSemantics, StageTimings};
@@ -112,6 +113,10 @@ pub struct SearchEngine {
     /// Pool of warm contexts for the `&self` entry points. Capped so a
     /// burst of threads cannot pin unbounded scratch memory.
     contexts: Mutex<Vec<QueryContext>>,
+    /// Handles into the global metrics registry, resolved once at
+    /// construction so the per-query recording path is pure lock-free
+    /// atomics (see [`EngineMetrics`]).
+    metrics: EngineMetrics,
 }
 
 /// Most contexts a [`SearchEngine`] keeps warm for its `&self` entry
@@ -127,6 +132,7 @@ impl SearchEngine {
         SearchEngine {
             backend: Backend::Tree { tree, index },
             contexts: Mutex::new(Vec::new()),
+            metrics: EngineMetrics::from_global(),
         }
     }
 
@@ -143,6 +149,7 @@ impl SearchEngine {
         SearchEngine {
             backend: Backend::Source(source),
             contexts: Mutex::new(Vec::new()),
+            metrics: EngineMetrics::from_global(),
         }
     }
 
@@ -187,6 +194,7 @@ impl SearchEngine {
                 threads,
             },
             contexts: Mutex::new(Vec::new()),
+            metrics: EngineMetrics::from_global(),
         }
     }
 
@@ -295,6 +303,20 @@ impl SearchEngine {
     ) -> Result<SearchResponse, SearchError> {
         let spec = request.spec();
         let kind = request.kind();
+        let traced = request.traced();
+        if traced {
+            ctx.trace.begin();
+            // Parsing happened before execution; re-base its measured
+            // duration at the trace origin so the span survives.
+            if request.parse_time_ns() > 0 {
+                ctx.trace
+                    .record_manual(Stage::Parse, 0, request.parse_time_ns());
+            }
+        } else {
+            // A pooled context must never leak the previous query's
+            // spans into this response.
+            ctx.trace.disarm();
+        }
         let mut stats = SearchStats {
             dropped_terms: spec.report().dropped.clone(),
             normalized_terms: spec.report().normalized.clone(),
@@ -304,19 +326,35 @@ impl SearchEngine {
 
         // getKeywordNodes — the one stage that touches cold storage
         // (scattered across shards on sharded backends; the recorded
-        // timing is the wall clock of the whole fan-out).
+        // timing is the wall clock of the whole fan-out). Traced
+        // queries resolve keyword by keyword so each postings decode
+        // gets its own span: byte-identical results (the default
+        // `try_resolve` is this same loop, and a sharded set's serial
+        // routed resolution is proven identical to the scatter by the
+        // sharded differential test), at the cost of the scatter's
+        // parallelism for that one query.
         let t0 = Instant::now();
         let resolved = match &self.backend {
             Backend::Tree { index, .. } => index.resolve(spec.query()),
+            Backend::Source(source) if traced => {
+                resolve_traced(source.as_ref(), spec.query(), ctx)?
+            }
             Backend::Source(source) => source.try_resolve(spec.query())?,
+            Backend::Sharded { set, .. } if traced => {
+                resolve_traced(set.as_ref(), spec.query(), ctx)?
+            }
             Backend::Sharded { set, threads } => {
                 crate::shards::scatter_resolve(self, set, *threads, spec.query())?
             }
         };
         timings.get_keyword_nodes = t0.elapsed();
+        ctx.trace.record_since(Stage::Resolve, t0);
         let Some(sets) = resolved else {
             // Some keyword matches nothing: empty result, not an error.
-            return Ok(SearchResponse::empty(timings, stats));
+            self.metrics.observe(&timings, &stats, 0);
+            let mut response = SearchResponse::empty(timings, stats);
+            response.trace = take_trace(ctx, traced);
+            return Ok(response);
         };
 
         // getLCA + getRTF over the context's shared scratch buffers.
@@ -330,20 +368,48 @@ impl SearchEngine {
         match &self.backend {
             Backend::Tree { tree, .. } => {
                 fragments = Vec::with_capacity(rtfs.len());
-                for rtf in &rtfs {
-                    fragments.push(prune_owned(Fragment::construct(tree, rtf), kind.policy()));
+                if traced {
+                    construct_prune_traced(
+                        &rtfs,
+                        kind.policy(),
+                        |rtf| Ok(Fragment::construct(tree, rtf)),
+                        &mut fragments,
+                        ctx,
+                        t,
+                    )?;
+                } else {
+                    for rtf in &rtfs {
+                        fragments.push(prune_owned(Fragment::construct(tree, rtf), kind.policy()));
+                    }
                 }
             }
             Backend::Source(source) => {
                 fragments = Vec::with_capacity(rtfs.len());
-                for rtf in &rtfs {
-                    let raw = Fragment::try_construct_from_source(source.as_ref(), rtf)?;
-                    fragments.push(prune_owned(raw, kind.policy()));
+                if traced {
+                    construct_prune_traced(
+                        &rtfs,
+                        kind.policy(),
+                        |rtf| {
+                            Fragment::try_construct_from_source(source.as_ref(), rtf)
+                                .map_err(SearchError::from)
+                        },
+                        &mut fragments,
+                        ctx,
+                        t,
+                    )?;
+                } else {
+                    for rtf in &rtfs {
+                        let raw = Fragment::try_construct_from_source(source.as_ref(), rtf)?;
+                        fragments.push(prune_owned(raw, kind.policy()));
+                    }
                 }
             }
             Backend::Sharded { set, threads } => {
                 fragments =
                     crate::shards::scatter_construct(self, set, *threads, &rtfs, kind.policy())?;
+                // The fan-out interleaves construct and prune per
+                // worker, so the trace gets one combined span.
+                ctx.trace.record_since(Stage::Construct, t);
             }
         }
         timings.prune_rtf = t.elapsed();
@@ -360,7 +426,9 @@ impl SearchEngine {
             let before = fragments.len();
             self.apply_post_filters(spec, &sets, &mut fragments)?;
             stats.filtered_out = before - fragments.len();
+            ctx.trace.record_since(Stage::PostFilter, t);
         }
+        let t_rank = Instant::now();
 
         // Shape the response: cap, rank, truncate, materialize hits.
         stats.total_before_top_k = fragments.len();
@@ -391,10 +459,13 @@ impl SearchEngine {
                 .collect(),
         };
         timings.post_process = t.elapsed();
+        ctx.trace.record_since(Stage::Rank, t_rank);
+        self.metrics.observe(&timings, &stats, hits.len());
         Ok(SearchResponse {
             hits,
             timings,
             stats,
+            trace: take_trace(ctx, traced),
         })
     }
 
@@ -500,11 +571,16 @@ impl SearchEngine {
     /// calls. A poisoned pool is recovered, not propagated: contexts
     /// are plain scratch buffers with no invariants a panic could
     /// break, so one panicked thread must not take down every
-    /// subsequent `&self` query.
+    /// subsequent `&self` query. Each recovery increments the global
+    /// `lock.poison_recovered` counter so a wounded process is visible
+    /// to operators.
     pub(crate) fn checkout_context(&self) -> QueryContext {
         self.contexts
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_else(|e| {
+                xks_obs::count_poison_recovery();
+                e.into_inner()
+            })
             .pop()
             .unwrap_or_default()
     }
@@ -512,7 +588,10 @@ impl SearchEngine {
     /// Returns a context to the pool, dropping it if the pool is full
     /// (same poison recovery as [`SearchEngine::checkout_context`]).
     pub(crate) fn checkin_context(&self, ctx: QueryContext) {
-        let mut pool = self.contexts.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut pool = self.contexts.lock().unwrap_or_else(|e| {
+            xks_obs::count_poison_recovery();
+            e.into_inner()
+        });
         if pool.len() < CONTEXT_POOL_CAP {
             pool.push(ctx);
         }
@@ -608,6 +687,131 @@ impl SearchEngine {
             effectiveness: effectiveness(&pairs),
         })
     }
+}
+
+/// Handles into the global [`xks_obs`] registry, resolved once per
+/// engine so the per-query `observe` call is pure lock-free atomics —
+/// no registry lock, no allocation, preserving the warm path's
+/// zero-allocation contract. All engines in a process share the same
+/// underlying metrics (they are keyed by name in [`xks_obs::global`]).
+#[derive(Debug)]
+struct EngineMetrics {
+    queries: Counter,
+    empty: Counter,
+    hits: Counter,
+    truncated: Counter,
+    filtered_out: Counter,
+    total_ns: Histogram,
+    get_keyword_nodes_ns: Histogram,
+    get_lca_ns: Histogram,
+    get_rtf_ns: Histogram,
+    prune_rtf_ns: Histogram,
+    post_process_ns: Histogram,
+}
+
+impl EngineMetrics {
+    fn from_global() -> Self {
+        let registry = xks_obs::global();
+        EngineMetrics {
+            queries: registry.counter("search.queries"),
+            empty: registry.counter("search.empty"),
+            hits: registry.counter("search.hits"),
+            truncated: registry.counter("search.truncated"),
+            filtered_out: registry.counter("search.filtered_out"),
+            total_ns: registry.histogram("search.total_ns"),
+            get_keyword_nodes_ns: registry.histogram("search.get_keyword_nodes_ns"),
+            get_lca_ns: registry.histogram("search.get_lca_ns"),
+            get_rtf_ns: registry.histogram("search.get_rtf_ns"),
+            prune_rtf_ns: registry.histogram("search.prune_rtf_ns"),
+            post_process_ns: registry.histogram("search.post_process_ns"),
+        }
+    }
+
+    /// Records one finished query from its already-computed timings
+    /// and stats — every query pays ~20 relaxed atomic RMWs here,
+    /// traced or not.
+    fn observe(&self, timings: &StageTimings, stats: &SearchStats, hits: usize) {
+        self.queries.inc();
+        if hits == 0 {
+            self.empty.inc();
+        }
+        self.hits.add(hits as u64);
+        if stats.truncated {
+            self.truncated.inc();
+        }
+        self.filtered_out.add(stats.filtered_out as u64);
+        self.total_ns.record_duration(timings.total());
+        self.get_keyword_nodes_ns
+            .record_duration(timings.get_keyword_nodes);
+        self.get_lca_ns.record_duration(timings.get_lca);
+        self.get_rtf_ns.record_duration(timings.get_rtf);
+        self.prune_rtf_ns.record_duration(timings.prune_rtf);
+        self.post_process_ns.record_duration(timings.post_process);
+    }
+}
+
+/// Keyword-by-keyword resolution for traced queries: the same loop as
+/// the default `CorpusSource::try_resolve` (empty list ⇒ `None`), with
+/// one [`Stage::PostingsDecode`] span per keyword.
+fn resolve_traced(
+    source: &dyn CorpusSource,
+    query: &Query,
+    ctx: &mut QueryContext,
+) -> Result<Option<KeywordNodeSets>, SearchError> {
+    let mut sets = Vec::with_capacity(query.len());
+    for kw in query.keywords() {
+        let t = Instant::now();
+        let list = source.try_keyword_deweys(kw)?;
+        ctx.trace.record_since(Stage::PostingsDecode, t);
+        if list.is_empty() {
+            return Ok(None);
+        }
+        sets.push(list);
+    }
+    Ok(Some(KeywordNodeSets::new(query.clone(), sets)))
+}
+
+/// The construct + prune loop of a traced query: identical work to the
+/// untraced loop, with per-fragment durations accumulated into one
+/// [`Stage::Construct`] and one [`Stage::Prune`] span laid end to end
+/// from `phase_start` (the stages interleave per anchor, so honest
+/// per-iteration spans would explode the span buffer; the aggregate
+/// placement keeps the Chrome view readable and the totals exact).
+fn construct_prune_traced(
+    rtfs: &[crate::rtf::Rtf],
+    policy: Policy,
+    mut construct: impl FnMut(&crate::rtf::Rtf) -> Result<Fragment, SearchError>,
+    fragments: &mut Vec<Fragment>,
+    ctx: &mut QueryContext,
+    phase_start: Instant,
+) -> Result<(), SearchError> {
+    let mut construct_ns = 0u64;
+    let mut prune_ns = 0u64;
+    for rtf in rtfs {
+        let t = Instant::now();
+        let raw = construct(rtf)?;
+        construct_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t = Instant::now();
+        fragments.push(prune_owned(raw, policy));
+        prune_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+    let base = ctx.trace.offset_ns(phase_start);
+    ctx.trace
+        .record_manual(Stage::Construct, base, construct_ns);
+    ctx.trace
+        .record_manual(Stage::Prune, base + construct_ns, prune_ns);
+    Ok(())
+}
+
+/// Clones the context's trace into the response (traced requests only)
+/// and disarms it so the pooled context goes back clean. The clone is
+/// a fixed-size copy — no heap allocation.
+fn take_trace(ctx: &mut QueryContext, traced: bool) -> Option<xks_obs::QueryTrace> {
+    traced.then(|| {
+        let trace = ctx.trace.clone();
+        ctx.trace.disarm();
+        trace
+    })
 }
 
 /// Materializes ranked hits by **moving** fragments into rank order:

@@ -19,9 +19,49 @@
 //! and the workspace's concurrent differential test).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::engine::SearchEngine;
 use crate::request::{SearchError, SearchRequest, SearchResponse};
+
+/// Global-registry handles for batch accounting, resolved once per
+/// process. Per-worker draw counts feed a histogram, so the registry
+/// snapshot shows how evenly the work-stealing cursor spread a
+/// workload (a wide distribution means a few workers drew all the
+/// expensive requests).
+struct ExecutorMetrics {
+    batches: xks_obs::Counter,
+    requests: xks_obs::Counter,
+    threads: xks_obs::Gauge,
+    worker_draws: xks_obs::Histogram,
+}
+
+impl ExecutorMetrics {
+    fn get() -> &'static ExecutorMetrics {
+        static CELL: OnceLock<ExecutorMetrics> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let registry = xks_obs::global();
+            ExecutorMetrics {
+                batches: registry.counter("executor.batches"),
+                requests: registry.counter("executor.requests"),
+                threads: registry.gauge("executor.last_batch_threads"),
+                worker_draws: registry.histogram("executor.worker_draws"),
+            }
+        })
+    }
+
+    fn observe(stats: &BatchStats) {
+        let metrics = Self::get();
+        metrics.batches.inc();
+        metrics
+            .requests
+            .add(stats.per_thread.iter().map(|&n| n as u64).sum());
+        metrics.threads.set(stats.threads as u64);
+        for &drawn in &stats.per_thread {
+            metrics.worker_draws.record(drawn as u64);
+        }
+    }
+}
 
 /// How a batch run distributed its work (returned by
 /// [`run_batch_stats`]).
@@ -70,13 +110,12 @@ pub fn run_batch_stats(
             .map(|r| engine.execute_with(r, &mut ctx))
             .collect();
         engine.checkin_context(ctx);
-        return (
-            results,
-            BatchStats {
-                threads: 1,
-                per_thread: vec![requests.len()],
-            },
-        );
+        let stats = BatchStats {
+            threads: 1,
+            per_thread: vec![requests.len()],
+        };
+        ExecutorMetrics::observe(&stats);
+        return (results, stats);
     }
 
     // Work-stealing cursor: each worker claims the next unanswered
@@ -116,13 +155,12 @@ pub fn run_batch_stats(
         .into_iter()
         .map(|r| r.expect("every request index claimed exactly once"))
         .collect();
-    (
-        results,
-        BatchStats {
-            threads,
-            per_thread,
-        },
-    )
+    let stats = BatchStats {
+        threads,
+        per_thread,
+    };
+    ExecutorMetrics::observe(&stats);
+    (results, stats)
 }
 
 #[cfg(test)]

@@ -105,13 +105,28 @@ impl From<SourceError> for SearchError {
 /// assert_eq!(request.query().keywords(), ["xml", "keyword", "search"]);
 /// # Ok::<(), validrtf::SearchError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SearchRequest {
     spec: QuerySpec,
     algorithm: AlgorithmKind,
     top_k: Option<usize>,
     weights: Option<RankWeights>,
     max_fragments: Option<usize>,
+    trace: bool,
+    parse_ns: u64,
+}
+
+// Manual: two requests are the same search if every knob matches;
+// `parse_ns` is telemetry riding along, not part of request identity.
+impl PartialEq for SearchRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.algorithm == other.algorithm
+            && self.top_k == other.top_k
+            && self.weights == other.weights
+            && self.max_fragments == other.max_fragments
+            && self.trace == other.trace
+    }
 }
 
 impl SearchRequest {
@@ -119,7 +134,12 @@ impl SearchRequest {
     /// request with default knobs ([`AlgorithmKind::ValidRtf`], no
     /// ranking, no truncation).
     pub fn parse(text: &str) -> Result<Self, SearchError> {
-        Ok(Self::from_spec(QuerySpec::parse(text)?))
+        let started = std::time::Instant::now();
+        let spec = QuerySpec::parse(text)?;
+        let parse_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut request = Self::from_spec(spec);
+        request.parse_ns = parse_ns;
+        Ok(request)
     }
 
     /// A request over an already-parsed operator-grammar spec.
@@ -131,6 +151,8 @@ impl SearchRequest {
             top_k: None,
             weights: None,
             max_fragments: None,
+            trace: false,
+            parse_ns: 0,
         }
     }
 
@@ -173,6 +195,31 @@ impl SearchRequest {
     pub fn max_fragments(mut self, cap: usize) -> Self {
         self.max_fragments = Some(cap);
         self
+    }
+
+    /// Enables per-query stage tracing: the response's
+    /// [`SearchResponse::trace`] carries a span per pipeline stage
+    /// (parse, per-keyword postings decode, merge/anchor, construct,
+    /// prune, rank). Tracing never changes results and stays on the
+    /// zero-allocation warm path; overhead is a few `Instant` reads
+    /// per query.
+    #[must_use]
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Whether this request asks for a stage trace.
+    #[must_use]
+    pub fn traced(&self) -> bool {
+        self.trace
+    }
+
+    /// Nanoseconds [`SearchRequest::parse`] spent in the grammar
+    /// (zero for requests built from a pre-parsed spec or query).
+    #[must_use]
+    pub fn parse_time_ns(&self) -> u64 {
+        self.parse_ns
     }
 
     /// The parsed operator-grammar spec.
@@ -268,6 +315,12 @@ pub struct SearchResponse {
     pub timings: StageTimings,
     /// Truncation / filtering / parse observability.
     pub stats: SearchStats,
+    /// The structured stage trace — `Some` exactly when the request
+    /// set [`SearchRequest::trace`]. Where [`SearchResponse::timings`]
+    /// is the coarse always-on summary, this is the fine-grained form:
+    /// ordered wall-time spans (including per-keyword postings
+    /// decodes) serializable to Chrome trace-event JSON.
+    pub trace: Option<xks_obs::QueryTrace>,
 }
 
 impl SearchResponse {
@@ -277,6 +330,7 @@ impl SearchResponse {
             hits: Vec::new(),
             timings,
             stats,
+            trace: None,
         }
     }
 

@@ -53,6 +53,12 @@ pub struct QueryContext {
     /// same scratch memory as visiting one and leaves each shard's
     /// shared postings cache untouched.
     pub postings: DeweyListBuf,
+    /// Per-query stage tracer. Storage is inline (a fixed span array),
+    /// so carrying it costs nothing when disarmed and recording into
+    /// it allocates nothing when armed — the engine arms it for traced
+    /// requests and disarms it otherwise, preserving the context's
+    /// zero-allocation warm path either way.
+    pub trace: xks_obs::QueryTrace,
 }
 
 impl QueryContext {

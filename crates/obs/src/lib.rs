@@ -1,0 +1,39 @@
+//! Telemetry substrate for the read path: a process-wide metrics
+//! registry, log2-bucketed latency histograms, and a zero-allocation
+//! per-query stage tracer.
+//!
+//! The crate is deliberately dependency-free (the build environment has
+//! no registry access) and splits into three layers:
+//!
+//! * [`metric`] — the primitives: [`Counter`] and [`Gauge`] are shared
+//!   `AtomicU64` cells, [`Histogram`] is a fixed array of 64 log2
+//!   buckets. All updates are single relaxed atomic operations — no
+//!   lock, no allocation — so they are safe on the query hot path.
+//! * [`registry`] — a named [`Registry`] of metrics. Registration
+//!   takes a short mutex and may allocate (do it once, at component
+//!   construction); the returned handles update lock-free thereafter.
+//!   [`global()`] is the process-wide instance every subsystem
+//!   (engine, executor, buffer pool, caches) registers into.
+//! * [`trace`] + [`snapshot`] — the read side. [`QueryTrace`] records
+//!   wall-time spans for each pipeline stage into a preallocated
+//!   inline buffer carried inside the per-thread query context;
+//!   [`Snapshot`] captures a point-in-time copy of every metric and
+//!   serializes it through one hand-rolled, deterministic JSON schema
+//!   (`xks-obs/1`).
+//!
+//! Components that own internal counters outside the registry (e.g.
+//! the persist layer's `IndexStats`) implement [`MetricSource`] to
+//! contribute them to a snapshot at collection time.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod metric;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use metric::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{count_poison_recovery, global, Registry};
+pub use snapshot::{MetricSource, Snapshot};
+pub use trace::{QueryTrace, Span, Stage, TRACE_SPAN_CAP};

@@ -1,0 +1,318 @@
+//! Metric primitives: counters, gauges, and log2-bucketed histograms.
+//!
+//! Every update is a single relaxed atomic RMW on a shared
+//! `Arc<AtomicU64>` cell — lock-free and allocation-free, so handles
+//! can be hit from the query hot path. Reads (snapshots) are relaxed
+//! too: telemetry tolerates torn cross-metric views; each individual
+//! cell is still exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one per power of two of `u64` plus a
+/// dedicated zero bucket folded into index 0.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+///
+/// Cloning shares the underlying cell: all clones observe and update
+/// the same value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (pool capacity, cache
+/// occupancy, thread count).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for a recorded value: 0 holds zero, bucket `i >= 1`
+/// holds `[2^(i-1), 2^i - 1]`, and the last bucket absorbs everything
+/// from `2^62` up (so the index always fits [`BUCKETS`]).
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `i` (the inverse
+/// of [`bucket_index`]).
+#[must_use]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == BUCKETS - 1 {
+        (1 << (i - 1), u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed distribution of `u64` samples (latencies in
+/// nanoseconds, batch sizes, ...). Recording is four relaxed atomic
+/// operations; percentiles are derived from a [`HistogramSnapshot`]
+/// with bucket-upper-bound precision (at most one power of two above
+/// the true quantile, clamped to the observed maximum).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCells {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram with no samples.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let cells = &*self.0;
+        cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(v, Ordering::Relaxed);
+        cells.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`std::time::Duration`] in nanoseconds
+    /// (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cells = &*self.0;
+        let mut buckets = [0u64; BUCKETS];
+        for (out, cell) in buckets.iter_mut().zip(cells.buckets.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            max: cells.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`], from which percentiles are
+/// derived deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`] for ranges).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (useful for means over long windows).
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `p` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(p * count)`-th smallest sample,
+    /// clamped to the observed maximum. Zero when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::percentile`] for precision).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Arithmetic mean of all samples (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples in value order —
+    /// the serialized form.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, n)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every boundary round-trips through bucket_bounds.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_known_distributions() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().p50(), 0, "empty histogram");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        // p50 rank is 500, which lands in bucket [256, 511]; the
+        // reported value is the bucket upper bound.
+        assert_eq!(s.p50(), 511);
+        // p99 rank is 990 -> bucket [512, 1023], clamped to max 1000.
+        assert_eq!(s.p99(), 1000);
+        assert_eq!(s.percentile(1.0), 1000);
+        assert_eq!(s.mean(), 500);
+    }
+
+    #[test]
+    fn zero_and_max_samples_are_representable() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let counter = Counter::new();
+        let hist = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        counter.inc();
+                        hist.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+        let s = hist.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 80_000);
+        assert_eq!(s.max, 79_999);
+    }
+}

@@ -1,0 +1,182 @@
+//! Named metric registry and the process-wide [`global()`] instance.
+//!
+//! The registry holds one map from metric name to metric. Lookup /
+//! registration (`counter` / `gauge` / `histogram`) takes a short
+//! mutex and may allocate the name — do it once per component, at
+//! construction time, and keep the returned handle: every subsequent
+//! update through the handle is a lock-free atomic on the shared cell.
+//!
+//! Names are dot-separated lowercase paths (`pool.cache_hits`,
+//! `search.total_ns`). A name maps to exactly one metric kind; asking
+//! for an existing name with a *different* kind returns a fresh
+//! detached handle (functional, but never exported in snapshots) so a
+//! naming bug can never panic a serving process.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::Snapshot;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics with deterministic (sorted) snapshot
+/// order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry (tests use private instances; production code
+    /// shares [`global()`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_register<T>(
+        &self,
+        name: &str,
+        as_kind: impl Fn(&Metric) -> Option<&T>,
+        make: impl Fn(T) -> Metric,
+    ) -> T
+    where
+        T: Clone + Default,
+    {
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = metrics.get(name) {
+            if let Some(metric) = as_kind(existing) {
+                return metric.clone();
+            }
+            // Kind mismatch: hand back a detached metric rather than
+            // panicking or clobbering the registered one.
+            return T::default();
+        }
+        let metric = T::default();
+        metrics.insert(name.to_owned(), make(metric.clone()));
+        metric
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_register(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(c),
+                _ => None,
+            },
+            Metric::Counter,
+        )
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_register(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(g),
+                _ => None,
+            },
+            Metric::Gauge,
+        )
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.get_or_register(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(h),
+                _ => None,
+            },
+            Metric::Histogram,
+        )
+    }
+
+    /// Point-in-time copy of every registered metric, in sorted name
+    /// order.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut snap = Snapshot::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counter(name, c.get()),
+                Metric::Gauge(g) => snap.gauge(name, g.get()),
+                Metric::Histogram(h) => snap.histogram(name, h.snapshot()),
+            }
+        }
+        snap
+    }
+}
+
+/// The process-wide registry every subsystem reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new();
+        // Pre-register the poison counter so a healthy process exports
+        // an explicit zero instead of omitting the metric — "no
+        // recoveries" and "not instrumented" must look different.
+        registry.counter("lock.poison_recovered");
+        registry
+    })
+}
+
+/// Counts a recovered lock poisoning (`lock.poison_recovered` in the
+/// global registry). The engine and the persist layer deliberately
+/// continue through poisoned mutexes — their guarded state holds no
+/// invariants a panic can break mid-update — but a wounded process
+/// should be *visible* to operators, not silent.
+pub fn count_poison_recovery() {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| global().counter("lock.poison_recovered"))
+        .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_snapshots_are_deterministic() {
+        let reg = Registry::new();
+        let a = reg.counter("q.total");
+        let b = reg.counter("q.total");
+        a.inc();
+        b.add(2);
+        reg.gauge("pool.capacity").set(64);
+        reg.histogram("q.latency_ns").record(1500);
+        let s1 = reg.snapshot().to_json();
+        let s2 = reg.snapshot().to_json();
+        assert_eq!(s1, s2, "identical state must serialize identically");
+        assert!(s1.contains("\"q.total\":3"));
+        assert!(s1.contains("\"pool.capacity\":64"));
+    }
+
+    #[test]
+    fn kind_mismatch_detaches_instead_of_panicking() {
+        let reg = Registry::new();
+        let counter = reg.counter("x");
+        counter.add(5);
+        let gauge = reg.gauge("x"); // same name, wrong kind
+        gauge.set(99);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters().find(|(n, _)| *n == "x").unwrap().1, 5);
+        assert_eq!(snap.gauges().count(), 0, "detached gauge is not exported");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("test.registry_shared");
+        let before = c.get();
+        global().counter("test.registry_shared").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

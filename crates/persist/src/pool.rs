@@ -31,9 +31,14 @@ use crate::error::PersistError;
 /// panic: pool frames and the file cursor hold no invariant a panic
 /// mid-read could break (the worst case is an unindexed frame, which
 /// later lookups simply refetch), and a reader shared across query
-/// threads must not let one panicked thread wedge every other.
+/// threads must not let one panicked thread wedge every other. Each
+/// recovery increments the global `lock.poison_recovered` counter —
+/// the process keeps serving, but operators can see it is wounded.
 pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+    mutex.lock().unwrap_or_else(|e: PoisonError<_>| {
+        xks_obs::count_poison_recovery();
+        e.into_inner()
+    })
 }
 
 /// Number of independently locked frame shards. A power of two so the

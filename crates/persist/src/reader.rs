@@ -186,6 +186,60 @@ pub struct IndexStats {
     pub element_cache_misses: u64,
 }
 
+impl xks_obs::MetricSource for IndexStats {
+    /// Contributes every reader counter to a snapshot under `prefix`:
+    /// structural facts as gauges (`<prefix>file_len`,
+    /// `<prefix>pool.cached_pages`, ...), traffic as counters
+    /// (`<prefix>pool.cache_hits`, `<prefix>postings_cache.misses`,
+    /// ...) — one naming scheme shared by monolithic readers
+    /// (`index.`) and shards (`index.shard.N.`).
+    fn collect_into(&self, prefix: &str, snap: &mut xks_obs::Snapshot) {
+        snap.gauge(format!("{prefix}file_len"), self.file_len);
+        snap.gauge(format!("{prefix}page_size"), u64::from(self.page_size));
+        snap.gauge(format!("{prefix}element_count"), self.element_count);
+        snap.gauge(format!("{prefix}keyword_count"), self.keyword_count);
+        snap.gauge(format!("{prefix}label_count"), self.label_count);
+        snap.gauge(format!("{prefix}postings_len"), self.postings_len);
+        snap.gauge(format!("{prefix}postings_pages"), self.postings_pages);
+        snap.gauge(
+            format!("{prefix}pool.capacity_pages"),
+            self.pool.capacity_pages as u64,
+        );
+        snap.gauge(
+            format!("{prefix}pool.cached_pages"),
+            self.pool.cached_pages as u64,
+        );
+        snap.counter(format!("{prefix}pool.pages_read"), self.pool.pages_read);
+        snap.counter(format!("{prefix}pool.cache_hits"), self.pool.cache_hits);
+        snap.counter(format!("{prefix}pool.cache_misses"), self.pool.cache_misses);
+        snap.counter(format!("{prefix}pool.evictions"), self.pool.evictions);
+        snap.gauge(
+            format!("{prefix}postings_cache.entries"),
+            self.postings_cache_entries as u64,
+        );
+        snap.counter(
+            format!("{prefix}postings_cache.hits"),
+            self.postings_cache_hits,
+        );
+        snap.counter(
+            format!("{prefix}postings_cache.misses"),
+            self.postings_cache_misses,
+        );
+        snap.gauge(
+            format!("{prefix}element_cache.entries"),
+            self.element_cache_entries as u64,
+        );
+        snap.counter(
+            format!("{prefix}element_cache.hits"),
+            self.element_cache_hits,
+        );
+        snap.counter(
+            format!("{prefix}element_cache.misses"),
+            self.element_cache_misses,
+        );
+    }
+}
+
 /// Number of independently locked element-cache shards (power of two).
 const ELEMENT_SHARDS: usize = 8;
 
@@ -239,12 +293,10 @@ impl ElementCache {
         if self.shard_capacity == 0 {
             return None;
         }
-        let hit = self
-            .shard(dewey)
-            .lock()
-            .expect("element cache lock")
-            .get(dewey)
-            .cloned();
+        // Same recover-and-count poison policy as every other persist
+        // lock site: a cache shard holds no invariant a panic can
+        // break, so one panicked thread must not wedge element reads.
+        let hit = lock_unpoisoned(self.shard(dewey)).get(dewey).cloned();
         match hit {
             Some(found) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -804,6 +856,15 @@ impl CorpusSource for IndexReader {
         // traffic never churns this reader's shared postings LRU.
         self.keyword_postings_into(keyword, arena)
             .map_err(SourceError::new)
+    }
+}
+
+impl xks_obs::MetricSource for IndexReader {
+    /// A live reader contributes its current [`IndexReader::stats`]
+    /// reading (buffer pool, postings LRU, element-cache shards) to a
+    /// snapshot — the collection path behind `xks stats`.
+    fn collect_into(&self, prefix: &str, snap: &mut xks_obs::Snapshot) {
+        self.stats().collect_into(prefix, snap);
     }
 }
 

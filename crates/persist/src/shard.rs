@@ -380,6 +380,20 @@ impl ShardedCorpus {
     }
 }
 
+impl xks_obs::MetricSource for ShardedCorpus {
+    /// Contributes one gauge for the shard count plus every shard
+    /// reader's full counter set under `<prefix>shard.<i>.` — so one
+    /// snapshot shows per-shard buffer-pool and cache traffic side by
+    /// side (shard load skew is exactly what per-shard counters exist
+    /// to reveal).
+    fn collect_into(&self, prefix: &str, snap: &mut xks_obs::Snapshot) {
+        snap.gauge(format!("{prefix}shard_count"), self.readers.len() as u64);
+        for (i, reader) in self.readers.iter().enumerate() {
+            reader.collect_into(&format!("{prefix}shard.{i}."), snap);
+        }
+    }
+}
+
 impl CorpusSource for ShardedCorpus {
     fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
         self.set.keyword_deweys(keyword)

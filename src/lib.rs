@@ -13,7 +13,9 @@
 //!   axioms (crate `validrtf`);
 //! * [`persist`] — the paged binary on-disk index (`.xks` files,
 //!   buffer-pool reads);
-//! * [`datagen`] — DBLP-alike / XMark-alike corpora and workloads.
+//! * [`datagen`] — DBLP-alike / XMark-alike corpora and workloads;
+//! * [`obs`] — telemetry: the metrics registry, latency histograms,
+//!   and the per-query stage tracer (crate `xks-obs`).
 
 #![deny(missing_docs)]
 
@@ -21,6 +23,7 @@ pub use validrtf as core;
 pub use xks_datagen as datagen;
 pub use xks_index as index;
 pub use xks_lca as lca;
+pub use xks_obs as obs;
 pub use xks_persist as persist;
 pub use xks_store as store;
 pub use xks_xmltree as xmltree;

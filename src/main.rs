@@ -3,10 +3,12 @@
 //! ```text
 //! xks search <file.xml> "<query>" ["<query>" ...] [--algo valid|maxmatch|slca] [--top-k N]
 //!            [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
+//!            [--trace] [--trace-out <trace.json>]
 //! xks search --index <file.xks|file.xksm> "<query>" ... [same flags] [--shard-threads N]
 //! xks bench  --index <file.xks|file.xksm> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...] [--format json|text]
 //! xks compare <file.xml> "<query>" [--format json|text]
 //! xks stats <file.xml> [--top N]
+//! xks stats --index <file.xks|file.xksm> [--queries <queries.txt>] [--threads N] [--algo ...] [--shard-threads N]
 //! xks shred <file.xml> <out.json>
 //! xks build-index <file.xml> <out.xks> [--page-size N]
 //! xks build-index <file.xml> <out.xksm> --shards N [--page-size N]
@@ -24,15 +26,24 @@
 //! decides, not the extension. Sharded corpora are searched with
 //! scatter-gather (`--shard-threads` caps the per-query fan-out);
 //! results are byte-identical either way.
+//!
+//! Observability (docs/OBSERVABILITY.md): `--trace` prints a per-stage
+//! breakdown of each query, `--trace-out` writes the same spans as a
+//! Chrome-trace-event JSON file, and `xks stats --index` dumps one
+//! `xks-obs/1` snapshot of the process-wide metrics registry merged
+//! with the index's cache counters.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use xks::core::algorithms::StageTimings;
 use xks::core::engine::{AlgorithmKind, SearchEngine};
 use xks::core::executor::run_batch_stats;
 use xks::core::{RankWeights, SearchRequest, SearchResponse};
 use xks::index::Query;
+use xks::obs::{HistogramSnapshot, MetricSource, QueryTrace};
 use xks::persist::{IndexReader, IndexWriter, ShardedCorpus};
 use xks::store::json::{self, Value};
 use xks::xmltree::{LabelId, XmlTree};
@@ -67,12 +78,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  xks search  <file.xml> \"<query>\" [\"<query>\" ...] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
+  xks search  <file.xml> \"<query>\" [\"<query>\" ...] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--limit N] [--xml] [--rank] [--threads N] [--trace] [--trace-out <trace.json>]
   xks search  --index <file.xks|file.xksm> \"<query>\" [\"<query>\" ...] [same flags, no --xml] [--shard-threads N]
   xks bench   --index <file.xks|file.xksm> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--shard-threads N]
   xks bench   <file.xml> --queries <queries.txt> [same flags]
   xks compare <file.xml> \"<query>\" [--format json|text]
   xks stats   <file.xml> [--top N]
+  xks stats   --index <file.xks|file.xksm> [--queries <queries.txt>] [--threads N] [--algo valid|maxmatch|slca] [--top-k N] [--shard-threads N]
   xks shred   <file.xml> <out.json>
   xks build-index <file.xml> <out.xks> [--page-size N]
   xks build-index <file.xml> <out.xksm> --shards N [--page-size N]
@@ -81,7 +93,8 @@ const USAGE: &str = "usage:
 query grammar: plain keywords, \"quoted phrases\", -excluded, label:word
 (docs/API.md documents the grammar, the JSON output schemas, and the
 sharded index surface; --index sniffs the file magic, so a shard
-manifest from build-index --shards works everywhere a .xks does)";
+manifest from build-index --shards works everywhere a .xks does;
+docs/OBSERVABILITY.md covers --trace and the stats --index snapshot)";
 
 fn load_tree(path: &str) -> Result<XmlTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -161,13 +174,15 @@ fn build_requests(
     algo: AlgorithmKind,
     top_k: Option<usize>,
     ranked: bool,
+    traced: bool,
 ) -> Result<Vec<SearchRequest>, String> {
     texts
         .iter()
         .map(|text| {
             let mut request = SearchRequest::parse(text)
                 .map_err(|e| format!("{e} (in query {text:?})"))?
-                .algorithm(algo);
+                .algorithm(algo)
+                .trace(traced);
             if let Some(k) = top_k {
                 request = request.top_k(k);
             }
@@ -179,6 +194,18 @@ fn build_requests(
         .collect()
 }
 
+/// Reads a bench/stats query workload file: one query per line, blank
+/// lines and `#` comments skipped.
+fn read_query_file(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect())
+}
+
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
     let algo = parse_algo(&flags)?;
@@ -188,6 +215,8 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let threads = flags.get_usize("threads")?.unwrap_or(1);
     let as_xml = flags.has("xml");
     let ranked = flags.has("rank");
+    let trace_out = flags.get_str("trace-out").map(str::to_owned);
+    let traced = flags.has("trace") || trace_out.is_some();
 
     // One or more query strings; several queries fan out over the
     // executor's worker threads (`--threads N`).
@@ -217,16 +246,32 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             (SearchEngine::new(load_tree(file)?), queries)
         }
     };
-    let requests = build_requests(query_args, algo, top_k, ranked)?;
+    let requests = build_requests(query_args, algo, top_k, ranked, traced)?;
+    if trace_out.is_some() && requests.len() != 1 {
+        return Err(format!(
+            "--trace-out records exactly one query per file (got {})",
+            requests.len()
+        ));
+    }
     let (results, _) = run_batch_stats(&engine, &requests, threads);
 
     let mut json_results: Vec<Value> = Vec::new();
     let many = requests.len() > 1;
     for (request, result) in requests.iter().zip(results) {
         let response = result.map_err(|e| e.to_string())?;
+        if let (Some(path), Some(trace)) = (trace_out.as_deref(), response.trace.as_ref()) {
+            std::fs::write(path, trace.to_chrome_json(&request.spec().to_string()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote Chrome trace to {path} (chrome://tracing, Perfetto)");
+        }
         match format {
             Format::Json => json_results.push(response_json(&engine, request, &response, limit)),
-            Format::Text => print_text_response(&engine, request, &response, limit, as_xml, many),
+            Format::Text => {
+                print_text_response(&engine, request, &response, limit, as_xml, many);
+                if let Some(trace) = &response.trace {
+                    print_text_trace(trace);
+                }
+            }
         }
     }
     if format == Format::Json {
@@ -293,6 +338,29 @@ fn print_text_response(
     }
 }
 
+/// The `--trace` text rendering: one line per recorded span, offsets
+/// and durations in microseconds from the trace origin. Goes to stderr
+/// with the other diagnostics so fragment output stays clean.
+fn print_text_trace(trace: &QueryTrace) {
+    eprintln!("trace ({} span(s)):", trace.spans().len());
+    for span in trace.spans() {
+        eprintln!(
+            "  {:<16} @{:>12}  {:>12}",
+            span.stage.as_str(),
+            format_us(span.start_ns),
+            format_us(span.dur_ns)
+        );
+    }
+    if trace.dropped() > 0 {
+        eprintln!("  … {} span(s) dropped (buffer full)", trace.dropped());
+    }
+}
+
+/// Nanoseconds as a `µs` literal with three fractional digits.
+fn format_us(ns: u64) -> String {
+    format!("{}.{:03}µs", ns / 1_000, ns % 1_000)
+}
+
 /// Batch mode: run a whole query file through the concurrent executor
 /// against one shared engine and report aggregate throughput.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
@@ -324,39 +392,42 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let text = std::fs::read_to_string(queries_file)
-        .map_err(|e| format!("cannot read {queries_file}: {e}"))?;
-    let lines: Vec<String> = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_owned)
-        .collect();
-    let requests = build_requests(&lines, algo, top_k, false)?;
+    let lines = read_query_file(queries_file)?;
+    let requests = build_requests(&lines, algo, top_k, false, false)?;
     if requests.is_empty() {
         return Err(format!("{queries_file} holds no queries"));
     }
 
     // Untimed warm-up sweep, then timed sweeps. Any backend failure
-    // aborts the bench with the typed error.
-    let check = |results: Vec<xks::core::BatchResult>| -> Result<usize, String> {
-        let mut fragments = 0usize;
-        for result in results {
-            fragments += result.map_err(|e| e.to_string())?.hits.len();
-        }
-        Ok(fragments)
-    };
+    // aborts the bench with the typed error. Timed sweeps also feed
+    // each query's engine-side timings into a latency histogram and a
+    // per-stage aggregate, so throughput comes with a breakdown.
     let (warmup, _) = run_batch_stats(&engine, &requests, threads);
-    check(warmup)?;
+    for result in warmup {
+        result.map_err(|e| e.to_string())?;
+    }
     let start = std::time::Instant::now();
     let mut fragments = 0usize;
     let mut last_stats = None;
+    let mut stages = StageTimings::default();
+    let latency = xks::obs::Histogram::new();
     for _ in 0..sweeps {
         let (results, stats) = run_batch_stats(&engine, &requests, threads);
-        fragments += check(results)?;
+        for result in results {
+            let response = result.map_err(|e| e.to_string())?;
+            fragments += response.hits.len();
+            let t = &response.timings;
+            stages.get_keyword_nodes += t.get_keyword_nodes;
+            stages.get_lca += t.get_lca;
+            stages.get_rtf += t.get_rtf;
+            stages.prune_rtf += t.prune_rtf;
+            stages.post_process += t.post_process;
+            latency.record_duration(t.total());
+        }
         last_stats = Some(stats);
     }
     let elapsed = start.elapsed();
+    let lat = latency.snapshot();
     let total = requests.len() * sweeps;
     let qps = total as f64 / elapsed.as_secs_f64();
     // Report the worker count the executor actually ran (it clamps the
@@ -374,6 +445,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 ("elapsed_us", Value::Num(elapsed.as_micros() as u64)),
                 ("queries_per_sec", Value::Float(qps)),
                 ("fragments", Value::Num(fragments as u64)),
+                ("stages_us", stage_timings_json(&stages)),
+                ("latency_ns", histogram_json(&lat)),
             ]);
             if let Some(stats) = &last_stats {
                 fields.insert(
@@ -398,6 +471,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             if let Some(stats) = last_stats {
                 println!("last sweep work split: {:?}", stats.per_thread);
             }
+            println!(
+                "stage totals: get_keyword_nodes {:?} | get_lca {:?} | get_rtf {:?} | \
+                 prune_rtf {:?} | post_process {:?}",
+                stages.get_keyword_nodes,
+                stages.get_lca,
+                stages.get_rtf,
+                stages.prune_rtf,
+                stages.post_process
+            );
+            println!(
+                "per-query latency: p50 {}  p90 {}  p99 {}  max {}  ({} samples)",
+                format_us(lat.p50()),
+                format_us(lat.p90()),
+                format_us(lat.p99()),
+                format_us(lat.max),
+                lat.count
+            );
         }
     }
     Ok(())
@@ -453,6 +543,103 @@ fn obj<const N: usize>(entries: [(&str, Value); N]) -> BTreeMap<String, Value> {
         .into_iter()
         .map(|(k, v)| (k.to_owned(), v))
         .collect()
+}
+
+/// A [`StageTimings`] block as the documented `timings_us` /
+/// `stages_us` JSON object (microsecond integers plus their total).
+fn stage_timings_json(timings: &StageTimings) -> Value {
+    Value::Obj(obj([
+        (
+            "get_keyword_nodes",
+            Value::Num(timings.get_keyword_nodes.as_micros() as u64),
+        ),
+        ("get_lca", Value::Num(timings.get_lca.as_micros() as u64)),
+        ("get_rtf", Value::Num(timings.get_rtf.as_micros() as u64)),
+        (
+            "prune_rtf",
+            Value::Num(timings.prune_rtf.as_micros() as u64),
+        ),
+        (
+            "post_process",
+            Value::Num(timings.post_process.as_micros() as u64),
+        ),
+        ("total", Value::Num(timings.total().as_micros() as u64)),
+    ]))
+}
+
+/// A histogram snapshot as JSON: summary statistics plus the non-empty
+/// `[lo, hi, count]` buckets (mirrors the `xks-obs/1` histogram form).
+fn histogram_json(hist: &HistogramSnapshot) -> Value {
+    Value::Obj(obj([
+        ("count", Value::Num(hist.count)),
+        ("sum", Value::Num(hist.sum)),
+        ("max", Value::Num(hist.max)),
+        ("mean", Value::Num(hist.mean())),
+        ("p50", Value::Num(hist.p50())),
+        ("p90", Value::Num(hist.p90())),
+        ("p99", Value::Num(hist.p99())),
+        (
+            "buckets",
+            Value::Arr(
+                hist.nonzero_buckets()
+                    .map(|(lo, hi, n)| {
+                        Value::Arr(vec![Value::Num(lo), Value::Num(hi), Value::Num(n)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+/// A recorded query trace as JSON: spans in record order with
+/// nanosecond offsets from the trace origin.
+fn trace_json(trace: &QueryTrace) -> Value {
+    let spans = trace
+        .spans()
+        .iter()
+        .map(|span| {
+            Value::Obj(obj([
+                ("stage", Value::Str(span.stage.as_str().to_owned())),
+                ("start_ns", Value::Num(span.start_ns)),
+                ("dur_ns", Value::Num(span.dur_ns)),
+            ]))
+        })
+        .collect();
+    Value::Obj(obj([
+        ("spans", Value::Arr(spans)),
+        ("dropped", Value::Num(u64::from(trace.dropped()))),
+    ]))
+}
+
+/// An `xks-obs` snapshot as a JSON value (for embedding inside another
+/// document; `xks stats --index` prints the canonical string form).
+fn snapshot_json(snap: &xks::obs::Snapshot) -> Value {
+    Value::Obj(obj([
+        (
+            "counters",
+            Value::Obj(
+                snap.counters()
+                    .map(|(name, v)| (name.to_owned(), Value::Num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Value::Obj(
+                snap.gauges()
+                    .map(|(name, v)| (name.to_owned(), Value::Num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Value::Obj(
+                snap.histograms()
+                    .map(|(name, h)| (name.to_owned(), histogram_json(h)))
+                    .collect(),
+            ),
+        ),
+    ]))
 }
 
 fn label_string(engine: &SearchEngine, label: LabelId) -> String {
@@ -545,27 +732,11 @@ fn response_json(
                 ),
             ])),
         ),
-        (
-            "timings_us",
-            Value::Obj(obj([
-                (
-                    "get_keyword_nodes",
-                    Value::Num(timings.get_keyword_nodes.as_micros() as u64),
-                ),
-                ("get_lca", Value::Num(timings.get_lca.as_micros() as u64)),
-                ("get_rtf", Value::Num(timings.get_rtf.as_micros() as u64)),
-                (
-                    "prune_rtf",
-                    Value::Num(timings.prune_rtf.as_micros() as u64),
-                ),
-                (
-                    "post_process",
-                    Value::Num(timings.post_process.as_micros() as u64),
-                ),
-                ("total", Value::Num(timings.total().as_micros() as u64)),
-            ])),
-        ),
+        ("timings_us", stage_timings_json(timings)),
     ]);
+    if let Some(trace) = &response.trace {
+        result.insert("trace".to_owned(), trace_json(trace));
+    }
     if response.hits.len() > limit {
         result.insert(
             "hits_omitted".to_owned(),
@@ -579,6 +750,15 @@ fn response_json(
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
+    if let Some(index_file) = flags.get_str("index") {
+        if let [extra, ..] = positional.as_slice() {
+            return Err(format!(
+                "stats --index takes no positional file (got {extra:?}); \
+                 drop --index for the vocabulary report\n{USAGE}"
+            ));
+        }
+        return cmd_stats_index(index_file, &flags);
+    }
     let [file] = positional.as_slice() else {
         return Err(format!("stats needs <file.xml>\n{USAGE}"));
     };
@@ -594,6 +774,61 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     for (word, n) in freqs.into_iter().take(top) {
         println!("  {word:<24} {n}");
     }
+    Ok(())
+}
+
+/// `xks stats --index`: the live-metrics form. Opens the index
+/// (monolithic or sharded), optionally replays a `--queries` workload
+/// through the engine, then prints one `xks-obs/1` snapshot — the
+/// process-wide registry (search/executor/lock metrics) merged with the
+/// index's own cache counters under the `index.` prefix.
+fn cmd_stats_index(index_file: &str, flags: &Flags) -> Result<(), String> {
+    let algo = parse_algo(flags)?;
+    let top_k = flags.get_usize("top-k")?;
+    let threads = flags.get_usize("threads")?.unwrap_or(1).max(1);
+
+    // The collection handle and the engine share the same readers
+    // (`Arc` all the way down), so the counters the workload bumps are
+    // the ones collected below.
+    enum Collector {
+        Mono(Arc<IndexReader>),
+        Sharded(ShardedCorpus),
+    }
+    let (engine, collector) = if is_shard_manifest(index_file)? {
+        let corpus = ShardedCorpus::open(Path::new(index_file))
+            .map_err(|e| format!("cannot open sharded index {index_file}: {e}"))?;
+        let mut engine = SearchEngine::from_shard_set(corpus.shard_set());
+        if let Some(threads) = flags.get_usize("shard-threads")? {
+            engine = engine.with_scatter_threads(threads);
+        }
+        (engine, Collector::Sharded(corpus))
+    } else {
+        let reader = Arc::new(
+            IndexReader::open(Path::new(index_file))
+                .map_err(|e| format!("cannot open index {index_file}: {e}"))?,
+        );
+        let engine = SearchEngine::from_source(Arc::clone(&reader) as _);
+        (engine, Collector::Mono(reader))
+    };
+
+    if let Some(queries_file) = flags.get_str("queries") {
+        let lines = read_query_file(queries_file)?;
+        let requests = build_requests(&lines, algo, top_k, false, false)?;
+        if requests.is_empty() {
+            return Err(format!("{queries_file} holds no queries"));
+        }
+        let (results, _) = run_batch_stats(&engine, &requests, threads);
+        for result in results {
+            result.map_err(|e| e.to_string())?;
+        }
+    }
+
+    let mut snap = xks::obs::global().snapshot();
+    match &collector {
+        Collector::Mono(reader) => reader.collect_into("index.", &mut snap),
+        Collector::Sharded(corpus) => corpus.collect_into("index.", &mut snap),
+    }
+    println!("{}", snap.to_json());
     Ok(())
 }
 
@@ -745,6 +980,11 @@ fn cmd_index_stats(args: &[String]) -> Result<(), String> {
                     ),
                     ("shards", Value::Arr(shards)),
                     ("checksums", Value::Str("ok".to_owned())),
+                    ("metrics", {
+                        let mut snap = xks::obs::Snapshot::new();
+                        corpus.collect_into("", &mut snap);
+                        snapshot_json(&snap)
+                    }),
                 ]));
                 println!("{}", json::to_string(&value));
             }
@@ -787,6 +1027,9 @@ fn cmd_index_stats(args: &[String]) -> Result<(), String> {
             let mut fields = index_stats_json(&stats);
             fields.insert("sharded".to_owned(), Value::Bool(false));
             fields.insert("checksums".to_owned(), Value::Str("ok".to_owned()));
+            let mut snap = xks::obs::Snapshot::new();
+            reader.collect_into("", &mut snap);
+            fields.insert("metrics".to_owned(), snapshot_json(&snap));
             println!("{}", json::to_string(&Value::Obj(fields)));
         }
         Format::Text => {
@@ -833,9 +1076,9 @@ impl Flags {
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
 /// values: `algo`, `limit`, `top`, `top-k`, `format`, `index`,
 /// `page-size`, `threads`, `queries`, `sweeps`, `shards`,
-/// `shard-threads`.
+/// `shard-threads`, `trace-out`.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 12] = [
+    const VALUED: [&str; 13] = [
         "algo",
         "limit",
         "top",
@@ -848,6 +1091,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         "sweeps",
         "shards",
         "shard-threads",
+        "trace-out",
     ];
     let mut positional = Vec::new();
     let mut flags = Vec::new();

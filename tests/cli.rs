@@ -597,6 +597,245 @@ fn sharded_index_stats_json_schema() {
 }
 
 #[test]
+fn search_trace_reports_stage_spans_on_both_backends() {
+    let dir = std::env::temp_dir().join("xks-cli-test-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = sample_file();
+    let index = dir.join("team.xks");
+    assert!(xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&index)
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // Text mode (memory backend): per-stage breakdown on stderr,
+    // fragment output untouched on stdout.
+    let out = xks()
+        .args(["search"])
+        .arg(&xml)
+        .args(["grizzlies position", "--trace"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for stage in ["parse", "resolve", "merge_anchor", "construct", "rank"] {
+        assert!(stderr.contains(stage), "missing {stage} in:\n{stderr}");
+    }
+
+    // JSON mode (disk backend): the response gains a trace block with
+    // ordered spans; omitting --trace omits the block.
+    let out = xks()
+        .args(["search", "--index"])
+        .arg(&index)
+        .args(["grizzlies position", "--trace", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let result = &value.get("results").unwrap().as_arr().unwrap()[0];
+    let trace = result.get("trace").unwrap();
+    assert_eq!(trace.get("dropped").unwrap().as_u64(), Some(0));
+    let spans = trace.get("spans").unwrap().as_arr().unwrap();
+    let stages: Vec<&str> = spans
+        .iter()
+        .map(|s| s.get("stage").unwrap().as_str().unwrap())
+        .collect();
+    for stage in ["parse", "postings_decode", "resolve", "rank"] {
+        assert!(stages.contains(&stage), "missing {stage} in {stages:?}");
+    }
+    for span in spans {
+        assert!(span.get("start_ns").unwrap().as_u64().is_some());
+        assert!(span.get("dur_ns").unwrap().as_u64().is_some());
+    }
+
+    let out = xks()
+        .args(["search", "--index"])
+        .arg(&index)
+        .args(["grizzlies position", "--format", "json"])
+        .output()
+        .unwrap();
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert!(
+        value.get("results").unwrap().as_arr().unwrap()[0]
+            .get("trace")
+            .is_none(),
+        "untraced responses must not carry a trace block"
+    );
+
+    // --trace-out writes a Chrome-trace-event document.
+    let trace_path = dir.join("trace.json");
+    let out = xks()
+        .args(["search", "--index"])
+        .arg(&index)
+        .args(["grizzlies position", "--trace-out"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let chrome = std::fs::read_to_string(&trace_path).unwrap();
+    let chrome = xks::store::json::parse(chrome.trim()).expect("valid Chrome trace JSON");
+    let events = chrome.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+    assert_eq!(
+        chrome
+            .get("otherData")
+            .unwrap()
+            .get("query")
+            .unwrap()
+            .as_str(),
+        Some("grizzlies position")
+    );
+}
+
+#[test]
+fn stats_index_dumps_registry_snapshot() {
+    let dir = std::env::temp_dir().join("xks-cli-test-stats-index");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("corpus.xml");
+    std::fs::write(
+        &xml,
+        "<dblp>\
+         <article><title>xml keyword search</title><author>liu</author></article>\
+         <article><title>skyline query</title><author>chen</author></article>\
+         <article><title>keyword search relational</title><author>liu</author></article>\
+         <article><title>spatial index</title><author>kim</author></article>\
+         </dblp>",
+    )
+    .unwrap();
+    let manifest = dir.join("corpus.xksm");
+    assert!(xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&manifest)
+        .args(["--shards", "2"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "keyword search\nliu\nspatial index\n").unwrap();
+
+    let out = xks()
+        .args(["stats", "--index"])
+        .arg(&manifest)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(value.get("schema").unwrap().as_str(), Some("xks-obs/1"));
+
+    // One snapshot unifies every subsystem: buffer pool, postings LRU,
+    // element cache, per-shard counters, executor draws, lock health.
+    let counters = value.get("counters").unwrap();
+    for name in [
+        "index.shard.0.pool.cache_hits",
+        "index.shard.0.postings_cache.misses",
+        "index.shard.1.element_cache.hits",
+        "executor.batches",
+        "executor.requests",
+        "search.queries",
+        "lock.poison_recovered",
+    ] {
+        assert!(counters.get(name).unwrap().as_u64().is_some(), "{name}");
+    }
+    assert_eq!(counters.get("search.queries").unwrap().as_u64(), Some(3));
+    assert_eq!(
+        counters.get("lock.poison_recovered").unwrap().as_u64(),
+        Some(0),
+        "healthy process exports an explicit zero"
+    );
+    assert_eq!(
+        value
+            .get("gauges")
+            .unwrap()
+            .get("index.shard_count")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+
+    // The latency histograms carry coherent percentiles.
+    let lat = value
+        .get("histograms")
+        .unwrap()
+        .get("search.total_ns")
+        .unwrap();
+    assert_eq!(lat.get("count").unwrap().as_u64(), Some(3));
+    let p50 = lat.get("p50").unwrap().as_u64().unwrap();
+    let p99 = lat.get("p99").unwrap().as_u64().unwrap();
+    let max = lat.get("max").unwrap().as_u64().unwrap();
+    assert!(
+        p50 > 0 && p50 <= p99 && p99 <= max,
+        "p50 {p50} p99 {p99} max {max}"
+    );
+    assert!(!lat.get("buckets").unwrap().as_arr().unwrap().is_empty());
+}
+
+#[test]
+fn index_stats_json_carries_metrics_section() {
+    let dir = std::env::temp_dir().join("xks-cli-test-index-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("corpus.xml");
+    std::fs::write(&xml, "<r><a><t>alpha beta</t></a><b><t>gamma</t></b></r>").unwrap();
+    let mono = dir.join("corpus.xks");
+    assert!(xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&mono)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = xks()
+        .args(["index-stats"])
+        .arg(&mono)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let metrics = value.get("metrics").unwrap();
+    for name in [
+        "pool.pages_read",
+        "postings_cache.hits",
+        "element_cache.misses",
+    ] {
+        assert!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get(name)
+                .unwrap()
+                .as_u64()
+                .is_some(),
+            "{name}"
+        );
+    }
+    assert!(metrics
+        .get("gauges")
+        .unwrap()
+        .get("pool.capacity_pages")
+        .unwrap()
+        .as_u64()
+        .is_some());
+}
+
+#[test]
 fn build_index_shards_one_still_writes_a_manifest() {
     // --shards follows the flag, not an arithmetic accident: even a
     // computed shard count of 1 (or 0) must produce the manifest

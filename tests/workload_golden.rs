@@ -20,7 +20,7 @@ use xks::datagen::queries::{dblp_workload, xmark_workload};
 use xks::datagen::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig, XmarkSize};
 use xks::store::shred;
 
-fn digest_lines() -> Vec<String> {
+fn digest_lines(traced: bool) -> Vec<String> {
     let mut lines = Vec::new();
     for (corpus, tree, workload) in [
         (
@@ -39,9 +39,18 @@ fn digest_lines() -> Vec<String> {
         for (abbrev, keywords) in &workload {
             // The 43-query workload replays through the redesigned
             // request/response path; the digest must not move.
-            let request = SearchRequest::parse(keywords).unwrap();
+            let request = SearchRequest::parse(keywords).unwrap().trace(traced);
             for kind in ALGORITHMS {
                 let response = engine.execute(&request.clone().algorithm(kind)).unwrap();
+                if traced {
+                    let trace = response.trace.as_ref().expect("traced response");
+                    assert!(
+                        !trace.spans().is_empty(),
+                        "{corpus}/{abbrev}: traced replay must record spans"
+                    );
+                } else {
+                    assert!(response.trace.is_none(), "untraced response has no trace");
+                }
                 let fragments: Vec<xks::core::Fragment> = response.into_fragments();
                 lines.push(digest_line(corpus, abbrev, kind, &fragments, source));
             }
@@ -50,13 +59,11 @@ fn digest_lines() -> Vec<String> {
     lines
 }
 
-#[test]
-fn workload_results_match_golden_digest() {
-    let lines = digest_lines();
+fn assert_matches_golden(lines: Vec<String>, bless: bool) {
     assert_eq!(lines.len(), 43 * 3, "43 workload queries x 3 algorithms");
     let rendered = lines.join("\n") + "\n";
 
-    if std::env::var("XKS_BLESS_GOLDEN").is_ok() {
+    if bless {
         std::fs::create_dir_all(std::path::Path::new(GOLDEN).parent().unwrap()).unwrap();
         std::fs::write(GOLDEN, &rendered).unwrap();
         eprintln!("blessed {GOLDEN}");
@@ -73,4 +80,24 @@ fn workload_results_match_golden_digest() {
         golden.lines().count(),
         "digest line count diverged from the golden file"
     );
+}
+
+#[test]
+fn workload_results_match_golden_digest() {
+    assert_matches_golden(
+        digest_lines(false),
+        std::env::var("XKS_BLESS_GOLDEN").is_ok(),
+    );
+}
+
+/// Replaying the identical workload with stage tracing enabled must not
+/// move a single digest byte: tracing only *observes* the pipeline
+/// (spans ride in preallocated context storage), it never reorders or
+/// filters results. Never blesses — the untraced test owns the file.
+#[test]
+fn traced_workload_replay_is_byte_identical() {
+    if std::env::var("XKS_BLESS_GOLDEN").is_ok() {
+        return; // the untraced test is re-recording the golden file
+    }
+    assert_matches_golden(digest_lines(true), false);
 }

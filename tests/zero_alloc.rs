@@ -198,4 +198,41 @@ fn warm_query_hot_path_is_allocation_free() {
         warm1, warm2,
         "warm execute_with must be in steady state: no per-query scratch growth"
     );
+
+    // ---- 6. Stage tracing adds zero allocations to the warm path ------
+    // A traced request records spans into the context's preallocated
+    // `QueryTrace` (inline `[Span; TRACE_SPAN_CAP]`, no heap) and the
+    // response carries a by-value copy. The warm traced path must be in
+    // the same steady state as the untraced one — allocation counts
+    // identical, spans present, nothing dropped.
+    let traced_request = SearchRequest::parse("data algorithm")
+        .expect("parses")
+        .trace(true);
+    let run_traced = |ctx: &mut QueryContext| {
+        let response = engine
+            .execute_with(&traced_request, ctx)
+            .expect("memory backend cannot fail");
+        let trace = response
+            .trace
+            .as_ref()
+            .expect("traced response has a trace");
+        assert!(
+            trace.spans().len() >= 5,
+            "trace covers the pipeline stages (got {:?})",
+            trace.spans()
+        );
+        assert_eq!(trace.dropped(), 0, "span buffer must not overflow");
+        std::hint::black_box(response.hits.len());
+    };
+    run_traced(&mut ctx); // reach traced steady state
+    let traced_warm1 = count_allocs(|| run_traced(&mut ctx));
+    let traced_warm2 = count_allocs(|| run_traced(&mut ctx));
+    assert_eq!(
+        traced_warm1, traced_warm2,
+        "traced warm execute_with must be in steady state"
+    );
+    assert_eq!(
+        traced_warm1, warm1,
+        "tracing must not allocate on the warm path (untraced {warm1}, traced {traced_warm1})"
+    );
 }
