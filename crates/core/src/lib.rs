@@ -54,6 +54,7 @@ pub mod executor;
 pub mod fragment;
 pub mod keyset;
 pub mod metrics;
+pub mod mutable;
 pub mod prune;
 pub mod rank;
 pub mod request;
@@ -69,6 +70,7 @@ pub use executor::{run_batch, run_batch_stats, BatchResult, BatchStats};
 pub use fragment::Fragment;
 pub use keyset::KeySet;
 pub use metrics::{effectiveness, Effectiveness};
+pub use mutable::{MutableSource, MutationError};
 pub use prune::{prune, prune_owned, Policy};
 pub use rank::{rank, RankWeights, RankedFragment};
 pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};

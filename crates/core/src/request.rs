@@ -50,6 +50,9 @@ pub enum SearchError {
     /// The storage backend failed: I/O, index corruption, a poisoned
     /// resource — anything [`SourceError`] wraps.
     Backend(SourceError),
+    /// A corpus mutation failed (bad document XML, unknown ordinal) —
+    /// surfaced here so read/write services share one error type.
+    Mutation(crate::mutable::MutationError),
 }
 
 impl fmt::Display for SearchError {
@@ -57,6 +60,7 @@ impl fmt::Display for SearchError {
         match self {
             SearchError::Parse(e) => write!(f, "bad query: {e}"),
             SearchError::Backend(e) => write!(f, "{e}"),
+            SearchError::Mutation(e) => write!(f, "mutation failed: {e}"),
         }
     }
 }
@@ -66,7 +70,14 @@ impl std::error::Error for SearchError {
         match self {
             SearchError::Parse(e) => Some(e),
             SearchError::Backend(e) => Some(e),
+            SearchError::Mutation(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::mutable::MutationError> for SearchError {
+    fn from(e: crate::mutable::MutationError) -> Self {
+        SearchError::Mutation(e)
     }
 }
 

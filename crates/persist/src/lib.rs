@@ -65,14 +65,20 @@
 
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod format;
+pub mod mutable;
 pub mod pool;
 pub mod reader;
 pub mod shard;
+pub mod wal;
 pub mod writer;
 
 pub use error::PersistError;
+pub use fault::{FaultFile, FaultKind, Injector};
+pub use mutable::{preregister_durability_metrics, MutableCorpus, MutableError};
 pub use pool::PoolStats;
 pub use reader::{ElementRecord, IndexReader, IndexStats, ReaderOptions};
 pub use shard::{write_sharded, ShardEntry, ShardManifest, ShardedCorpus, ShardedWriteSummary};
+pub use wal::{Wal, WalRecord, WalScan};
 pub use writer::{IndexWriter, WriteSummary};

@@ -453,6 +453,12 @@ impl IndexReader {
         self.labels.get(id as usize).map(String::as_str)
     }
 
+    /// The whole label dictionary, in id order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
     /// Number of element rows.
     #[must_use]
     pub fn element_count(&self) -> u64 {
@@ -552,6 +558,68 @@ impl IndexReader {
             }
         }
         Ok(None)
+    }
+
+    /// The element row at table index `idx` (document order) —
+    /// sequential enumeration for compaction's shard export, sharing
+    /// the binary search's row decoders.
+    pub fn element_record(&self, idx: u64) -> Result<ElementRecord, PersistError> {
+        if idx >= self.header.element_count {
+            return Err(PersistError::Corrupt {
+                what: format!(
+                    "element index {idx} out of range (table has {} rows)",
+                    self.header.element_count
+                ),
+            });
+        }
+        let row_off = self.offset_entry(Section::ElementOffsets, idx)?;
+        let mut cursor = self.cursor(Section::Elements, row_off)?;
+        let components = decode_row_dewey(&mut cursor)?;
+        decode_row_rest(cursor, components)
+    }
+
+    /// The keyword at dictionary index `idx` (lexicographic order)
+    /// together with its decoded posting list — sequential enumeration
+    /// for compaction's shard export. Bypasses the postings LRU: an
+    /// export sweep would only churn it.
+    pub fn keyword_at(&self, idx: u64) -> Result<(String, Vec<Dewey>), PersistError> {
+        if idx >= self.header.keyword_count {
+            return Err(PersistError::Corrupt {
+                what: format!(
+                    "keyword index {idx} out of range (dictionary has {} entries)",
+                    self.header.keyword_count
+                ),
+            });
+        }
+        let entry_off = self.offset_entry(Section::KeywordOffsets, idx)?;
+        let mut cursor = self.cursor(Section::KeywordDict, entry_off)?;
+        let word = cursor.read_str()?;
+        let count = cursor.read_varint()?;
+        let run_off = cursor.read_varint()?;
+        let run_len = cursor.read_varint()?;
+        let postings = self.header.section(Section::Postings);
+        if run_off
+            .checked_add(run_len)
+            .is_none_or(|end| end > postings.len)
+        {
+            return Err(PersistError::Corrupt {
+                what: format!("postings run for {word:?} outside the postings section"),
+            });
+        }
+        let bytes = self
+            .pool
+            .read_at(postings.offset + run_off, run_len as usize)?;
+        let mut pos = 0;
+        let deweys = crate::codec::get_postings(&bytes, &mut pos)?;
+        if deweys.len() as u64 != count {
+            return Err(PersistError::Corrupt {
+                what: format!(
+                    "postings run for {word:?} decodes {} codes, dictionary says {count}",
+                    deweys.len()
+                ),
+            });
+        }
+        Ok((word, deweys))
     }
 
     /// Verifies every section checksum by streaming the open index in

@@ -26,5 +26,5 @@ pub mod snapshot;
 pub mod tables;
 
 pub use partition::{partition, CorpusPart};
-pub use shred::shred;
+pub use shred::{shred, shred_document};
 pub use tables::{ElementRow, ShreddedDoc, ValueRow, WordSource};

@@ -72,6 +72,89 @@ pub fn shred(tree: &XmlTree) -> ShreddedDoc {
     doc
 }
 
+/// Shreds one standalone document *into* an existing corpus: rows come
+/// back re-addressed as the `ordinal`-th child of the corpus root
+/// (document root `0` becomes `0.<ordinal>`, levels shift down one,
+/// label paths gain the corpus root's label in front) and label ids are
+/// resolved against — extending, when a name is new — the shared
+/// corpus dictionary in `labels`.
+///
+/// This is the mutable-corpus insert path: appending these rows to the
+/// corpus tables yields exactly what re-shredding the whole corpus with
+/// the document spliced in would, because [`shred`] itself derives
+/// every row locally from the node and its root path (a sibling
+/// subtree never influences another's rows).
+#[must_use]
+pub fn shred_document(
+    tree: &XmlTree,
+    ordinal: u32,
+    corpus_root_label: u32,
+    labels: &mut Vec<String>,
+) -> (Vec<ElementRow>, Vec<ValueRow>) {
+    // Local label id -> shared corpus label id, find-or-append by name.
+    let label_map: Vec<u32> = tree
+        .labels()
+        .iter()
+        .map(|(_, name)| match labels.iter().position(|l| l == name) {
+            Some(idx) => idx as u32,
+            None => {
+                labels.push((*name).to_owned());
+                (labels.len() - 1) as u32
+            }
+        })
+        .collect();
+    let map = |local: u32| label_map[local as usize];
+    let redewey = |d: &xks_xmltree::Dewey| {
+        let comps = d.components();
+        let mut out = Vec::with_capacity(comps.len() + 1);
+        out.push(0);
+        out.push(ordinal);
+        out.extend_from_slice(&comps[1..]);
+        xks_xmltree::Dewey::from_components(out).to_string()
+    };
+
+    let features = subtree_features(tree);
+    let mut elements = Vec::with_capacity(tree.len());
+    let mut values = Vec::new();
+    for id in tree.preorder() {
+        let node = tree.node(id);
+        let dewey = redewey(&node.dewey);
+        let mut path = Vec::with_capacity(node.dewey.level() + 2);
+        path.push(corpus_root_label);
+        path.extend(label_path(tree, id).into_iter().map(map));
+        elements.push(ElementRow {
+            label: map(node.label.as_u32()),
+            dewey: dewey.clone(),
+            level: node.dewey.level() as u32 + 1,
+            label_path: path,
+            content_feature: features[id.index()].clone(),
+        });
+
+        let mut push_value = |source: WordSource, keyword: String| {
+            values.push(ValueRow {
+                label: map(node.label.as_u32()),
+                dewey: dewey.clone(),
+                source,
+                keyword,
+            });
+        };
+        for word in tokenize_filtered(tree.label_name(id)) {
+            push_value(WordSource::Label, word);
+        }
+        if let Some(text) = &node.text {
+            for word in tokenize_filtered(text) {
+                push_value(WordSource::Text, word);
+            }
+        }
+        for attr in &node.attributes {
+            for word in tokenize_filtered(&attr.name).chain(tokenize_filtered(&attr.value)) {
+                push_value(WordSource::Attribute(attr.name.clone()), word);
+            }
+        }
+    }
+    (elements, values)
+}
+
 /// Label ids on the path root → node, the paper's "label number sequence".
 fn label_path(tree: &XmlTree, id: NodeId) -> Vec<u32> {
     let mut path: Vec<u32> = tree
@@ -208,6 +291,50 @@ mod tests {
         let (min, max) = root.content_feature.clone().unwrap();
         assert!(min.as_str() <= "abstract");
         assert!(max.as_str() >= "xml");
+    }
+
+    #[test]
+    fn shred_document_matches_whole_corpus_shred() {
+        let combined = xks_xmltree::parse(
+            "<pubs><paper><title>alpha beta</title></paper>\
+             <note venue=\"gamma\">delta</note></pubs>",
+        )
+        .unwrap();
+        let oracle = shred(&combined);
+
+        // Rebuild the same corpus incrementally: empty root, then each
+        // document shredded standalone and spliced in at its ordinal.
+        let empty = shred(&xks_xmltree::parse("<pubs/>").unwrap());
+        let mut labels = empty.labels.clone();
+        let mut elements = empty.elements.clone();
+        let mut values = empty.values.clone();
+        for (ordinal, xml) in [
+            "<paper><title>alpha beta</title></paper>",
+            "<note venue=\"gamma\">delta</note>",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let tree = xks_xmltree::parse(xml).unwrap();
+            let (e, v) = shred_document(&tree, ordinal as u32, 0, &mut labels);
+            elements.extend(e);
+            values.extend(v);
+        }
+
+        assert_eq!(labels, oracle.labels);
+        assert_eq!(values, oracle.values);
+        assert_eq!(elements.len(), oracle.elements.len());
+        for (got, want) in elements.iter().zip(&oracle.elements) {
+            if want.dewey == "0" {
+                // The corpus root's subtree feature goes stale under
+                // incremental insert (and is never read by queries);
+                // everything else about the row must match.
+                assert_eq!(got.label, want.label);
+                assert_eq!(got.label_path, want.label_path);
+            } else {
+                assert_eq!(got, want);
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,16 @@ pub fn to_xml_compact(tree: &XmlTree) -> String {
     out
 }
 
+/// Serializes the subtree rooted at `id` compactly — the form the
+/// mutable-corpus path logs into its WAL, where each inserted document
+/// is one subtree of a generated or parsed corpus tree.
+#[must_use]
+pub fn to_xml_subtree(tree: &XmlTree, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(tree, id, 0, false, &mut out);
+    out
+}
+
 fn write_node(tree: &XmlTree, id: NodeId, depth: usize, pretty: bool, out: &mut String) {
     let node = tree.node(id);
     let label = tree.label_name(id);

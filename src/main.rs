@@ -13,6 +13,10 @@
 //! xks build-index <file.xml> <out.xks> [--page-size N]
 //! xks build-index <file.xml> <out.xksm> --shards N [--page-size N]
 //! xks index-stats <file.xks|file.xksm> [--format json|text]
+//! xks verify  --index <file.xks|file.xksm>
+//! xks insert  --corpus <dir> <file.xml> [--root <label>]
+//! xks delete  --corpus <dir> --doc <ordinal>
+//! xks compact --corpus <dir> [--shards N]
 //! ```
 //!
 //! Queries use the operator grammar: plain keywords, quoted
@@ -26,6 +30,14 @@
 //! decides, not the extension. Sharded corpora are searched with
 //! scatter-gather (`--shard-threads` caps the per-query fan-out);
 //! results are byte-identical either way.
+//!
+//! Mutable corpora (docs/DURABILITY.md): `insert`/`delete` append to a
+//! WAL-backed corpus *directory* (created on first insert), `compact`
+//! seals the accumulated delta into `.xks` shards, and `search
+//! --corpus <dir>` / `stats --corpus <dir>` query the live corpus —
+//! sealed base plus un-compacted delta — after crash recovery. `verify`
+//! streams the CRC verification of any index and exits non-zero on the
+//! first corrupt section.
 //!
 //! Observability (docs/OBSERVABILITY.md): `--trace` prints a per-stage
 //! breakdown of each query, `--trace-out` writes the same spans as a
@@ -44,7 +56,9 @@ use xks::core::executor::run_batch_stats;
 use xks::core::{RankWeights, SearchRequest, SearchResponse};
 use xks::index::Query;
 use xks::obs::{HistogramSnapshot, MetricSource, QueryTrace};
-use xks::persist::{IndexReader, IndexWriter, ShardedCorpus};
+use xks::persist::{
+    preregister_durability_metrics, IndexReader, IndexWriter, MutableCorpus, ShardedCorpus,
+};
 use xks::store::json::{self, Value};
 use xks::xmltree::{LabelId, XmlTree};
 
@@ -62,6 +76,10 @@ fn main() -> ExitCode {
         "shred" => cmd_shred(&args[1..]),
         "build-index" => cmd_build_index(&args[1..]),
         "index-stats" => cmd_index_stats(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "insert" => cmd_insert(&args[1..]),
+        "delete" => cmd_delete(&args[1..]),
+        "compact" => cmd_compact(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -89,12 +107,20 @@ const USAGE: &str = "usage:
   xks build-index <file.xml> <out.xks> [--page-size N]
   xks build-index <file.xml> <out.xksm> --shards N [--page-size N]
   xks index-stats <file.xks|file.xksm> [--format json|text]
+  xks verify  --index <file.xks|file.xksm>
+  xks insert  --corpus <dir> <file.xml> [--root <label>]
+  xks delete  --corpus <dir> --doc <ordinal>
+  xks compact --corpus <dir> [--shards N]
+  xks search  --corpus <dir> \"<query>\" [\"<query>\" ...] [same flags, no --xml]
+  xks stats   --corpus <dir> [--queries <queries.txt>] [same flags as stats --index]
 
 query grammar: plain keywords, \"quoted phrases\", -excluded, label:word
 (docs/API.md documents the grammar, the JSON output schemas, and the
 sharded index surface; --index sniffs the file magic, so a shard
 manifest from build-index --shards works everywhere a .xks does;
-docs/OBSERVABILITY.md covers --trace and the stats --index snapshot)";
+docs/OBSERVABILITY.md covers --trace and the stats --index snapshot;
+docs/DURABILITY.md covers the WAL-backed mutable corpus directories
+behind insert/delete/compact and their crash-recovery guarantees)";
 
 fn load_tree(path: &str) -> Result<XmlTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -220,30 +246,47 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
 
     // One or more query strings; several queries fan out over the
     // executor's worker threads (`--threads N`).
-    let (engine, query_args) = match flags.get_str("index") {
-        Some(index_file) => {
-            let queries = positional.as_slice();
-            if queries.is_empty() {
-                return Err(format!("search --index needs <query>\n{USAGE}"));
-            }
-            if as_xml {
-                return Err(
-                    "--xml needs the original document; shredded indexes keep only \
-                     keywords (drop --xml or search the .xml file)"
-                        .to_owned(),
-                );
-            }
-            let engine = open_index_engine(index_file, flags.get_usize("shard-threads")?)?;
-            (engine, queries)
+    let (engine, query_args) = if let Some(dir) = flags.get_str("corpus") {
+        let queries = positional.as_slice();
+        if queries.is_empty() {
+            return Err(format!("search --corpus needs <query>\n{USAGE}"));
         }
-        None => {
-            let [file, queries @ ..] = positional.as_slice() else {
-                return Err(format!("search needs <file.xml> and <query>\n{USAGE}"));
-            };
-            if queries.is_empty() {
-                return Err(format!("search needs <file.xml> and <query>\n{USAGE}"));
+        if as_xml {
+            return Err(
+                "--xml needs the original document; mutable corpora keep only \
+                 keywords (drop --xml)"
+                    .to_owned(),
+            );
+        }
+        let corpus = MutableCorpus::open(Path::new(dir))
+            .map_err(|e| format!("cannot open corpus {dir}: {e}"))?;
+        (SearchEngine::from_source(corpus.source() as _), queries)
+    } else {
+        match flags.get_str("index") {
+            Some(index_file) => {
+                let queries = positional.as_slice();
+                if queries.is_empty() {
+                    return Err(format!("search --index needs <query>\n{USAGE}"));
+                }
+                if as_xml {
+                    return Err(
+                        "--xml needs the original document; shredded indexes keep only \
+                     keywords (drop --xml or search the .xml file)"
+                            .to_owned(),
+                    );
+                }
+                let engine = open_index_engine(index_file, flags.get_usize("shard-threads")?)?;
+                (engine, queries)
             }
-            (SearchEngine::new(load_tree(file)?), queries)
+            None => {
+                let [file, queries @ ..] = positional.as_slice() else {
+                    return Err(format!("search needs <file.xml> and <query>\n{USAGE}"));
+                };
+                if queries.is_empty() {
+                    return Err(format!("search needs <file.xml> and <query>\n{USAGE}"));
+                }
+                (SearchEngine::new(load_tree(file)?), queries)
+            }
         }
     };
     let requests = build_requests(query_args, algo, top_k, ranked, traced)?;
@@ -750,6 +793,14 @@ fn response_json(
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
+    if let Some(dir) = flags.get_str("corpus") {
+        if let [extra, ..] = positional.as_slice() {
+            return Err(format!(
+                "stats --corpus takes no positional file (got {extra:?})\n{USAGE}"
+            ));
+        }
+        return cmd_stats_corpus(dir, &flags);
+    }
     if let Some(index_file) = flags.get_str("index") {
         if let [extra, ..] = positional.as_slice() {
             return Err(format!(
@@ -783,6 +834,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// process-wide registry (search/executor/lock metrics) merged with the
 /// index's own cache counters under the `index.` prefix.
 fn cmd_stats_index(index_file: &str, flags: &Flags) -> Result<(), String> {
+    // Durability counters are part of the documented snapshot even when
+    // no mutable corpus is involved — explicit zeros, not absence.
+    preregister_durability_metrics();
     let algo = parse_algo(flags)?;
     let top_k = flags.get_usize("top-k")?;
     let threads = flags.get_usize("threads")?.unwrap_or(1).max(1);
@@ -828,6 +882,35 @@ fn cmd_stats_index(index_file: &str, flags: &Flags) -> Result<(), String> {
         Collector::Mono(reader) => reader.collect_into("index.", &mut snap),
         Collector::Sharded(corpus) => corpus.collect_into("index.", &mut snap),
     }
+    println!("{}", snap.to_json());
+    Ok(())
+}
+
+/// `xks stats --corpus`: the mutable-corpus form of the live-metrics
+/// snapshot. Opening the corpus runs recovery, so the `recovery.*` and
+/// `wal.*` counters reflect what this open actually did; the corpus
+/// contributes its WAL/delta/tombstone gauges (and the sealed base's
+/// cache counters) under the `corpus.` prefix.
+fn cmd_stats_corpus(dir: &str, flags: &Flags) -> Result<(), String> {
+    let algo = parse_algo(flags)?;
+    let top_k = flags.get_usize("top-k")?;
+    let threads = flags.get_usize("threads")?.unwrap_or(1).max(1);
+    let corpus = MutableCorpus::open(Path::new(dir))
+        .map_err(|e| format!("cannot open corpus {dir}: {e}"))?;
+    if let Some(queries_file) = flags.get_str("queries") {
+        let lines = read_query_file(queries_file)?;
+        let requests = build_requests(&lines, algo, top_k, false, false)?;
+        if requests.is_empty() {
+            return Err(format!("{queries_file} holds no queries"));
+        }
+        let engine = SearchEngine::from_source(corpus.source() as _);
+        let (results, _) = run_batch_stats(&engine, &requests, threads);
+        for result in results {
+            result.map_err(|e| e.to_string())?;
+        }
+    }
+    let mut snap = xks::obs::global().snapshot();
+    corpus.collect_into("corpus.", &mut snap);
     println!("{}", snap.to_json());
     Ok(())
 }
@@ -1048,6 +1131,148 @@ fn cmd_index_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// -- durability commands ------------------------------------------------
+
+/// `xks verify --index`: stream the full CRC verification of a
+/// monolithic `.xks` or every shard of a `.xksm` corpus. Exits non-zero
+/// (via the `Err` path) on the first corrupt section, naming it.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let path = match (flags.get_str("index"), positional.as_slice()) {
+        (Some(p), []) => p.to_owned(),
+        (None, [p]) => p.clone(),
+        _ => {
+            return Err(format!(
+                "verify needs --index <file.xks|file.xksm>\n{USAGE}"
+            ))
+        }
+    };
+    if is_shard_manifest(&path)? {
+        let corpus = ShardedCorpus::open(Path::new(&path))
+            .map_err(|e| format!("{path}: verification FAILED: {e}"))?;
+        corpus
+            .verify()
+            .map_err(|e| format!("{path}: verification FAILED: {e}"))?;
+        let manifest = corpus.manifest();
+        println!(
+            "{path}: ok ({} shard(s), {} elements, {} keywords, every checksum verified)",
+            manifest.shards.len(),
+            manifest.total_elements,
+            manifest.total_keywords
+        );
+    } else {
+        let reader = IndexReader::open(Path::new(&path))
+            .map_err(|e| format!("{path}: verification FAILED: {e}"))?;
+        reader
+            .verify()
+            .map_err(|e| format!("{path}: verification FAILED: {e}"))?;
+        let stats = reader.stats();
+        println!(
+            "{path}: ok ({} elements, {} keywords, every checksum verified)",
+            stats.element_count, stats.keyword_count
+        );
+    }
+    Ok(())
+}
+
+/// Opens the mutable corpus in `dir`, creating it (root `<{root}/>`)
+/// when the directory holds no corpus yet and creation is allowed.
+fn open_or_create_corpus(
+    dir: &str,
+    root: Option<&str>,
+    create: bool,
+) -> Result<MutableCorpus, String> {
+    let path = Path::new(dir);
+    if MutableCorpus::exists(path) {
+        MutableCorpus::open(path).map_err(|e| format!("cannot open corpus {dir}: {e}"))
+    } else if create {
+        let root = root.unwrap_or("corpus");
+        eprintln!("creating new corpus in {dir} (root <{root}>)");
+        MutableCorpus::create(path, root).map_err(|e| format!("cannot create corpus {dir}: {e}"))
+    } else {
+        Err(format!("no corpus in {dir} (insert creates one)"))
+    }
+}
+
+/// `xks insert`: append one document to a WAL-backed corpus directory,
+/// creating the corpus on first use. The document is durable (framed,
+/// checksummed, fsynced) before the ordinal is reported.
+fn cmd_insert(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let Some(dir) = flags.get_str("corpus") else {
+        return Err(format!("insert needs --corpus <dir>\n{USAGE}"));
+    };
+    let [file] = positional.as_slice() else {
+        return Err(format!("insert needs <file.xml>\n{USAGE}"));
+    };
+    let xml = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let mut corpus = open_or_create_corpus(dir, flags.get_str("root"), true)?;
+    let ordinal = corpus
+        .insert_xml(xml.trim())
+        .map_err(|e| format!("cannot insert {file}: {e}"))?;
+    eprintln!(
+        "inserted document {ordinal} ({} WAL bytes durable, {} delta doc(s) pending compaction)",
+        corpus.wal_len(),
+        corpus.source().delta_doc_count()
+    );
+    Ok(())
+}
+
+/// `xks delete`: tombstone one document by ordinal. Durable in the WAL
+/// before this reports success; the ordinal is never reused.
+fn cmd_delete(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let Some(dir) = flags.get_str("corpus") else {
+        return Err(format!("delete needs --corpus <dir>\n{USAGE}"));
+    };
+    if let [extra, ..] = positional.as_slice() {
+        return Err(format!(
+            "delete takes no positional file (got {extra:?})\n{USAGE}"
+        ));
+    }
+    let Some(doc) = flags.get_usize("doc")? else {
+        return Err(format!("delete needs --doc <ordinal>\n{USAGE}"));
+    };
+    let ordinal = u32::try_from(doc).map_err(|_| "--doc too large".to_owned())?;
+    let mut corpus = open_or_create_corpus(dir, None, false)?;
+    corpus
+        .delete(ordinal)
+        .map_err(|e| format!("cannot delete document {ordinal}: {e}"))?;
+    eprintln!(
+        "deleted document {ordinal} ({} tombstone(s) pending compaction)",
+        corpus.source().tombstone_count()
+    );
+    Ok(())
+}
+
+/// `xks compact`: seal base + delta into a new generation of `.xks`
+/// shards, swap the manifest atomically, and reset the WAL.
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let Some(dir) = flags.get_str("corpus") else {
+        return Err(format!("compact needs --corpus <dir>\n{USAGE}"));
+    };
+    if let [extra, ..] = positional.as_slice() {
+        return Err(format!(
+            "compact takes no positional file (got {extra:?})\n{USAGE}"
+        ));
+    }
+    let shards = flags.get_usize("shards")?.unwrap_or(1).max(1);
+    let mut corpus = open_or_create_corpus(dir, None, false)?;
+    let summary = corpus
+        .compact(shards)
+        .map_err(|e| format!("compaction failed: {e}"))?;
+    eprintln!(
+        "sealed {} document(s) / {} element(s) into {} shard(s) (generation {}) -> {}",
+        summary.sealed_docs,
+        summary.total_elements,
+        summary.shard_count,
+        summary.generation,
+        summary.manifest_path.display()
+    );
+    Ok(())
+}
+
 // -- tiny flag parser ---------------------------------------------------
 
 struct Flags(Vec<(String, Option<String>)>);
@@ -1076,9 +1301,9 @@ impl Flags {
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
 /// values: `algo`, `limit`, `top`, `top-k`, `format`, `index`,
 /// `page-size`, `threads`, `queries`, `sweeps`, `shards`,
-/// `shard-threads`, `trace-out`.
+/// `shard-threads`, `trace-out`, `corpus`, `doc`, `root`.
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 13] = [
+    const VALUED: [&str; 16] = [
         "algo",
         "limit",
         "top",
@@ -1092,6 +1317,9 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         "shards",
         "shard-threads",
         "trace-out",
+        "corpus",
+        "doc",
+        "root",
     ];
     let mut positional = Vec::new();
     let mut flags = Vec::new();

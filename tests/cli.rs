@@ -836,6 +836,183 @@ fn index_stats_json_carries_metrics_section() {
 }
 
 #[test]
+fn mutable_corpus_lifecycle_through_the_cli() {
+    // insert (creates the directory) → search --corpus → delete →
+    // compact → verify → stats --corpus: the full durable lifecycle of
+    // docs/DURABILITY.md driven exactly as a user would drive it, with
+    // a process boundary (and therefore a crash recovery) between
+    // every step.
+    let dir = std::env::temp_dir().join("xks-cli-test-mutable");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus");
+    let doc_a = dir.join("a.xml");
+    let doc_b = dir.join("b.xml");
+    std::fs::write(&doc_a, "<paper><title>xml keyword search</title></paper>").unwrap();
+    std::fs::write(&doc_b, "<paper><title>skyline keyword</title></paper>").unwrap();
+
+    for (doc, ordinal) in [(&doc_a, "0"), (&doc_b, "1")] {
+        let out = xks()
+            .args(["insert", "--corpus"])
+            .arg(&corpus)
+            .arg(doc)
+            .args(["--root", "pubs"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Progress goes to stderr, like build-index.
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("inserted document {ordinal}")),
+            "{stderr}"
+        );
+    }
+
+    let hits = |query: &str| {
+        let out = xks()
+            .args(["search", "--corpus"])
+            .arg(&corpus)
+            .args([query, "--format", "json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+        value.get("results").unwrap().as_arr().unwrap()[0]
+            .get("hits")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len()
+    };
+    assert_eq!(hits("keyword"), 2);
+
+    let out = xks()
+        .args(["delete", "--corpus"])
+        .arg(&corpus)
+        .args(["--doc", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(hits("keyword"), 1, "tombstone filters the delta");
+    assert_eq!(hits("skyline"), 0);
+
+    let out = xks()
+        .args(["compact", "--corpus"])
+        .arg(&corpus)
+        .args(["--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("generation 1"), "{stderr}");
+    assert_eq!(hits("keyword"), 1, "the seal preserves query results");
+
+    // The sealed base passes streaming verification…
+    let out = xks()
+        .args(["verify", "--index"])
+        .arg(corpus.join("corpus.xksm"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+
+    // …and stats --corpus recovers, runs, and exports the durability
+    // counters alongside the corpus gauges.
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "keyword\n").unwrap();
+    let out = xks()
+        .args(["stats", "--corpus"])
+        .arg(&corpus)
+        .args(["--queries"])
+        .arg(&queries)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let counters = value.get("counters").unwrap();
+    for name in [
+        "wal.appends",
+        "wal.fsyncs",
+        "recovery.records_replayed",
+        "recovery.tail_truncated",
+        "compaction.runs",
+    ] {
+        assert!(counters.get(name).unwrap().as_u64().is_some(), "{name}");
+    }
+    let gauges = value.get("gauges").unwrap();
+    // Doc 1 was tombstoned *and* was the highest ordinal when the seal
+    // ran, so no trace of it survives compaction — its ordinal is
+    // legitimately reissuable and the high-water mark sits at 1.
+    assert_eq!(gauges.get("corpus.next_ordinal").unwrap().as_u64(), Some(1));
+    assert_eq!(gauges.get("corpus.delta_docs").unwrap().as_u64(), Some(0));
+}
+
+#[test]
+fn verify_detects_corruption_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join("xks-cli-test-verify");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("corpus.xml");
+    std::fs::write(&xml, "<r><a><t>alpha beta</t></a><b><t>gamma</t></b></r>").unwrap();
+    let index = dir.join("corpus.xks");
+    assert!(xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&index)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(xks()
+        .args(["verify", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // Flip one byte at the start of the first data section (the first
+    // page boundary past the header — byte 0 of the labels section;
+    // mid-file offsets can land in page-alignment slack no checksum
+    // covers). The streaming CRC check must fail and the exit code
+    // must say so.
+    let mut bytes = std::fs::read(&index).unwrap();
+    bytes[4096] ^= 0x40;
+    let broken = dir.join("broken.xks");
+    std::fs::write(&broken, &bytes).unwrap();
+    let out = xks()
+        .args(["verify", "--index"])
+        .arg(&broken)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "corruption must exit non-zero");
+    assert!(!out.stderr.is_empty(), "a diagnostic must name the failure");
+}
+
+#[test]
 fn build_index_shards_one_still_writes_a_manifest() {
     // --shards follows the flag, not an arithmetic accident: even a
     // computed shard count of 1 (or 0) must produce the manifest
