@@ -118,6 +118,22 @@ pub fn run_from_sets(
     run_from_sets_with_context(tree, sets, anchors, policy, timings, &mut ctx)
 }
 
+/// How [`anchor_stages`] computes anchors and the dispatch stream: the
+/// legacy full k-way merge, or the planner's rarest-first gallop
+/// (anchors via `xks_lca::gallop_elca`, dispatch stream via anchored
+/// extraction — proven anchor- and RTF-identical to the merge by the
+/// lca crate's differential tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AnchorExec {
+    /// Merge every posting list, then the stack pass (legacy path).
+    Merge,
+    /// Gallop from the rarest list (its index in query order).
+    Gallop {
+        /// Index of the driving (rarest) keyword list.
+        driver: usize,
+    },
+}
+
 /// `getLCA` + `getRTF` with shared buffers: merge the posting stream
 /// **once** into the context, compute anchors from it, dispatch keyword
 /// nodes over it. Returns the RTFs; anchors stay in `ctx.anchors`.
@@ -125,13 +141,20 @@ pub fn run_from_sets(
 pub(crate) fn anchor_stages(
     sets: &KeywordNodeSets,
     anchors: AnchorSemantics,
+    exec: AnchorExec,
     timings: &mut StageTimings,
     ctx: &mut QueryContext,
 ) -> Vec<Rtf> {
     let t = Instant::now();
-    match anchors {
-        AnchorSemantics::AllLca => elca_into_context(sets.sets(), ctx),
-        AnchorSemantics::SlcaOnly => slca_into_context(sets.sets(), ctx),
+    match (anchors, exec) {
+        (AnchorSemantics::AllLca, AnchorExec::Merge) => elca_into_context(sets.sets(), ctx),
+        (AnchorSemantics::SlcaOnly, AnchorExec::Merge) => slca_into_context(sets.sets(), ctx),
+        (AnchorSemantics::AllLca, AnchorExec::Gallop { driver }) => {
+            xks_lca::planned_elca_into_context(sets.sets(), driver, ctx);
+        }
+        (AnchorSemantics::SlcaOnly, AnchorExec::Gallop { .. }) => {
+            xks_lca::planned_slca_into_context(sets.sets(), ctx);
+        }
     }
     timings.get_lca = t.elapsed();
     ctx.trace.record_since(xks_obs::Stage::MergeAnchor, t);
@@ -155,7 +178,7 @@ pub fn run_from_sets_with_context(
     mut timings: StageTimings,
     ctx: &mut QueryContext,
 ) -> RunOutput {
-    let rtfs = anchor_stages(sets, anchors, &mut timings, ctx);
+    let rtfs = anchor_stages(sets, anchors, AnchorExec::Merge, &mut timings, ctx);
 
     let t = Instant::now();
     let raw: Vec<Fragment> = rtfs.iter().map(|r| Fragment::construct(tree, r)).collect();
@@ -217,7 +240,7 @@ pub fn run_from_sets_source_with_context(
     mut timings: StageTimings,
     ctx: &mut QueryContext,
 ) -> RunOutput {
-    let rtfs = anchor_stages(sets, anchors, &mut timings, ctx);
+    let rtfs = anchor_stages(sets, anchors, AnchorExec::Merge, &mut timings, ctx);
 
     let t = Instant::now();
     let raw: Vec<Fragment> = rtfs

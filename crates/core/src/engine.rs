@@ -9,9 +9,10 @@ use xks_index::{InvertedIndex, KeywordNodeSets, Query, QuerySpec};
 use xks_obs::{Counter, Histogram, Stage};
 use xks_xmltree::{Dewey, XmlTree};
 
-use crate::algorithms::{AnchorSemantics, StageTimings};
+use crate::algorithms::{AnchorExec, AnchorSemantics, StageTimings};
 use crate::fragment::Fragment;
 use crate::metrics::{effectiveness, Effectiveness};
+use crate::plan::{choose_driver, choose_strategy, PlanReport, PlanStrategy};
 use crate::prune::{prune_owned, Policy};
 use crate::rank::RankedFragment;
 use crate::request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
@@ -343,9 +344,13 @@ impl SearchEngine {
             Backend::Sharded { set, .. } if traced => {
                 resolve_traced(set.as_ref(), spec.query(), ctx)?
             }
-            Backend::Sharded { set, threads } => {
-                crate::shards::scatter_resolve(self, set, *threads, spec.query())?
-            }
+            Backend::Sharded { set, threads } => crate::shards::scatter_resolve(
+                self,
+                set,
+                *threads,
+                spec.query(),
+                &mut stats.shards_skipped,
+            )?,
         };
         timings.get_keyword_nodes = t0.elapsed();
         ctx.trace.record_since(Stage::Resolve, t0);
@@ -357,8 +362,42 @@ impl SearchEngine {
             return Ok(response);
         };
 
+        // Plan: pick the anchor-pass strategy from the resolved list
+        // lengths and the backend's sealed statistics (scalars only —
+        // the warm path stays allocation-free).
+        let t_plan = Instant::now();
+        let exec = self.plan_anchor_exec(&sets, &mut stats);
+        ctx.trace.record_since(Stage::Plan, t_plan);
+
         // getLCA + getRTF over the context's shared scratch buffers.
-        let rtfs = crate::algorithms::anchor_stages(&sets, kind.anchor(), &mut timings, ctx);
+        let rtfs = crate::algorithms::anchor_stages(&sets, kind.anchor(), exec, &mut timings, ctx);
+
+        // Top-k bound skip: when the request is a plain ranked top-k,
+        // construct fragments best-bound-first and never build the
+        // ones that provably miss the cut. Results are identical to
+        // the legacy construct-everything path (see
+        // `construct_bounded_topk`); only the work differs.
+        if let Some((k_limit, weights)) = self.topk_bound_gate(request, spec, traced) {
+            let t = Instant::now();
+            stats.total_before_top_k = rtfs.len();
+            stats.truncated = rtfs.len() > k_limit;
+            let hits = self.construct_bounded_topk(
+                &rtfs,
+                kind.policy(),
+                spec.query().len(),
+                k_limit,
+                &weights,
+                &mut stats,
+            )?;
+            timings.prune_rtf = t.elapsed();
+            self.metrics.observe(&timings, &stats, hits.len());
+            return Ok(SearchResponse {
+                hits,
+                timings,
+                stats,
+                trace: take_trace(ctx, traced),
+            });
+        }
 
         // pruneRTF — construct + prune, consuming the raw fragment so
         // no node payload is deep-cloned. Sharded backends fan the
@@ -467,6 +506,227 @@ impl SearchEngine {
             stats,
             trace: take_trace(ctx, traced),
         })
+    }
+
+    /// Chooses the anchor-pass execution — legacy k-way merge or the
+    /// planner's rarest-first gallop — from the resolved list lengths
+    /// and the backend's sealed statistics, recording the choice in
+    /// `stats`. Scalar-only on purpose: lengths land in a fixed stack
+    /// array (queries carry ≤ 64 keywords — the `KeySet` mask width),
+    /// so the warm path performs no allocation here.
+    fn plan_anchor_exec(&self, sets: &KeywordNodeSets, stats: &mut SearchStats) -> AnchorExec {
+        let lists = sets.sets();
+        let k = lists.len();
+        let mut lens = [0usize; 64];
+        for (slot, list) in lens.iter_mut().zip(lists) {
+            *slot = list.len();
+        }
+        stats.plan_postings = lists.iter().map(|l| l.len() as u64).sum();
+        if !(2..=64).contains(&k) {
+            return AnchorExec::Merge;
+        }
+        let lens = &lens[..k];
+        // Sealed means every term has authoritative stored statistics.
+        // The tree backend's in-memory index is authoritative by
+        // construction; sources answer per keyword (`None` = unknown,
+        // e.g. a mutable delta touched the term → whole query merges).
+        let all_sealed = match &self.backend {
+            Backend::Tree { .. } => true,
+            Backend::Source(source) => sets
+                .query()
+                .keywords()
+                .iter()
+                .all(|kw| source.keyword_stats(kw).is_some()),
+            Backend::Sharded { set, .. } => sets
+                .query()
+                .keywords()
+                .iter()
+                .all(|kw| set.keyword_stats(kw).is_some()),
+        };
+        match choose_strategy(lens, all_sealed) {
+            PlanStrategy::FullMerge => AnchorExec::Merge,
+            PlanStrategy::Gallop => {
+                let driver = choose_driver(lens);
+                stats.plan_strategy = PlanStrategy::Gallop;
+                stats.plan_driver = driver as u32;
+                AnchorExec::Gallop { driver }
+            }
+        }
+    }
+
+    /// Whether this request qualifies for bound-ordered top-k
+    /// construction (skipping fragments that provably miss the top k):
+    /// a ranked `top_k ≥ 1` over a plain query with no `max_fragments`
+    /// cap, untraced, on an unsharded backend (the scatter path keeps
+    /// its own fan-out), with non-negative weights summing above zero
+    /// (negative weights would invert the score bound). Returns the
+    /// limit and the effective weights.
+    fn topk_bound_gate(
+        &self,
+        request: &SearchRequest,
+        spec: &QuerySpec,
+        traced: bool,
+    ) -> Option<(usize, crate::rank::RankWeights)> {
+        if traced
+            || !spec.is_plain()
+            || request.max_fragments_cap().is_some()
+            || matches!(self.backend, Backend::Sharded { .. })
+        {
+            return None;
+        }
+        let k = request.top_k_limit().filter(|&k| k >= 1)?;
+        let weights = request.effective_weights()?;
+        let wsum = weights.specificity + weights.compactness + weights.density;
+        if weights.specificity < 0.0
+            || weights.compactness < 0.0
+            || weights.density < 0.0
+            || wsum <= 0.0
+        {
+            return None;
+        }
+        Some((k, weights))
+    }
+
+    /// Constructs + prunes + scores fragments in descending order of
+    /// their score **upper bound**, skipping every RTF whose bound
+    /// falls strictly below the current k-th best score once `k_limit`
+    /// fragments exist. Returns hits best-first, truncated to
+    /// `k_limit` — byte-identical to construct-everything-then-rank:
+    ///
+    /// * the bound uses the **global** `max_depth` over all RTF anchors
+    ///   (exactly [`crate::rank::rank`]'s normalizer, since every RTF
+    ///   becomes a fragment on the legacy path and anchors survive
+    ///   construction unchanged);
+    /// * specificity is exact, compactness is bounded by 1, density by
+    ///   the best per-node keyword share (pruning only removes nodes,
+    ///   and the average of shares never exceeds their maximum);
+    /// * the `1e-9` margin absorbs rounding differences between the
+    ///   bound expression and [`crate::rank::score_fragment`], so a
+    ///   skip implies a strictly lower true score — under the
+    ///   score-desc / index-asc tiebreak, no skipped fragment can
+    ///   displace a constructed one from the top k.
+    fn construct_bounded_topk(
+        &self,
+        rtfs: &[crate::rtf::Rtf],
+        policy: Policy,
+        k_query: usize,
+        k_limit: usize,
+        weights: &crate::rank::RankWeights,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Hit>, SearchError> {
+        let max_depth = rtfs
+            .iter()
+            .map(|r| r.anchor.level())
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64;
+        let wsum = weights.specificity + weights.compactness + weights.density;
+        let bound = |r: &crate::rtf::Rtf| -> f64 {
+            let specificity = r.anchor.level() as f64 / max_depth;
+            let density_max = r
+                .knodes
+                .iter()
+                .map(|(_, kset)| kset.len() as f64 / k_query.max(1) as f64)
+                .fold(0.0f64, f64::max);
+            (weights.specificity * specificity
+                + weights.compactness
+                + weights.density * density_max)
+                / wsum
+                + 1e-9
+        };
+        let mut order: Vec<(usize, f64)> = rtfs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, bound(r)))
+            .collect();
+        order.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+
+        // (original index, score, signals, fragment) of everything
+        // built; `top_scores` tracks the k best scores descending.
+        let mut built: Vec<(usize, f64, [f64; 3], Fragment)> = Vec::new();
+        let mut top_scores: Vec<f64> = Vec::with_capacity(k_limit);
+        for (i, ub) in order {
+            if top_scores.len() == k_limit && ub < top_scores[k_limit - 1] {
+                stats.rtfs_skipped_topk += 1;
+                continue;
+            }
+            let raw = match &self.backend {
+                Backend::Tree { tree, .. } => Fragment::construct(tree, &rtfs[i]),
+                Backend::Source(source) => {
+                    Fragment::try_construct_from_source(source.as_ref(), &rtfs[i])?
+                }
+                Backend::Sharded { .. } => {
+                    unreachable!("bounded top-k is gated off sharded backends")
+                }
+            };
+            let fragment = prune_owned(raw, policy);
+            let (score, signals) =
+                crate::rank::score_fragment(&fragment, k_query, weights, max_depth);
+            let pos = top_scores.partition_point(|&s| s >= score);
+            if pos < k_limit {
+                top_scores.insert(pos, score);
+                top_scores.truncate(k_limit);
+            }
+            built.push((i, score, signals, fragment));
+        }
+        built.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        built.truncate(k_limit);
+        Ok(built
+            .into_iter()
+            .map(|(_, score, signals, fragment)| Hit {
+                fragment,
+                score: Some(score),
+                signals: Some(signals),
+            })
+            .collect())
+    }
+
+    /// Explains how the planner would execute `request` against this
+    /// backend **without running it**: per-term postings/doc-frequency
+    /// statistics in rarest-first order, the gallop-vs-merge choice,
+    /// and per-term shard-filter skips (see [`PlanReport`] and the
+    /// `xks explain` CLI subcommand).
+    pub fn explain(&self, request: &SearchRequest) -> Result<PlanReport, SearchError> {
+        let query = request.query();
+        let report = match &self.backend {
+            Backend::Tree { index, .. } => {
+                let mut terms = Vec::with_capacity(query.len());
+                let mut lens = Vec::with_capacity(query.len());
+                for kw in query.keywords() {
+                    let postings = index.postings(kw);
+                    lens.push(postings.len());
+                    terms.push(crate::plan::TermPlan {
+                        keyword: kw.clone(),
+                        postings: postings.len() as u64,
+                        doc_freq: Some(crate::plan::doc_frequency(postings)),
+                        sealed: true,
+                        shards_skipped: 0,
+                    });
+                }
+                let strategy = choose_strategy(&lens, true);
+                terms.sort_by(|a, b| a.postings.cmp(&b.postings).then(a.keyword.cmp(&b.keyword)));
+                PlanReport {
+                    terms,
+                    strategy,
+                    shards: 0,
+                }
+            }
+            Backend::Source(source) => PlanReport::build(source.as_ref(), query, 0, |_| 0)?,
+            Backend::Sharded { set, .. } => {
+                PlanReport::build(set.as_ref(), query, set.shard_count() as u32, |kw| {
+                    set.shard_skips(kw)
+                })?
+            }
+        };
+        Ok(report)
     }
 
     /// Drops every fragment violating an operator constraint. Phrases
@@ -701,6 +961,10 @@ struct EngineMetrics {
     hits: Counter,
     truncated: Counter,
     filtered_out: Counter,
+    plan_gallop: Counter,
+    plan_full_merge: Counter,
+    plan_shards_skipped: Counter,
+    plan_topk_skipped: Counter,
     total_ns: Histogram,
     get_keyword_nodes_ns: Histogram,
     get_lca_ns: Histogram,
@@ -718,6 +982,10 @@ impl EngineMetrics {
             hits: registry.counter("search.hits"),
             truncated: registry.counter("search.truncated"),
             filtered_out: registry.counter("search.filtered_out"),
+            plan_gallop: registry.counter("plan.gallop"),
+            plan_full_merge: registry.counter("plan.full_merge"),
+            plan_shards_skipped: registry.counter("plan.shards_skipped"),
+            plan_topk_skipped: registry.counter("plan.topk_skipped"),
             total_ns: registry.histogram("search.total_ns"),
             get_keyword_nodes_ns: registry.histogram("search.get_keyword_nodes_ns"),
             get_lca_ns: registry.histogram("search.get_lca_ns"),
@@ -740,6 +1008,14 @@ impl EngineMetrics {
             self.truncated.inc();
         }
         self.filtered_out.add(stats.filtered_out as u64);
+        match stats.plan_strategy {
+            PlanStrategy::Gallop => self.plan_gallop.inc(),
+            PlanStrategy::FullMerge => self.plan_full_merge.inc(),
+        }
+        self.plan_shards_skipped
+            .add(u64::from(stats.shards_skipped));
+        self.plan_topk_skipped
+            .add(u64::from(stats.rtfs_skipped_topk));
         self.total_ns.record_duration(timings.total());
         self.get_keyword_nodes_ns
             .record_duration(timings.get_keyword_nodes);
@@ -1185,6 +1461,134 @@ mod tests {
         assert!(engine.execute(&req("rust async")).is_ok());
         let err = engine.execute(&req("rust async -chen")).unwrap_err();
         assert!(matches!(err, SearchError::Backend(_)), "{err}");
+    }
+
+    // ---- planner ------------------------------------------------------
+
+    /// A corpus where "rare" occurs once and "common" floods 40+ nodes
+    /// — enough skew for [`choose_strategy`] to pick the gallop.
+    fn skewed() -> XmlTree {
+        let mut xml = String::from("<lib>");
+        for i in 0..40 {
+            xml.push_str(&format!("<b><t>common w{i}</t></b>"));
+        }
+        xml.push_str("<b><t>common rare</t></b></lib>");
+        xks_xmltree::parse(&xml).unwrap()
+    }
+
+    /// A source with no sealed statistics: the default
+    /// `keyword_stats` (`None`) forces the planner onto the legacy
+    /// merge, giving an engine-level merge-vs-gallop differential.
+    #[derive(Debug)]
+    struct NoStats(MemoryCorpus);
+
+    impl CorpusSource for NoStats {
+        fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+            self.0.keyword_deweys(keyword)
+        }
+        fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+            self.0.element(dewey)
+        }
+        fn element_label(&self, dewey: &Dewey) -> Option<u32> {
+            self.0.element_label(dewey)
+        }
+        fn label_name(&self, label: u32) -> Option<String> {
+            self.0.label_name(label)
+        }
+        fn node_count(&self) -> usize {
+            self.0.node_count()
+        }
+    }
+
+    #[test]
+    fn planner_gallops_on_skew_and_matches_forced_merge() {
+        let tree = skewed();
+        let galloping = SearchEngine::new(tree.clone());
+        let merging =
+            SearchEngine::from_owned_source(NoStats(MemoryCorpus::new(xks_store::shred(&tree))));
+        for kind in [
+            AlgorithmKind::ValidRtf,
+            AlgorithmKind::MaxMatchRtf,
+            AlgorithmKind::MaxMatchSlca,
+        ] {
+            let g = galloping
+                .execute(&req("rare common").algorithm(kind))
+                .unwrap();
+            let m = merging
+                .execute(&req("rare common").algorithm(kind))
+                .unwrap();
+            assert_eq!(g.hits, m.hits, "{kind:?}");
+            assert_eq!(g.stats.plan_strategy, crate::plan::PlanStrategy::Gallop);
+            assert_eq!(g.stats.plan_driver, 0, "rare is the driver");
+            assert!(g.stats.plan_postings >= 41);
+            assert_eq!(m.stats.plan_strategy, crate::plan::PlanStrategy::FullMerge);
+        }
+    }
+
+    #[test]
+    fn uniform_lists_keep_the_merge_path() {
+        let engine = SearchEngine::new(publications());
+        // "liu" and "keyword" are both small lists — no 8× skew.
+        let r = engine.execute(&req("liu keyword")).unwrap();
+        assert_eq!(r.stats.plan_strategy, crate::plan::PlanStrategy::FullMerge);
+        assert!(r.stats.plan_postings > 0);
+    }
+
+    #[test]
+    fn bounded_topk_matches_full_ranking_and_skips() {
+        // Two deep tight fragments and 20 shallow ones: the deep pair
+        // fills the top 2 with score 1.0 and every shallow bound
+        // (spec 0.5 at best) falls strictly below — all 20 skipped.
+        let mut xml = String::from(
+            "<lib><x><y><z><t>common</t></z></y></x>\
+             <x><y><z><t>common</t></z></y></x>",
+        );
+        for _ in 0..20 {
+            xml.push_str("<b><t>common</t></b>");
+        }
+        xml.push_str("</lib>");
+        let engine = SearchEngine::new(xks_xmltree::parse(&xml).unwrap());
+        let full = engine
+            .execute(&req("common").weights(crate::rank::RankWeights::default()))
+            .unwrap();
+        let topk = engine.execute(&req("common").top_k(2)).unwrap();
+        assert_eq!(
+            topk.hits,
+            full.hits[..2].to_vec(),
+            "same top 2, same scores"
+        );
+        assert!(
+            topk.stats.rtfs_skipped_topk >= 20,
+            "skipped {}",
+            topk.stats.rtfs_skipped_topk
+        );
+        assert!(topk.stats.truncated);
+        assert_eq!(topk.stats.total_before_top_k, 22);
+        assert_eq!(full.stats.rtfs_skipped_topk, 0, "no top_k, no skipping");
+        // The traced run takes the legacy path and must agree.
+        let traced = engine.execute(&req("common").top_k(2).trace(true)).unwrap();
+        assert_eq!(traced.hits, topk.hits);
+        assert_eq!(traced.stats.rtfs_skipped_topk, 0);
+    }
+
+    #[test]
+    fn explain_reports_rarest_first_plan() {
+        let engine = SearchEngine::new(skewed());
+        let report = engine.explain(&req("common rare")).unwrap();
+        assert_eq!(report.strategy, crate::plan::PlanStrategy::Gallop);
+        assert_eq!(report.shards, 0);
+        assert_eq!(report.terms.len(), 2);
+        assert_eq!(report.terms[0].keyword, "rare", "rarest first");
+        assert_eq!(report.terms[0].postings, 1);
+        assert_eq!(report.terms[0].doc_freq, Some(1));
+        assert!(report.terms[0].sealed);
+        assert!(report.terms[1].postings >= 41);
+        // Same report through a sealed source backend.
+        let source =
+            SearchEngine::from_owned_source(MemoryCorpus::new(xks_store::shred(&skewed())));
+        let via_source = source.explain(&req("common rare")).unwrap();
+        assert_eq!(via_source.terms, report.terms);
+        assert_eq!(via_source.strategy, report.strategy);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod fragment;
 pub mod keyset;
 pub mod metrics;
 pub mod mutable;
+pub mod plan;
 pub mod prune;
 pub mod rank;
 pub mod request;
@@ -71,8 +72,11 @@ pub use fragment::Fragment;
 pub use keyset::KeySet;
 pub use metrics::{effectiveness, Effectiveness};
 pub use mutable::{MutableSource, MutationError};
+pub use plan::{
+    choose_driver, choose_strategy, KeywordFilter, KeywordStats, PlanReport, PlanStrategy, TermPlan,
+};
 pub use prune::{prune, prune_owned, Policy};
-pub use rank::{rank, RankWeights, RankedFragment};
+pub use rank::{rank, score_fragment, RankWeights, RankedFragment};
 pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
 pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};
 pub use scratch::{QueryContext, QueryScratch};

@@ -425,6 +425,20 @@ impl CorpusSource for MutableSource {
         state.base.as_ref().and_then(|b| b.element(dewey))
     }
 
+    fn keyword_stats(&self, keyword: &str) -> Option<crate::plan::KeywordStats> {
+        // Sealed statistics exist only where the live overlay cannot
+        // have changed them: any tombstone may have removed base
+        // postings for any keyword, and a delta insert adds postings
+        // the base never counted. Either case returns `None` (unknown)
+        // so the planner falls back to the full merge — the mutable
+        // differential test pins that fallback's equivalence.
+        let state = self.read();
+        if !state.tombstones.is_empty() || state.delta_postings.contains_key(keyword) {
+            return None;
+        }
+        state.base.as_ref()?.keyword_stats(keyword)
+    }
+
     fn element_label(&self, dewey: &Dewey) -> Option<u32> {
         let state = self.read();
         if state.tombstoned(dewey) {
@@ -517,6 +531,49 @@ mod tests {
             .iter()
             .map(|h| h.fragment.render_source(source))
             .collect()
+    }
+
+    /// Sealed statistics go *unknown* — never stale — the moment the
+    /// live overlay could have changed them, so the planner falls back
+    /// to the full-merge path for delta-touched keywords.
+    #[test]
+    fn keyword_stats_unknown_once_overlay_touches_them() {
+        use crate::source::CorpusSource as _;
+        let base = MemoryCorpus::new(shred(
+            &xks_xmltree::parse("<pubs><paper><title>xml keyword search</title></paper></pubs>")
+                .unwrap(),
+        ));
+        let labels = (0..)
+            .map_while(|i| base.label_name(i))
+            .collect::<Vec<String>>();
+        assert!(base.keyword_stats("xml").is_some());
+        let src = MutableSource::from_base(std::sync::Arc::new(base), labels, 1);
+        // Untouched keywords delegate to the sealed base.
+        assert!(src.keyword_stats("xml").is_some());
+        assert_eq!(
+            src.keyword_stats("xml").unwrap().postings,
+            1,
+            "delegated base stats"
+        );
+        // A delta insert makes exactly the touched keywords unknown.
+        src.insert_xml("<paper><title>skyline xml</title></paper>")
+            .unwrap();
+        assert_eq!(src.keyword_stats("xml"), None, "delta-touched");
+        assert_eq!(src.keyword_stats("skyline"), None, "delta-touched");
+        assert!(src.keyword_stats("keyword").is_some(), "untouched");
+        // Any tombstone invalidates everything.
+        src.delete(0).unwrap();
+        assert_eq!(src.keyword_stats("keyword"), None);
+        // And the planner honors the fallback end-to-end.
+        let engine = SearchEngine::from_owned_source(src);
+        let r = engine
+            .execute(&SearchRequest::parse("skyline xml").unwrap())
+            .unwrap();
+        assert_eq!(
+            r.stats.plan_strategy,
+            crate::plan::PlanStrategy::FullMerge,
+            "unsealed stats force the merge path"
+        );
     }
 
     /// Insert-only interleaving: the mutable source must answer

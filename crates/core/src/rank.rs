@@ -55,6 +55,46 @@ pub struct RankedFragment {
     pub signals: [f64; 3],
 }
 
+/// Scores one fragment against a **global** depth normalizer — the
+/// maximum anchor level over the whole candidate set, `.max(1)`, as a
+/// float. Factored out of [`rank`] so the engine's top-k bound path
+/// scores fragments one at a time with bit-identical arithmetic;
+/// passing a `max_depth` computed over a *subset* of the candidates
+/// changes scores and breaks that equivalence.
+#[must_use]
+pub fn score_fragment(
+    f: &Fragment,
+    k: usize,
+    weights: &RankWeights,
+    max_depth: f64,
+) -> (f64, [f64; 3]) {
+    let specificity = f.anchor.level() as f64 / max_depth;
+
+    let keyword_nodes = f.iter().filter(|n| n.is_keyword).count().max(1);
+    // 1.0 when every node is a keyword node; decays with glue.
+    let compactness = keyword_nodes as f64 / f.len() as f64;
+
+    // Average share of the query each keyword node matches.
+    let density = f
+        .iter()
+        .filter(|n| n.is_keyword)
+        .map(|n| n.kset.len() as f64 / k.max(1) as f64)
+        .sum::<f64>()
+        / keyword_nodes as f64;
+
+    let signals = [specificity, compactness, density];
+    let wsum = weights.specificity + weights.compactness + weights.density;
+    let score = if wsum > 0.0 {
+        (weights.specificity * specificity
+            + weights.compactness * compactness
+            + weights.density * density)
+            / wsum
+    } else {
+        0.0
+    };
+    (score, signals)
+}
+
 /// Scores and sorts fragments, best first. `k` is the query keyword
 /// count. Ties break toward the earlier (document-order) fragment, so
 /// ranking is deterministic.
@@ -71,30 +111,7 @@ pub fn rank(fragments: &[Fragment], k: usize, weights: &RankWeights) -> Vec<Rank
         .iter()
         .enumerate()
         .map(|(index, f)| {
-            let specificity = f.anchor.level() as f64 / max_depth;
-
-            let keyword_nodes = f.iter().filter(|n| n.is_keyword).count().max(1);
-            // 1.0 when every node is a keyword node; decays with glue.
-            let compactness = keyword_nodes as f64 / f.len() as f64;
-
-            // Average share of the query each keyword node matches.
-            let density = f
-                .iter()
-                .filter(|n| n.is_keyword)
-                .map(|n| n.kset.len() as f64 / k.max(1) as f64)
-                .sum::<f64>()
-                / keyword_nodes as f64;
-
-            let signals = [specificity, compactness, density];
-            let wsum = weights.specificity + weights.compactness + weights.density;
-            let score = if wsum > 0.0 {
-                (weights.specificity * specificity
-                    + weights.compactness * compactness
-                    + weights.density * density)
-                    / wsum
-            } else {
-                0.0
-            };
+            let (score, signals) = score_fragment(f, k, weights, max_depth);
             RankedFragment {
                 index,
                 score,

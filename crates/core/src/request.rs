@@ -314,6 +314,21 @@ pub struct SearchStats {
     pub dropped_terms: Vec<String>,
     /// Query terms the parser rewrote, as `(raw, normalized)` pairs.
     pub normalized_terms: Vec<(String, String)>,
+    /// How the anchor pass ran: legacy full merge or rarest-first
+    /// gallop (see [`crate::plan`]). The full term order is available
+    /// via `SearchEngine::explain`.
+    pub plan_strategy: crate::plan::PlanStrategy,
+    /// Query-order index of the rarest keyword (the gallop driver;
+    /// 0 when the plan fell back to the full merge).
+    pub plan_driver: u32,
+    /// Total resolved postings across the query's keyword lists.
+    pub plan_postings: u64,
+    /// `(keyword × shard)` postings lookups skipped because a shard's
+    /// keyword filter proved the term absent (0 on unsharded backends).
+    pub shards_skipped: u32,
+    /// RTFs whose fragment was never built because its score upper
+    /// bound provably misses the requested `top_k`.
+    pub rtfs_skipped_topk: u32,
 }
 
 /// What a search returns: scored hits, per-stage timings, stats.

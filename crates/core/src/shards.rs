@@ -73,6 +73,12 @@ pub struct ShardSet {
     /// `i` owns; ranges are contiguous, so shard `i` ends where shard
     /// `i + 1` begins.
     first_docs: Vec<u32>,
+    /// Optional per-shard keyword filters (`filters[i]` covers shard
+    /// `i`'s vocabulary). Empty when the topology carries none; a
+    /// `None` entry means that one shard has no filter. Filters have
+    /// no false negatives, so a rejecting filter proves the shard's
+    /// postings list is empty and the scatter may skip the lookup.
+    filters: Vec<Option<crate::plan::KeywordFilter>>,
 }
 
 impl ShardSet {
@@ -107,7 +113,34 @@ impl ShardSet {
                 "shard range starts must be strictly increasing",
             ));
         }
-        Ok(ShardSet { shards, first_docs })
+        Ok(ShardSet {
+            shards,
+            first_docs,
+            filters: Vec::new(),
+        })
+    }
+
+    /// Builds a set like [`ShardSet::new`] and attaches per-shard
+    /// keyword filters (one entry per shard, `None` where a shard has
+    /// none). The scatter stage consults them to skip (keyword × shard)
+    /// lookups a filter proves empty; filters must therefore have **no
+    /// false negatives** over the shard's vocabulary or results will
+    /// silently lose postings.
+    pub fn with_filters(
+        shards: Vec<Arc<dyn CorpusSource>>,
+        first_docs: Vec<u32>,
+        filters: Vec<Option<crate::plan::KeywordFilter>>,
+    ) -> Result<Self, SourceError> {
+        let mut set = Self::new(shards, first_docs)?;
+        if filters.len() != set.shards.len() {
+            return Err(SourceError::new(format!(
+                "{} shards but {} keyword filters",
+                set.shards.len(),
+                filters.len()
+            )));
+        }
+        set.filters = filters;
+        Ok(set)
     }
 
     /// A single-shard set over any source (the degenerate topology —
@@ -117,6 +150,7 @@ impl ShardSet {
         ShardSet {
             shards: vec![shard],
             first_docs: vec![0],
+            filters: Vec::new(),
         }
     }
 
@@ -155,6 +189,27 @@ impl ShardSet {
     pub fn route(&self, dewey: &Dewey) -> &Arc<dyn CorpusSource> {
         &self.shards[self.owning_shard(dewey)]
     }
+
+    /// Whether shard `shard` can possibly hold postings for `keyword`.
+    /// `true` when the shard carries no filter (unknown ⇒ must probe);
+    /// `false` only on a filter rejection, which is a proof of absence.
+    #[must_use]
+    pub fn shard_may_contain(&self, shard: usize, keyword: &str) -> bool {
+        match self.filters.get(shard) {
+            Some(Some(filter)) => filter.may_contain(keyword),
+            _ => true,
+        }
+    }
+
+    /// How many of the set's shards prove (via their keyword filter)
+    /// that they hold no postings for `keyword` — the lookups the
+    /// scatter stage skips for this term.
+    #[must_use]
+    pub fn shard_skips(&self, keyword: &str) -> u32 {
+        (0..self.shards.len())
+            .filter(|&i| !self.shard_may_contain(i, keyword))
+            .count() as u32
+    }
 }
 
 impl CorpusSource for ShardSet {
@@ -180,6 +235,22 @@ impl CorpusSource for ShardSet {
 
     fn node_count(&self) -> usize {
         self.shards.iter().map(|s| s.node_count()).sum()
+    }
+
+    fn keyword_stats(&self, keyword: &str) -> Option<crate::plan::KeywordStats> {
+        // Sealed only when every shard knows its stats; one unknown
+        // shard makes the whole sum unknown. Filter-rejected shards
+        // contribute provable zeros without being probed.
+        let mut total = crate::plan::KeywordStats::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !self.shard_may_contain(i, keyword) {
+                continue;
+            }
+            let stats = shard.keyword_stats(keyword)?;
+            total.postings += stats.postings;
+            total.docs += stats.docs;
+        }
+        Some(total)
     }
 
     fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
@@ -264,25 +335,33 @@ fn scatter<T: Send>(
 /// the module docs for why that IS document order). Returns `None` when
 /// a keyword matches nothing in **any** shard — the same empty-result
 /// contract as unsharded resolution, even when individual shards lack
-/// the term.
+/// the term. Lookups a shard's keyword filter proves empty are skipped
+/// without touching the shard; `skipped` counts them (exactness is
+/// preserved because filters have no false negatives — a skipped lookup
+/// would have returned an empty list).
 pub(crate) fn scatter_resolve(
     engine: &SearchEngine,
     set: &ShardSet,
     threads: usize,
     query: &Query,
+    skipped: &mut u32,
 ) -> Result<Option<KeywordNodeSets>, SourceError> {
     let keywords = query.keywords();
     let shards = set.shards();
+    *skipped = keywords.iter().map(|kw| set.shard_skips(kw)).sum();
     let lists = scatter(
         engine,
         keywords.len() * shards.len(),
         threads,
         |i, ctx| -> Result<Vec<Dewey>, SourceError> {
-            let shard = &shards[i % shards.len()];
+            let shard_idx = i % shards.len();
             let keyword = &keywords[i / shards.len()];
+            if !set.shard_may_contain(shard_idx, keyword) {
+                return Ok(Vec::new());
+            }
             // Decode into the context's warm arena (reused across every
             // shard this worker visits), bypassing shard-shared caches.
-            shard.try_keyword_deweys_into(keyword, &mut ctx.postings)?;
+            shards[shard_idx].try_keyword_deweys_into(keyword, &mut ctx.postings)?;
             Ok(ctx.postings.to_deweys())
         },
     );
@@ -467,6 +546,112 @@ mod tests {
                 engine.execute(&ranked).unwrap().hits,
             );
         }
+    }
+
+    /// Shards the fixture with an exact per-shard keyword filter built
+    /// from each part's vocabulary.
+    fn sharded_filtered(parts: usize) -> (ShardSet, MemoryCorpus) {
+        let doc = shred(&publications());
+        let whole = MemoryCorpus::new(doc.clone());
+        let split = partition(&doc, parts);
+        let first_docs: Vec<u32> = split.iter().map(|p| p.first_doc).collect();
+        let filters: Vec<Option<crate::plan::KeywordFilter>> = split
+            .iter()
+            .map(|p| {
+                Some(crate::plan::KeywordFilter::from_keywords(
+                    p.doc.keyword_stats().map(|(kw, _)| kw),
+                ))
+            })
+            .collect();
+        let shards: Vec<Arc<dyn CorpusSource>> = split
+            .into_iter()
+            .map(|p| Arc::new(MemoryCorpus::new(p.doc)) as Arc<dyn CorpusSource>)
+            .collect();
+        (
+            ShardSet::with_filters(shards, first_docs, filters).unwrap(),
+            whole,
+        )
+    }
+
+    #[test]
+    fn keyword_filters_skip_shards_without_changing_results() {
+        use crate::request::SearchRequest;
+        let whole = crate::engine::SearchEngine::from_owned_source(MemoryCorpus::new(shred(
+            &publications(),
+        )));
+        for parts in [2, 3] {
+            let (set, _) = sharded_filtered(parts);
+            // "liu" lives in one document only: at least one shard's
+            // filter must prove it absent.
+            assert!(set.shard_skips("liu") > 0, "{parts} parts");
+            assert_eq!(set.shard_skips("unobtainium"), parts as u32);
+            let engine = crate::engine::SearchEngine::from_shard_set(set).with_scatter_threads(2);
+            for text in xks_xmltree::fixtures::PAPER_QUERIES {
+                let request = SearchRequest::parse(text).unwrap();
+                assert_eq!(
+                    whole.execute(&request).unwrap().hits,
+                    engine.execute(&request).unwrap().hits,
+                    "{text} ({parts} parts)"
+                );
+            }
+            let r = engine
+                .execute(&SearchRequest::parse("liu keyword").unwrap())
+                .unwrap();
+            assert!(r.stats.shards_skipped > 0, "skips surface in the stats");
+        }
+    }
+
+    #[test]
+    fn set_keyword_stats_sum_across_shards() {
+        let (set, whole) = sharded_filtered(3);
+        for kw in ["liu", "keyword", "xml", "unobtainium"] {
+            assert_eq!(
+                set.keyword_stats(kw),
+                whole.keyword_stats(kw),
+                "{kw}: sharded sum matches unsharded"
+            );
+        }
+        // A shard without stats makes the whole sum unknown.
+        let (plain, _) = sharded(2);
+        #[derive(Debug)]
+        struct Opaque(Arc<dyn CorpusSource>);
+        impl CorpusSource for Opaque {
+            fn keyword_deweys(&self, keyword: &str) -> Vec<Dewey> {
+                self.0.keyword_deweys(keyword)
+            }
+            fn element(&self, dewey: &Dewey) -> Option<SourceElement> {
+                self.0.element(dewey)
+            }
+            fn label_name(&self, label: u32) -> Option<String> {
+                self.0.label_name(label)
+            }
+            fn node_count(&self) -> usize {
+                self.0.node_count()
+            }
+        }
+        let mut shards = plain.shards().to_vec();
+        shards[1] = Arc::new(Opaque(Arc::clone(&shards[1])));
+        let mixed = ShardSet::new(shards, plain.first_docs().to_vec()).unwrap();
+        assert_eq!(mixed.keyword_stats("keyword"), None);
+    }
+
+    #[test]
+    fn filter_count_must_match_shard_count() {
+        let (set, _) = sharded(2);
+        assert!(ShardSet::with_filters(
+            set.shards().to_vec(),
+            set.first_docs().to_vec(),
+            vec![None]
+        )
+        .is_err());
+        let ok = ShardSet::with_filters(
+            set.shards().to_vec(),
+            set.first_docs().to_vec(),
+            vec![None, None],
+        )
+        .unwrap();
+        assert!(ok.shard_may_contain(0, "anything"), "no filter ⇒ probe");
+        assert_eq!(ok.shard_skips("anything"), 0);
     }
 
     #[test]

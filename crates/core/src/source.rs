@@ -115,6 +115,16 @@ pub trait CorpusSource: std::fmt::Debug + Send + Sync {
     /// Number of element nodes in the corpus.
     fn node_count(&self) -> usize;
 
+    /// Sealed selectivity statistics for `keyword`, `None` when the
+    /// backend has no sealed stats for it (the planner then falls back
+    /// to the full merge — see [`crate::plan`]). `Some` with zero
+    /// counts means the keyword is known absent. The default is
+    /// *unknown*, so existing backends stay on the legacy path until
+    /// they opt in.
+    fn keyword_stats(&self, _keyword: &str) -> Option<crate::plan::KeywordStats> {
+        None
+    }
+
     /// Resolves a query to its `D_1..D_k` keyword-node sets
     /// (`getKeywordNodes`); `None` when some keyword has no match.
     fn resolve(&self, query: &Query) -> Option<KeywordNodeSets> {
@@ -211,6 +221,9 @@ macro_rules! delegate_corpus_source {
             fn node_count(&self) -> usize {
                 (**self).node_count()
             }
+            fn keyword_stats(&self, keyword: &str) -> Option<crate::plan::KeywordStats> {
+                (**self).keyword_stats(keyword)
+            }
             fn resolve(&self, query: &Query) -> Option<KeywordNodeSets> {
                 (**self).resolve(query)
             }
@@ -256,6 +269,7 @@ pub struct MemoryCorpus {
     doc: ShreddedDoc,
     postings: HashMap<String, Vec<Dewey>>,
     elements: HashMap<Dewey, SourceElement>,
+    stats: HashMap<String, crate::plan::KeywordStats>,
 }
 
 impl MemoryCorpus {
@@ -287,10 +301,21 @@ impl MemoryCorpus {
                 (dewey, element)
             })
             .collect();
+        let stats = postings
+            .iter()
+            .map(|(kw, deweys)| {
+                let stats = crate::plan::KeywordStats {
+                    postings: deweys.len() as u64,
+                    docs: crate::plan::doc_frequency(deweys),
+                };
+                (kw.clone(), stats)
+            })
+            .collect();
         MemoryCorpus {
             doc,
             postings,
             elements,
+            stats,
         }
     }
 
@@ -348,6 +373,12 @@ impl CorpusSource for MemoryCorpus {
 
     fn node_count(&self) -> usize {
         self.doc.element_count()
+    }
+
+    fn keyword_stats(&self, keyword: &str) -> Option<crate::plan::KeywordStats> {
+        // In-memory postings are sealed by construction; absent
+        // keywords are known absent (zero stats), not unknown.
+        Some(self.stats.get(keyword).copied().unwrap_or_default())
     }
 }
 

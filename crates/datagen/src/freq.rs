@@ -185,6 +185,34 @@ pub fn sample_hubs(rng: &mut StdRng, blocks: usize, n: usize) -> Vec<usize> {
     hubs
 }
 
+/// Rank-frequency counts following a Zipf law: `count(r) ∝ r^-exponent`
+/// for ranks `1..=ranks`, scaled so the counts sum to roughly `total`
+/// (every rank keeps at least one occurrence).
+///
+/// `exponent = 0.0` is a uniform vocabulary; natural text sits near
+/// `1.0`; higher exponents concentrate the mass in the head. The head
+/// ranks become *stop words* — keywords so frequent that any query
+/// containing one degenerates to scanning their posting list under a
+/// k-way merge. That is exactly the adversarial regime the cost-based
+/// planner targets: pairing a head word with a tail word gives the
+/// rarest-first galloping intersection a posting-count ratio far above
+/// `validrtf::plan::GALLOP_MIN_RATIO`, while a uniform vocabulary
+/// (low exponent) keeps every list the same size and the planner on
+/// the merge path. See `PERFORMANCE.md` §"How the planner picks an
+/// order".
+#[must_use]
+pub fn zipf_counts(ranks: usize, total: u64, exponent: f64) -> Vec<u64> {
+    if ranks == 0 {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = (1..=ranks).map(|r| (r as f64).powf(-exponent)).collect();
+    let norm: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| (((w / norm) * total as f64).round() as u64).max(1))
+        .collect()
+}
+
 /// Scales a paper frequency by `scale`, with a floor of 5 occurrences:
 /// below that, queries containing the keyword degenerate to a single
 /// trivial fragment and stop exercising the pruning machinery at all
@@ -253,6 +281,24 @@ mod tests {
         assert_eq!(scaled(90, 1.0 / 50.0), 5);
         assert_eq!(scaled(12, 1.0 / 100.0), 5);
         assert_eq!(scaled(25840, 0.01), 258);
+    }
+
+    #[test]
+    fn zipf_counts_follow_the_exponent() {
+        // Uniform at exponent 0.
+        let uniform = zipf_counts(10, 1000, 0.0);
+        assert!(uniform.iter().all(|&c| c == 100), "{uniform:?}");
+
+        // Skewed: monotone non-increasing, head dominates, total is
+        // preserved to within rounding (+ the per-rank floor of 1).
+        let skewed = zipf_counts(100, 100_000, 1.2);
+        assert!(skewed.windows(2).all(|w| w[0] >= w[1]));
+        assert!(skewed[0] > 20 * skewed[50], "head must dominate the tail");
+        let total: u64 = skewed.iter().sum();
+        assert!((99_000..=101_000).contains(&total), "{total}");
+        assert!(skewed.iter().all(|&c| c >= 1));
+
+        assert!(zipf_counts(0, 100, 1.0).is_empty());
     }
 
     #[test]

@@ -102,9 +102,18 @@ pub fn merge_postings_into(sets: &[Vec<Dewey>], out: &mut Vec<(Dewey, u64)>) {
     for (i, list) in sets.iter().enumerate() {
         out.extend(list.iter().map(|d| (d.clone(), 1u64 << i)));
     }
+    sort_fold_masks(out);
+}
+
+/// Sorts a `(dewey, keyword-bitmask)` stream into document order and
+/// folds equal codes in place, OR-ing the masks of duplicates into
+/// their first occurrence. The tail of [`merge_postings_into`], shared
+/// with the planner's anchored extraction
+/// ([`crate::gallop::extract_anchored_into`]) so both paths fold masks
+/// identically.
+pub fn sort_fold_masks(out: &mut Vec<(Dewey, u64)>) {
     out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-    // Fold equal codes in place: `w` trails over the deduplicated
-    // prefix, OR-ing masks of duplicates into their first occurrence.
+    // `w` trails over the deduplicated prefix.
     let mut w = 0usize;
     for r in 1..out.len() {
         if out[r].0 == out[w].0 {

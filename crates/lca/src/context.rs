@@ -19,6 +19,7 @@ use xks_xmltree::{Dewey, DeweyListBuf};
 
 use crate::common::merge_postings_into;
 use crate::elca::{elca_from_merged, ElcaScratch};
+use crate::gallop::{extract_anchored_into, gallop_elca, GallopScratch};
 use crate::slca::indexed_lookup_eager_into;
 
 /// Working buffers reused across queries by **one thread** (or one
@@ -53,6 +54,10 @@ pub struct QueryContext {
     /// same scratch memory as visiting one and leaves each shard's
     /// shared postings cache untouched.
     pub postings: DeweyListBuf,
+    /// Scratch buffers for the planner's galloping anchor pass
+    /// ([`planned_elca_into_context`]); untouched on the legacy merge
+    /// path.
+    pub gallop: GallopScratch,
     /// Per-query stage tracer. Storage is inline (a fixed span array),
     /// so carrying it costs nothing when disarmed and recording into
     /// it allocates nothing when armed — the engine arms it for traced
@@ -106,6 +111,35 @@ pub fn slca_into_context(sets: &[Vec<Dewey>], ctx: &mut QueryContext) {
     indexed_lookup_eager_into(sets, &mut ctx.anchors);
 }
 
+/// Planned form of [`elca_into_context`]: computes the same ELCA
+/// anchors by galloping from the `driver` (rarest) list
+/// ([`gallop_elca`]) and rebuilds `ctx.merged` restricted to the
+/// anchors' subtrees ([`extract_anchored_into`]) — the only nodes
+/// `getRTF` keeps anyway, so downstream results are byte-identical to
+/// the merge path.
+pub fn planned_elca_into_context(sets: &[Vec<Dewey>], driver: usize, ctx: &mut QueryContext) {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        ctx.merged.clear();
+        ctx.anchors.clear();
+        return;
+    }
+    gallop_elca(sets, driver, &mut ctx.gallop, &mut ctx.anchors);
+    extract_anchored_into(sets, &ctx.anchors, &mut ctx.merged);
+}
+
+/// Planned form of [`slca_into_context`]: the SLCA anchors already come
+/// from a binary-search driven lookup, so only the merge is replaced by
+/// the anchored extraction.
+pub fn planned_slca_into_context(sets: &[Vec<Dewey>], ctx: &mut QueryContext) {
+    if sets.is_empty() || sets.iter().any(Vec::is_empty) {
+        ctx.merged.clear();
+        ctx.anchors.clear();
+        return;
+    }
+    indexed_lookup_eager_into(sets, &mut ctx.anchors);
+    extract_anchored_into(sets, &ctx.anchors, &mut ctx.merged);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +180,37 @@ mod tests {
         slca_into_context(&sets(), &mut ctx);
         slca_into_context(&[vec![d("0.1")], vec![]], &mut ctx);
         assert!(ctx.anchors.is_empty() && ctx.merged.is_empty());
+    }
+
+    #[test]
+    fn planned_forms_match_legacy_forms() {
+        let sets = sets();
+        let mut legacy = QueryContext::new();
+        let mut planned = QueryContext::new();
+
+        elca_into_context(&sets, &mut legacy);
+        for driver in 0..sets.len() {
+            planned_elca_into_context(&sets, driver, &mut planned);
+            assert_eq!(planned.anchors, legacy.anchors, "driver {driver}");
+            // Every under-anchor node of the legacy merge survives with
+            // an identical mask; the planned stream has nothing else.
+            let filtered: Vec<(Dewey, u64)> = legacy
+                .merged
+                .iter()
+                .filter(|(node, _)| legacy.anchors.iter().any(|a| a.is_ancestor_or_self(node)))
+                .cloned()
+                .collect();
+            assert_eq!(planned.merged, filtered);
+        }
+
+        slca_into_context(&sets, &mut legacy);
+        planned_slca_into_context(&sets, &mut planned);
+        assert_eq!(planned.anchors, legacy.anchors);
+
+        planned_elca_into_context(&[], 0, &mut planned);
+        assert!(planned.anchors.is_empty() && planned.merged.is_empty());
+        planned_slca_into_context(&[vec![d("0.1")], vec![]], &mut planned);
+        assert!(planned.anchors.is_empty() && planned.merged.is_empty());
     }
 
     #[test]

@@ -31,11 +31,18 @@
 pub mod common;
 pub mod context;
 pub mod elca;
+pub mod gallop;
 pub mod naive;
 pub mod rmq;
 pub mod slca;
 
-pub use common::{merge_postings, merge_postings_into, push_frontier, remove_ancestors};
-pub use context::{elca_into_context, slca_into_context, QueryContext};
+pub use common::{
+    merge_postings, merge_postings_into, push_frontier, remove_ancestors, sort_fold_masks,
+};
+pub use context::{
+    elca_into_context, planned_elca_into_context, planned_slca_into_context, slca_into_context,
+    QueryContext,
+};
 pub use elca::{elca_candidate_rmq, elca_from_merged, elca_stack, ElcaScratch};
+pub use gallop::{extract_anchored_into, gallop_elca, GallopScratch};
 pub use slca::{indexed_lookup_eager, indexed_lookup_eager_into, scan_eager};

@@ -5,7 +5,10 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 use xks_lca::naive::{naive_elca, naive_slca};
-use xks_lca::{elca_candidate_rmq, elca_stack, indexed_lookup_eager, scan_eager};
+use xks_lca::{
+    elca_candidate_rmq, elca_stack, extract_anchored_into, gallop_elca, indexed_lookup_eager,
+    merge_postings, scan_eager, GallopScratch,
+};
 use xks_xmltree::Dewey;
 
 /// Builds a random tree from parent-choice bytes: node 0 is the root;
@@ -81,6 +84,87 @@ proptest! {
         let sets = keyword_sets(&nodes, &marks, k);
         prop_assume!(sets.iter().all(|s| !s.is_empty()));
         prop_assert_eq!(elca_candidate_rmq(&sets), naive_elca(&sets));
+    }
+
+    #[test]
+    fn gallop_agrees_with_merge_for_every_driver(
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+        marks in prop::collection::vec(any::<u8>(), 1..61),
+        k in 2usize..5,
+    ) {
+        // The planner's galloping intersection must produce the exact
+        // ELCA anchor set of the full k-way merge — for ANY driver
+        // list, not just the rarest one the planner picks — and its
+        // anchored extraction must keep exactly the merged postings
+        // that fall inside some anchor's subtree (the only ones
+        // `getRTF` dispatches).
+        let nodes = random_tree(&choices);
+        let sets = keyword_sets(&nodes, &marks, k);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let expected = elca_stack(&sets);
+        let mut scratch = GallopScratch::default();
+        let mut anchors = Vec::new();
+        for driver in 0..sets.len() {
+            gallop_elca(&sets, driver, &mut scratch, &mut anchors);
+            prop_assert_eq!(&anchors, &expected, "driver {} diverges", driver);
+        }
+        let mut extracted = Vec::new();
+        extract_anchored_into(&sets, &expected, &mut extracted);
+        let anchored: Vec<(Dewey, u64)> = merge_postings(&sets)
+            .into_iter()
+            .filter(|(d, _)| expected.iter().any(|a| a.is_ancestor_or_self(d)))
+            .collect();
+        prop_assert_eq!(extracted, anchored);
+    }
+
+    #[test]
+    fn gallop_handles_disjoint_and_identical_lists(
+        choices in prop::collection::vec(any::<u8>(), 1..60),
+        k in 2usize..5,
+        seed in any::<u8>(),
+    ) {
+        let nodes = random_tree(&choices);
+        let mut scratch = GallopScratch::default();
+        let mut anchors = Vec::new();
+
+        // Fully-overlapping: every list identical. ELCAs = the nodes
+        // themselves (each node covers all keywords at itself).
+        let mut shared: Vec<Dewey> = nodes.iter()
+            .skip((seed as usize) % nodes.len())
+            .cloned().collect();
+        shared.sort();
+        shared.dedup();
+        prop_assume!(!shared.is_empty());
+        let identical: Vec<Vec<Dewey>> = vec![shared.clone(); k];
+        let expected = elca_stack(&identical);
+        for driver in 0..k {
+            gallop_elca(&identical, driver, &mut scratch, &mut anchors);
+            prop_assert_eq!(&anchors, &expected, "identical lists, driver {}", driver);
+        }
+
+        // Disjoint: round-robin the nodes across k lists. Anchors can
+        // only sit at common ancestors; both algorithms must agree.
+        let mut disjoint: Vec<Vec<Dewey>> = vec![Vec::new(); k];
+        for (i, d) in nodes.iter().enumerate() {
+            disjoint[i % k].push(d.clone());
+        }
+        for list in &mut disjoint {
+            list.sort();
+            list.dedup();
+        }
+        prop_assume!(disjoint.iter().all(|s| !s.is_empty()));
+        let expected = elca_stack(&disjoint);
+        for driver in 0..k {
+            gallop_elca(&disjoint, driver, &mut scratch, &mut anchors);
+            prop_assert_eq!(&anchors, &expected, "disjoint lists, driver {}", driver);
+        }
+
+        // Empty input: any empty list means no anchors from either.
+        let mut with_empty = disjoint;
+        with_empty[0].clear();
+        gallop_elca(&with_empty, 1, &mut scratch, &mut anchors);
+        prop_assert!(anchors.is_empty());
+        prop_assert!(elca_stack(&with_empty).is_empty());
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub enum Stage {
     Parse,
     /// Whole keyword-resolution stage (`getKeywordNodes`).
     Resolve,
+    /// Cost-based plan selection (term ordering, gallop-vs-merge).
+    Plan,
     /// One keyword's postings lookup/decode within resolution.
     PostingsDecode,
     /// Posting-list merge plus anchor computation (`getLCA`).
@@ -55,6 +57,7 @@ impl Stage {
         match self {
             Stage::Parse => "parse",
             Stage::Resolve => "resolve",
+            Stage::Plan => "plan",
             Stage::PostingsDecode => "postings_decode",
             Stage::MergeAnchor => "merge_anchor",
             Stage::RtfDispatch => "rtf_dispatch",

@@ -20,8 +20,14 @@ use crate::error::PersistError;
 /// File magic: "XKSP" (Xml Keyword Search, Paged).
 pub const MAGIC: [u8; 4] = *b"XKSP";
 
-/// Format version this build reads and writes.
-pub const VERSION: u16 = 1;
+/// Format version this build writes by default. Version 2 appends a
+/// per-keyword document-frequency varint to each keyword-dict entry
+/// (planner statistics); version 1 files (no stored stats) remain fully
+/// readable, with stats derived lazily from the postings on demand.
+pub const VERSION: u16 = 2;
+
+/// Oldest format version this build still reads.
+pub const MIN_VERSION: u16 = 1;
 
 /// Default page size for writer and buffer pool.
 pub const DEFAULT_PAGE_SIZE: u32 = 4096;
@@ -101,6 +107,10 @@ pub const HEADER_LEN: usize = 4 + 2 + 2 + 4 + 8 + 8 + 8 + SECTION_COUNT * SECTIO
 /// The decoded header of an `.xks` file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
+    /// Format version of the file ([`MIN_VERSION`]..=[`VERSION`]).
+    /// Determines the keyword-dict entry layout (v2 stores per-keyword
+    /// document frequencies; v1 does not).
+    pub version: u16,
     /// Page size used for alignment and the buffer pool.
     pub page_size: u32,
     /// Number of element rows.
@@ -127,7 +137,7 @@ impl Header {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes()); // reserved
         out.extend_from_slice(&self.page_size.to_le_bytes());
         out.extend_from_slice(&self.element_count.to_le_bytes());
@@ -156,7 +166,7 @@ impl Header {
             return Err(PersistError::BadMagic { found: magic });
         }
         let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sliced 2"));
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion { found: version });
         }
         let stored_crc = u32::from_le_bytes(
@@ -181,6 +191,7 @@ impl Header {
             pos += SECTION_ENTRY_LEN;
         }
         Ok(Header {
+            version,
             page_size,
             element_count,
             keyword_count,
@@ -214,6 +225,7 @@ mod tests {
             s.crc = 0xAB00 + i as u32;
         }
         Header {
+            version: VERSION,
             page_size: 4096,
             element_count: 12,
             keyword_count: 34,
@@ -238,6 +250,15 @@ mod tests {
             Header::decode(&bytes),
             Err(PersistError::BadMagic { .. })
         ));
+    }
+
+    #[test]
+    fn v1_headers_still_decode() {
+        let mut h = header();
+        h.version = 1;
+        let decoded = Header::decode(&h.encode()).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(decoded.version, 1);
     }
 
     #[test]

@@ -466,6 +466,10 @@ impl MutableCorpus {
                     element_count: summary.element_count,
                     keyword_count: summary.keyword_count,
                     file_len: summary.file_len,
+                    postings_total: part.doc.keyword_stats().map(|(_, n)| n as u64).sum(),
+                    keyword_filter: Some(validrtf::plan::KeywordFilter::from_keywords(
+                        part.doc.keyword_stats().map(|(kw, _)| kw),
+                    )),
                 });
             }
             Ok(())

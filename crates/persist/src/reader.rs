@@ -16,6 +16,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use validrtf::plan::KeywordStats;
 use validrtf::source::{CorpusSource, SourceElement, SourceError};
 use xks_xmltree::{Dewey, DeweyListBuf};
 
@@ -471,6 +472,14 @@ impl IndexReader {
         self.header.keyword_count
     }
 
+    /// On-disk format version of the opened file (see
+    /// [`crate::format::VERSION`]). v2 files carry document
+    /// frequencies in the dictionary; v1 files derive them on demand.
+    #[must_use]
+    pub fn format_version(&self) -> u16 {
+        self.header.version
+    }
+
     /// The decoded posting run for `keyword` as a shared flat arena
     /// (empty when the keyword is absent). Runs decode into a
     /// [`DeweyListBuf`] — one components vector + offsets instead of
@@ -508,7 +517,13 @@ impl IndexReader {
         buf: &mut DeweyListBuf,
     ) -> Result<usize, PersistError> {
         buf.clear();
-        let Some((_, count, run_off, run_len)) = self.find_keyword(keyword)? else {
+        let Some(DictEntry {
+            count,
+            run_off,
+            run_len,
+            ..
+        }) = self.find_keyword(keyword)?
+        else {
             return Ok(0);
         };
         let postings = self.header.section(Section::Postings);
@@ -534,6 +549,42 @@ impl IndexReader {
             });
         }
         Ok(buf.len())
+    }
+
+    /// Sealed selectivity statistics for `keyword`. On format-v2 files
+    /// the document frequency comes straight from the dictionary entry
+    /// (one binary search, no postings read); on v1 files it is derived
+    /// on demand from the decoded posting run (served by the postings
+    /// LRU, so repeats are free). Absent keywords yield zero stats.
+    pub fn keyword_stats(&self, keyword: &str) -> Result<KeywordStats, PersistError> {
+        match self.find_keyword(keyword)? {
+            None => Ok(KeywordStats::default()),
+            Some(DictEntry {
+                count,
+                doc_freq: Some(df),
+                ..
+            }) => Ok(KeywordStats {
+                postings: count,
+                docs: df,
+            }),
+            Some(DictEntry { count, .. }) => {
+                // v1 file: derive the document frequency lazily.
+                let run = self.keyword_postings(keyword)?;
+                let mut df = 0u64;
+                let mut last: Option<Option<u32>> = None;
+                for comps in run.iter() {
+                    let doc = comps.get(1).copied();
+                    if last != Some(doc) {
+                        df += 1;
+                        last = Some(doc);
+                    }
+                }
+                Ok(KeywordStats {
+                    postings: count,
+                    docs: df,
+                })
+            }
+        }
     }
 
     /// The element row for a Dewey code, `None` when absent. Binary
@@ -685,9 +736,9 @@ impl IndexReader {
         Ok(u64::from_le_bytes(bytes[..8].try_into().expect("read 8")))
     }
 
-    /// Binary search in the keyword dictionary; returns
-    /// `(entry_offset, posting_count, run_offset, run_len)`.
-    fn find_keyword(&self, keyword: &str) -> Result<Option<(u64, u64, u64, u64)>, PersistError> {
+    /// Binary search in the keyword dictionary; the document frequency
+    /// is stored from format v2 on, `None` for v1 files.
+    fn find_keyword(&self, keyword: &str) -> Result<Option<DictEntry>, PersistError> {
         let mut lo = 0u64;
         let mut hi = self.header.keyword_count;
         while lo < hi {
@@ -700,7 +751,17 @@ impl IndexReader {
                     let count = cursor.read_varint()?;
                     let run_off = cursor.read_varint()?;
                     let run_len = cursor.read_varint()?;
-                    return Ok(Some((entry_off, count, run_off, run_len)));
+                    let doc_freq = if self.header.version >= 2 {
+                        Some(cursor.read_varint()?)
+                    } else {
+                        None
+                    };
+                    return Ok(Some(DictEntry {
+                        count,
+                        run_off,
+                        run_len,
+                        doc_freq,
+                    }));
                 }
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
@@ -722,6 +783,15 @@ impl IndexReader {
             end: entry.offset + entry.len,
         })
     }
+}
+
+/// One decoded keyword-dictionary entry: posting count, the posting
+/// run's offset/length, and (v2 files only) the document frequency.
+struct DictEntry {
+    count: u64,
+    run_off: u64,
+    run_len: u64,
+    doc_freq: Option<u64>,
 }
 
 /// Sequential decoder over one section, pulling bytes through the pool.
@@ -891,6 +961,12 @@ impl CorpusSource for IndexReader {
         self.header.element_count as usize
     }
 
+    fn keyword_stats(&self, keyword: &str) -> Option<KeywordStats> {
+        // An I/O failure degrades to "no sealed stats" (legacy merge
+        // path) rather than surfacing an error mid-planning.
+        IndexReader::keyword_stats(self, keyword).ok()
+    }
+
     // The fallible family routes every PersistError (I/O, truncation,
     // checksum, corruption) into a typed SourceError, keeping the
     // engine's execute path panic-free on any backend failure.
@@ -1007,6 +1083,61 @@ mod tests {
             .unwrap()
             .is_none());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_index_reads_identically_with_derived_stats() {
+        // Write the same corpus at format v1 (no dictionary document
+        // frequencies) and v2: every lookup must agree, and
+        // `keyword_stats` on v1 must derive the df that v2 stores.
+        let v1_path = temp_path("compat-v1.xks");
+        let v2_path = temp_path("compat-v2.xks");
+        IndexWriter::new()
+            .with_format_version(1)
+            .unwrap()
+            .write_tree(&publications(), &v1_path)
+            .unwrap();
+        IndexWriter::new()
+            .write_tree(&publications(), &v2_path)
+            .unwrap();
+        let v1 = IndexReader::open(&v1_path).unwrap();
+        let v2 = IndexReader::open(&v2_path).unwrap();
+        assert_eq!(v1.format_version(), 1);
+        assert_eq!(v2.format_version(), 2);
+
+        // v1 open stays as lazy as v2: header + labels only.
+        assert_eq!(v1.stats().pool.pages_read, 0);
+
+        let doc = shred(&publications());
+        let mut keywords: Vec<&str> = doc.keyword_stats().map(|(kw, _)| kw).collect();
+        keywords.push("unobtainium");
+        for kw in keywords {
+            assert_eq!(
+                v1.try_keyword_deweys(kw).unwrap(),
+                v2.try_keyword_deweys(kw).unwrap(),
+                "{kw}: postings differ across format versions"
+            );
+            assert_eq!(
+                v1.keyword_stats(kw).unwrap(),
+                v2.keyword_stats(kw).unwrap(),
+                "{kw}: derived v1 stats differ from stored v2 stats"
+            );
+        }
+        for row in &doc.elements {
+            let dewey: Dewey = row.dewey.parse().unwrap();
+            assert_eq!(
+                v1.try_element(&dewey).unwrap(),
+                v2.try_element(&dewey).unwrap()
+            );
+        }
+        v1.verify().unwrap();
+        v2.verify().unwrap();
+
+        // Out-of-range versions are rejected at the writer.
+        assert!(IndexWriter::new().with_format_version(0).is_err());
+        assert!(IndexWriter::new().with_format_version(3).is_err());
+        std::fs::remove_file(&v1_path).unwrap();
+        std::fs::remove_file(&v2_path).unwrap();
     }
 
     #[test]

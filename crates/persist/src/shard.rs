@@ -40,8 +40,16 @@ use crate::writer::{IndexWriter, WriteSummary};
 /// Manifest magic: "XKSM" (Xml Keyword Search, Manifest).
 pub const MANIFEST_MAGIC: [u8; 4] = *b"XKSM";
 
-/// Manifest format version this build reads and writes.
-pub const MANIFEST_VERSION: u16 = 1;
+/// Manifest format version this build writes. Version 2 appends
+/// per-shard planner statistics to each entry: the shard's total
+/// posting count and a keyword Bloom filter
+/// ([`validrtf::plan::KeywordFilter`]) that lets scatter-gather skip
+/// `(keyword, shard)` probes for shards a keyword provably misses.
+/// Version 1 manifests (no stats, no filters) remain readable.
+pub const MANIFEST_VERSION: u16 = 2;
+
+/// Oldest manifest version this build still reads.
+pub const MANIFEST_MIN_VERSION: u16 = 1;
 
 /// Conventional file extension of a shard manifest.
 pub const MANIFEST_EXT: &str = "xksm";
@@ -62,6 +70,14 @@ pub struct ShardEntry {
     pub keyword_count: u64,
     /// Shard file length in bytes, as written.
     pub file_len: u64,
+    /// Total postings (keyword-node occurrences) in the shard.
+    /// Zero on entries decoded from v1 manifests.
+    pub postings_total: u64,
+    /// Bloom filter over the shard's keyword vocabulary — `false`
+    /// from `may_contain` proves the shard has no postings for a
+    /// keyword. `None` on entries decoded from v1 manifests (no
+    /// skipping possible).
+    pub keyword_filter: Option<validrtf::plan::KeywordFilter>,
 }
 
 /// The decoded shard manifest: corpus-wide totals plus one
@@ -99,6 +115,14 @@ impl ShardManifest {
             put_varint(&mut out, shard.element_count);
             put_varint(&mut out, shard.keyword_count);
             put_varint(&mut out, shard.file_len);
+            // v2 planner stats: postings total + keyword filter words
+            // (0 words = no filter).
+            put_varint(&mut out, shard.postings_total);
+            let words = shard.keyword_filter.as_ref().map_or(&[][..], |f| f.words());
+            put_varint(&mut out, words.len() as u64);
+            for w in words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -121,7 +145,7 @@ impl ShardManifest {
             return Err(PersistError::BadMagic { found: magic });
         }
         let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sliced 2"));
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion { found: version });
         }
         let body = &bytes[..bytes.len() - 4];
@@ -156,6 +180,36 @@ impl ShardManifest {
             let element_count = get_varint(body, &mut pos)?;
             let keyword_count = get_varint(body, &mut pos)?;
             let file_len = get_varint(body, &mut pos)?;
+            let (postings_total, keyword_filter) = if version >= 2 {
+                let postings_total = get_varint(body, &mut pos)?;
+                let word_count = get_varint(body, &mut pos)? as usize;
+                let filter = if word_count == 0 {
+                    None
+                } else {
+                    if word_count > body.len().saturating_sub(pos) / 8 {
+                        return Err(PersistError::Truncated {
+                            what: "shard manifest keyword filter",
+                        });
+                    }
+                    let mut words = Vec::with_capacity(word_count);
+                    for _ in 0..word_count {
+                        words.push(u64::from_le_bytes(
+                            body[pos..pos + 8].try_into().expect("sliced 8"),
+                        ));
+                        pos += 8;
+                    }
+                    Some(
+                        validrtf::plan::KeywordFilter::from_words(words).ok_or_else(|| {
+                            PersistError::Corrupt {
+                                what: format!("shard {i} has an invalid keyword-filter size"),
+                            }
+                        })?,
+                    )
+                };
+                (postings_total, filter)
+            } else {
+                (0, None)
+            };
             if file_name.is_empty() || file_name.contains(['/', '\\']) {
                 return Err(PersistError::Corrupt {
                     what: format!("shard {i} has invalid file name {file_name:?}"),
@@ -168,6 +222,8 @@ impl ShardManifest {
                 element_count,
                 keyword_count,
                 file_len,
+                postings_total,
+                keyword_filter,
             });
         }
         if shards[0].first_doc != 0 {
@@ -248,6 +304,10 @@ pub fn write_sharded(
     for (i, part) in parts.iter().enumerate() {
         let file_name = shard_file_name(manifest_path, i);
         let summary = writer.write(&part.doc, &dir.join(&file_name))?;
+        let postings_total = part.doc.keyword_stats().map(|(_, n)| n as u64).sum();
+        let keyword_filter = Some(validrtf::plan::KeywordFilter::from_keywords(
+            part.doc.keyword_stats().map(|(kw, _)| kw),
+        ));
         entries.push(ShardEntry {
             file_name,
             first_doc: part.first_doc,
@@ -255,6 +315,8 @@ pub fn write_sharded(
             element_count: summary.element_count,
             keyword_count: summary.keyword_count,
             file_len: summary.file_len,
+            postings_total,
+            keyword_filter,
         });
         per_shard.push(summary);
     }
@@ -319,12 +381,21 @@ impl ShardedCorpus {
             }
             readers.push(Arc::new(reader));
         }
-        let set = ShardSet::new(
+        // v2 manifests carry per-shard keyword filters: wire them into
+        // the set so scatter-gather can skip (keyword, shard) probes a
+        // filter proves empty. v1 entries decode to `None` (no filter,
+        // always probed) — same results, no skipping.
+        let set = ShardSet::with_filters(
             readers
                 .iter()
                 .map(|r| Arc::clone(r) as Arc<dyn CorpusSource>)
                 .collect(),
             manifest.shards.iter().map(|s| s.first_doc).collect(),
+            manifest
+                .shards
+                .iter()
+                .map(|s| s.keyword_filter.clone())
+                .collect(),
         )
         .map_err(|e| PersistError::Corrupt {
             what: format!("manifest topology rejected: {e}"),
@@ -415,6 +486,10 @@ impl CorpusSource for ShardedCorpus {
         self.manifest.total_elements as usize
     }
 
+    fn keyword_stats(&self, keyword: &str) -> Option<validrtf::plan::KeywordStats> {
+        self.set.keyword_stats(keyword)
+    }
+
     fn try_keyword_deweys(&self, keyword: &str) -> Result<Vec<Dewey>, SourceError> {
         self.set.try_keyword_deweys(keyword)
     }
@@ -461,6 +536,80 @@ mod tests {
             summary.total_file_len(),
             summary.per_shard.iter().map(|s| s.file_len).sum::<u64>()
         );
+    }
+
+    /// Re-encodes a manifest in the v1 layout: same fixed header with
+    /// `version = 1`, entries stopping after the `file_len` varint (no
+    /// planner-stats tail), trailing CRC-32.
+    fn encode_v1(manifest: &ShardManifest) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(manifest.shards.len() as u32).to_le_bytes());
+        out.extend_from_slice(&manifest.total_elements.to_le_bytes());
+        out.extend_from_slice(&manifest.total_keywords.to_le_bytes());
+        out.extend_from_slice(&manifest.label_count.to_le_bytes());
+        for shard in &manifest.shards {
+            put_str(&mut out, &shard.file_name);
+            out.extend_from_slice(&shard.first_doc.to_le_bytes());
+            put_varint(&mut out, shard.doc_count);
+            put_varint(&mut out, shard.element_count);
+            put_varint(&mut out, shard.keyword_count);
+            put_varint(&mut out, shard.file_len);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v1_manifest_still_opens_without_filters() {
+        let (summary, path) = write_publications("v1-compat", 2);
+
+        // Decode of hand-built v1 bytes: topology intact, planner
+        // stats absent (zero postings, no filter).
+        let v1_bytes = encode_v1(&summary.manifest);
+        let decoded = ShardManifest::decode(&v1_bytes).unwrap();
+        assert_eq!(decoded.total_elements, summary.manifest.total_elements);
+        assert_eq!(decoded.shards.len(), summary.manifest.shards.len());
+        for (v1, v2) in decoded.shards.iter().zip(&summary.manifest.shards) {
+            assert_eq!(v1.file_name, v2.file_name);
+            assert_eq!(v1.first_doc, v2.first_doc);
+            assert_eq!(v1.element_count, v2.element_count);
+            assert_eq!(v1.postings_total, 0);
+            assert_eq!(v1.keyword_filter, None);
+            assert!(v2.keyword_filter.is_some());
+            assert!(v2.postings_total > 0);
+        }
+
+        // A corpus opened through the v1 manifest answers identically
+        // to the v2 one — no filters just means no shard skipping.
+        let v2_corpus = ShardedCorpus::open(&path).unwrap();
+        std::fs::write(&path, &v1_bytes).unwrap();
+        let v1_corpus = ShardedCorpus::open(&path).unwrap();
+        let set = v1_corpus.shard_set();
+        for kw in ["liu", "keyword", "xml", "unobtainium"] {
+            assert_eq!(set.shard_skips(kw), 0, "{kw}: v1 manifest has no filters");
+            assert_eq!(
+                v1_corpus.keyword_deweys(kw),
+                v2_corpus.keyword_deweys(kw),
+                "{kw}"
+            );
+            // Per-shard stats come from the shard readers, not the
+            // manifest, so the planner still sees sealed stats.
+            assert_eq!(
+                v1_corpus.keyword_stats(kw),
+                v2_corpus.keyword_stats(kw),
+                "{kw}"
+            );
+        }
+        let engine = validrtf::engine::SearchEngine::from_shard_set(set);
+        let response = engine
+            .execute(&validrtf::SearchRequest::parse("liu keyword").unwrap())
+            .unwrap();
+        assert_eq!(response.hits.len(), 2);
+        assert_eq!(response.stats.shards_skipped, 0);
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "search" => cmd_search(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -98,6 +99,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   xks search  <file.xml> \"<query>\" [\"<query>\" ...] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--limit N] [--xml] [--rank] [--threads N] [--trace] [--trace-out <trace.json>]
   xks search  --index <file.xks|file.xksm> \"<query>\" [\"<query>\" ...] [same flags, no --xml] [--shard-threads N]
+  xks explain \"<query>\" --index <file.xks|file.xksm> [--algo valid|maxmatch|slca] [--format json|text]
+  xks explain <file.xml> \"<query>\" [same flags]
+  xks explain \"<query>\" --corpus <dir> [same flags]
   xks bench   --index <file.xks|file.xksm> --queries <queries.txt> [--threads N] [--sweeps N] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--shard-threads N]
   xks bench   <file.xml> --queries <queries.txt> [same flags]
   xks compare <file.xml> \"<query>\" [--format json|text]
@@ -322,6 +326,115 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             "{}",
             json::to_string(&Value::Obj(obj([("results", Value::Arr(json_results),)])))
         );
+    }
+    Ok(())
+}
+
+/// `xks explain`: show the query plan — rarest-first term order,
+/// per-term selectivity, chosen intersection strategy, shard skips —
+/// without executing the query.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let algo = parse_algo(&flags)?;
+    let format = Format::from_flags(&flags)?;
+
+    let (engine, query_text) = if let Some(dir) = flags.get_str("corpus") {
+        let [query] = positional.as_slice() else {
+            return Err(format!("explain --corpus needs one <query>\n{USAGE}"));
+        };
+        let corpus = MutableCorpus::open(Path::new(dir))
+            .map_err(|e| format!("cannot open corpus {dir}: {e}"))?;
+        (SearchEngine::from_source(corpus.source() as _), query)
+    } else if let Some(index_file) = flags.get_str("index") {
+        let [query] = positional.as_slice() else {
+            return Err(format!("explain --index needs one <query>\n{USAGE}"));
+        };
+        let engine = open_index_engine(index_file, flags.get_usize("shard-threads")?)?;
+        (engine, query)
+    } else {
+        let [file, query] = positional.as_slice() else {
+            return Err(format!("explain needs <file.xml> and <query>\n{USAGE}"));
+        };
+        (SearchEngine::new(load_tree(file)?), query)
+    };
+
+    let request = SearchRequest::parse(query_text)
+        .map_err(|e| format!("{e} (in query {query_text:?})"))?
+        .algorithm(algo);
+    let report = engine.explain(&request).map_err(|e| e.to_string())?;
+
+    match format {
+        Format::Json => {
+            let terms: Vec<Value> = report
+                .terms
+                .iter()
+                .map(|t| {
+                    Value::Obj(obj([
+                        ("keyword", Value::Str(t.keyword.clone())),
+                        ("postings", Value::Num(t.postings)),
+                        ("doc_freq", t.doc_freq.map_or(Value::Null, Value::Num)),
+                        ("sealed", Value::Bool(t.sealed)),
+                        ("shards_skipped", Value::Num(u64::from(t.shards_skipped))),
+                    ]))
+                })
+                .collect();
+            println!(
+                "{}",
+                json::to_string(&Value::Obj(obj([
+                    ("query", Value::Str(request.spec().to_string())),
+                    ("algorithm", Value::Str(algo_name(algo).to_owned())),
+                    ("strategy", Value::Str(report.strategy.as_str().to_owned())),
+                    ("shards", Value::Num(u64::from(report.shards))),
+                    ("terms", Value::Arr(terms)),
+                ])))
+            );
+        }
+        Format::Text => {
+            println!(
+                "plan for {:?} — strategy {}, {} term(s){}",
+                request.spec().to_string(),
+                report.strategy.as_str(),
+                report.terms.len(),
+                if report.shards > 0 {
+                    format!(", {} shard(s)", report.shards)
+                } else {
+                    String::new()
+                }
+            );
+            if let Some(driver) = report.terms.first() {
+                if report.strategy == xks::core::PlanStrategy::Gallop {
+                    println!(
+                        "driver: {:?} (rarest term anchors the gallop)",
+                        driver.keyword
+                    );
+                }
+            }
+            for (i, t) in report.terms.iter().enumerate() {
+                let df = t.doc_freq.map_or_else(|| "?".to_owned(), |d| d.to_string());
+                let sealed = if t.sealed { "sealed" } else { "unsealed" };
+                let skips = if report.shards > 0 {
+                    format!("  skips {}/{} shard(s)", t.shards_skipped, report.shards)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  {}. {:<20} postings={:<8} docs={:<8} {}{}",
+                    i + 1,
+                    t.keyword,
+                    t.postings,
+                    df,
+                    sealed,
+                    skips
+                );
+            }
+            if report.strategy == xks::core::PlanStrategy::FullMerge {
+                println!(
+                    "note: full k-way merge (gallop needs ≥2 terms, sealed stats, and a \
+                     {}× rarest-to-total skew)",
+                    xks::core::plan::GALLOP_MIN_RATIO
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -772,6 +885,19 @@ fn response_json(
                             })
                             .collect(),
                     ),
+                ),
+                (
+                    "plan_strategy",
+                    Value::Str(stats.plan_strategy.as_str().to_owned()),
+                ),
+                ("plan_postings", Value::Num(stats.plan_postings)),
+                (
+                    "shards_skipped",
+                    Value::Num(u64::from(stats.shards_skipped)),
+                ),
+                (
+                    "rtfs_skipped_topk",
+                    Value::Num(u64::from(stats.rtfs_skipped_topk)),
                 ),
             ])),
         ),

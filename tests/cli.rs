@@ -505,21 +505,120 @@ fn sharded_index_matches_monolithic_through_the_cli() {
         results
             .iter()
             .map(|r| {
+                // `shards_skipped` is honestly backend-dependent —
+                // only the scatter-gather path can skip filtered
+                // shards — so it is asserted separately, not in the
+                // byte-equality check.
+                let mut stats = r.get("stats").unwrap().clone();
+                let skipped = match &mut stats {
+                    xks::store::json::Value::Obj(map) => map.remove("shards_skipped").unwrap(),
+                    other => panic!("stats is not an object: {other:?}"),
+                };
                 (
                     xks::store::json::to_string(r.get("hits").unwrap()),
-                    xks::store::json::to_string(r.get("stats").unwrap()),
+                    xks::store::json::to_string(&stats),
+                    xks::store::json::to_string(&skipped),
                 )
             })
             .collect::<Vec<_>>()
     };
     let mono_out = run(&mono, &[]);
     assert_eq!(mono_out.len(), 2, "one result per query");
-    assert_eq!(mono_out, run(&manifest, &[]), "default fan-out");
+    let sharded_out = run(&manifest, &[]);
+    for ((m_hits, m_stats, m_skipped), (s_hits, s_stats, _)) in mono_out.iter().zip(&sharded_out) {
+        assert_eq!(m_hits, s_hits, "default fan-out hits");
+        assert_eq!(m_stats, s_stats, "default fan-out stats");
+        assert_eq!(m_skipped, "0", "monolithic index never skips shards");
+    }
     assert_eq!(
-        mono_out,
+        sharded_out,
         run(&manifest, &["--shard-threads", "2"]),
         "explicit fan-out"
     );
+}
+
+#[test]
+fn explain_reports_the_plan_on_text_and_json() {
+    let dir = std::env::temp_dir().join("xks-cli-test-explain");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("skew.xml");
+    // 20 "common" occurrences vs 1 "rare": enough skew for the
+    // planner to pick the galloping strategy with "rare" driving.
+    let mut doc = String::from("<lib>");
+    for i in 0..20 {
+        doc.push_str(&format!("<b><t>common w{i}</t></b>"));
+    }
+    doc.push_str("<b><t>common rare</t></b></lib>");
+    std::fs::write(&xml, doc).unwrap();
+    let index = dir.join("skew.xks");
+    let out = xks()
+        .args(["build-index"])
+        .arg(&xml)
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = xks()
+        .args(["explain", "common rare", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("strategy gallop"), "{text}");
+    assert!(text.contains("driver: \"rare\""), "{text}");
+    // Rarest-first: "rare" must be listed before "common".
+    let rare_at = text.find("1. rare").expect("rare listed first");
+    let common_at = text.find("2. common").expect("common second");
+    assert!(rare_at < common_at, "{text}");
+
+    let out = xks()
+        .args(["explain", "common rare", "--index"])
+        .arg(&index)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let value = xks::store::json::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(
+        value.get("strategy").unwrap(),
+        &xks::store::json::Value::Str("gallop".to_owned())
+    );
+    let terms = value.get("terms").unwrap().as_arr().unwrap();
+    assert_eq!(terms.len(), 2);
+    assert_eq!(
+        terms[0].get("keyword").unwrap(),
+        &xks::store::json::Value::Str("rare".to_owned())
+    );
+    assert_eq!(
+        terms[0].get("postings").unwrap(),
+        &xks::store::json::Value::Num(1)
+    );
+    assert_eq!(
+        terms[0].get("doc_freq").unwrap(),
+        &xks::store::json::Value::Num(1)
+    );
+    assert_eq!(
+        terms[0].get("sealed").unwrap(),
+        &xks::store::json::Value::Bool(true)
+    );
+
+    // A uniform query on the same index keeps the merge path and the
+    // text output says why.
+    let out = xks()
+        .args(["explain", "w1 w2", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("strategy full-merge"), "{text}");
+    assert!(text.contains("note: full k-way merge"), "{text}");
 }
 
 #[test]
