@@ -15,7 +15,7 @@ use crate::metrics::{effectiveness, Effectiveness};
 use crate::plan::{choose_driver, choose_strategy, PlanReport, PlanStrategy};
 use crate::prune::{prune_owned, Policy};
 use crate::rank::RankedFragment;
-use crate::request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
+use crate::request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats, SearchTimeout};
 use crate::scratch::QueryContext;
 use crate::shards::ShardSet;
 use crate::source::CorpusSource;
@@ -325,6 +325,15 @@ impl SearchEngine {
         };
         let mut timings = StageTimings::default();
 
+        // Deadline hook: requests carrying a deadline are checked
+        // between stages (never mid-stage, so a check costs one
+        // `Instant::now()` and only when a deadline exists). A request
+        // that was queued past its budget dies here before touching
+        // storage.
+        let deadline = request.deadline();
+        let exec_start = Instant::now();
+        self.check_deadline(deadline, exec_start, "resolve", &stats)?;
+
         // getKeywordNodes — the one stage that touches cold storage
         // (scattered across shards on sharded backends; the recorded
         // timing is the wall clock of the whole fan-out). Traced
@@ -362,6 +371,8 @@ impl SearchEngine {
             return Ok(response);
         };
 
+        self.check_deadline(deadline, exec_start, "anchor", &stats)?;
+
         // Plan: pick the anchor-pass strategy from the resolved list
         // lengths and the backend's sealed statistics (scalars only —
         // the warm path stays allocation-free).
@@ -371,6 +382,7 @@ impl SearchEngine {
 
         // getLCA + getRTF over the context's shared scratch buffers.
         let rtfs = crate::algorithms::anchor_stages(&sets, kind.anchor(), exec, &mut timings, ctx);
+        self.check_deadline(deadline, exec_start, "construct", &stats)?;
 
         // Top-k bound skip: when the request is a plain ranked top-k,
         // construct fragments best-bound-first and never build the
@@ -452,6 +464,7 @@ impl SearchEngine {
             }
         }
         timings.prune_rtf = t.elapsed();
+        self.check_deadline(deadline, exec_start, "post_process", &stats)?;
 
         // Everything past the paper's pipeline is timed as the
         // post-process stage: the operator filters (whose exclusion
@@ -506,6 +519,33 @@ impl SearchEngine {
             stats,
             trace: take_trace(ctx, traced),
         })
+    }
+
+    /// The between-stage deadline check: free for requests without a
+    /// deadline, one `Instant::now()` otherwise. An expired deadline
+    /// becomes a typed [`SearchError::Timeout`] carrying the stats
+    /// accumulated so far (partial — enough for a server's `503` body)
+    /// and bumps the global `search.deadline_exceeded` counter.
+    fn check_deadline(
+        &self,
+        deadline: Option<Instant>,
+        started: Instant,
+        stage: &'static str,
+        stats: &SearchStats,
+    ) -> Result<(), SearchError> {
+        let Some(deadline) = deadline else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        if now < deadline {
+            return Ok(());
+        }
+        self.metrics.deadline_exceeded.inc();
+        Err(SearchError::Timeout(Box::new(SearchTimeout {
+            stage,
+            elapsed: now.saturating_duration_since(started),
+            stats: stats.clone(),
+        })))
     }
 
     /// Chooses the anchor-pass execution — legacy k-way merge or the
@@ -965,6 +1005,7 @@ struct EngineMetrics {
     plan_full_merge: Counter,
     plan_shards_skipped: Counter,
     plan_topk_skipped: Counter,
+    deadline_exceeded: Counter,
     total_ns: Histogram,
     get_keyword_nodes_ns: Histogram,
     get_lca_ns: Histogram,
@@ -986,6 +1027,7 @@ impl EngineMetrics {
             plan_full_merge: registry.counter("plan.full_merge"),
             plan_shards_skipped: registry.counter("plan.shards_skipped"),
             plan_topk_skipped: registry.counter("plan.topk_skipped"),
+            deadline_exceeded: registry.counter("search.deadline_exceeded"),
             total_ns: registry.histogram("search.total_ns"),
             get_keyword_nodes_ns: registry.histogram("search.get_keyword_nodes_ns"),
             get_lca_ns: registry.histogram("search.get_lca_ns"),
@@ -1589,6 +1631,32 @@ mod tests {
         let via_source = source.explain(&req("common rare")).unwrap();
         assert_eq!(via_source.terms, report.terms);
         assert_eq!(via_source.strategy, report.strategy);
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_timeout_with_partial_stats() {
+        let engine = SearchEngine::new(publications());
+        // Already-expired deadline: cut at admission, before resolve.
+        let request = req("liu keyword").deadline_at(Instant::now() - Duration::from_millis(1));
+        let err = engine.execute(&request).unwrap_err();
+        match &err {
+            SearchError::Timeout(t) => assert_eq!(t.stage, "resolve"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+        // A roomy budget is invisible: byte-identical hits.
+        let roomy = engine
+            .execute(&req("liu keyword").timeout(Duration::from_secs(60)))
+            .unwrap();
+        let plain = engine.execute(&req("liu keyword")).unwrap();
+        assert_eq!(roomy.hits, plain.hits);
+    }
+
+    #[test]
+    fn deadline_is_not_request_identity() {
+        let a = req("liu keyword");
+        let b = req("liu keyword").timeout(Duration::from_millis(5));
+        assert_eq!(a, b, "deadline rides along like parse_ns");
     }
 
     #[test]

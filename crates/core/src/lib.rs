@@ -64,6 +64,7 @@ pub mod scratch;
 pub mod shards;
 pub mod source;
 pub mod spec;
+pub mod wire;
 
 pub use algorithms::{max_match_rtf, max_match_slca, valid_rtf};
 pub use engine::{AlgorithmKind, SearchEngine};
@@ -77,7 +78,7 @@ pub use plan::{
 };
 pub use prune::{prune, prune_owned, Policy};
 pub use rank::{rank, score_fragment, RankWeights, RankedFragment};
-pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats};
+pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats, SearchTimeout};
 pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};
 pub use scratch::{QueryContext, QueryScratch};
 pub use shards::ShardSet;

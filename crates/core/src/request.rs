@@ -31,6 +31,7 @@
 //! ```
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use xks_index::{ParseError, Query, QueryError, QuerySpec};
 
@@ -53,6 +54,27 @@ pub enum SearchError {
     /// A corpus mutation failed (bad document XML, unknown ordinal) —
     /// surfaced here so read/write services share one error type.
     Mutation(crate::mutable::MutationError),
+    /// The request's deadline expired before the pipeline finished.
+    /// Boxed because the partial stats it carries are bigger than every
+    /// other variant; see [`SearchTimeout`].
+    Timeout(Box<SearchTimeout>),
+}
+
+/// The evidence behind a [`SearchError::Timeout`]: where the pipeline
+/// was cut, how long it had run, and the [`SearchStats`] accumulated so
+/// far — enough for a server to answer `503` with a partial-stats body
+/// instead of a bare error string.
+#[derive(Debug, Clone)]
+pub struct SearchTimeout {
+    /// The pipeline stage the deadline check fired **before** (the
+    /// stages themselves always run to completion): `"resolve"`,
+    /// `"anchor"`, `"construct"`, or `"post_process"`.
+    pub stage: &'static str,
+    /// Wall time spent in the pipeline when the check fired.
+    pub elapsed: Duration,
+    /// The stats accumulated up to the cut — plan strategy and postings
+    /// totals are valid once the `"anchor"` check is reached.
+    pub stats: SearchStats,
 }
 
 impl fmt::Display for SearchError {
@@ -61,6 +83,11 @@ impl fmt::Display for SearchError {
             SearchError::Parse(e) => write!(f, "bad query: {e}"),
             SearchError::Backend(e) => write!(f, "{e}"),
             SearchError::Mutation(e) => write!(f, "mutation failed: {e}"),
+            SearchError::Timeout(t) => write!(
+                f,
+                "deadline exceeded after {:?} (before the {} stage)",
+                t.elapsed, t.stage
+            ),
         }
     }
 }
@@ -71,6 +98,7 @@ impl std::error::Error for SearchError {
             SearchError::Parse(e) => Some(e),
             SearchError::Backend(e) => Some(e),
             SearchError::Mutation(e) => Some(e),
+            SearchError::Timeout(_) => None,
         }
     }
 }
@@ -125,10 +153,12 @@ pub struct SearchRequest {
     max_fragments: Option<usize>,
     trace: bool,
     parse_ns: u64,
+    deadline: Option<Instant>,
 }
 
 // Manual: two requests are the same search if every knob matches;
-// `parse_ns` is telemetry riding along, not part of request identity.
+// `parse_ns` is telemetry riding along and `deadline` is a property of
+// one particular execution, not part of request identity.
 impl PartialEq for SearchRequest {
     fn eq(&self, other: &Self) -> bool {
         self.spec == other.spec
@@ -164,6 +194,7 @@ impl SearchRequest {
             max_fragments: None,
             trace: false,
             parse_ns: 0,
+            deadline: None,
         }
     }
 
@@ -224,6 +255,32 @@ impl SearchRequest {
     #[must_use]
     pub fn traced(&self) -> bool {
         self.trace
+    }
+
+    /// Gives this execution a wall-clock budget: the deadline is `now +
+    /// budget`, and [`SearchEngine::execute_with`] checks it **between**
+    /// pipeline stages (a stage that has started runs to completion, so
+    /// the overshoot is bounded by one stage). An expired deadline
+    /// surfaces as [`SearchError::Timeout`] carrying the partial stats.
+    ///
+    /// [`SearchEngine::execute_with`]: crate::engine::SearchEngine::execute_with
+    #[must_use]
+    pub fn timeout(self, budget: Duration) -> Self {
+        self.deadline_at(Instant::now() + budget)
+    }
+
+    /// Sets the absolute deadline directly (what a server computes once
+    /// at admission, so queueing time counts against the budget too).
+    #[must_use]
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The execution deadline, if one was set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Nanoseconds [`SearchRequest::parse`] spent in the grammar

@@ -69,6 +69,27 @@ impl Gauge {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Adds one (for gauges tracking a live population).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `delta`, saturating at zero on the way down.
+    #[inline]
+    pub fn add_signed(&self, delta: i64) {
+        if delta >= 0 {
+            self.0.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            let sub = delta.unsigned_abs();
+            let _ = self
+                .0
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(sub))
+                });
+        }
+    }
 }
 
 /// Bucket index for a recorded value: 0 holds zero, bucket `i >= 1`

@@ -28,6 +28,7 @@ pub trait MetricSource {
 pub struct Snapshot {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
+    ratios: BTreeMap<String, f64>,
     histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
@@ -53,10 +54,18 @@ impl Snapshot {
         self.histograms.insert(name.into(), value);
     }
 
+    /// Records a derived ratio (e.g. a cache hit rate in `[0, 1]`) —
+    /// the dashboard-ready form of a hits/misses counter pair, emitted
+    /// by collectors so consumers never re-derive arithmetic.
+    pub fn ratio(&mut self, name: impl Into<String>, value: f64) {
+        self.ratios.insert(name.into(), value);
+    }
+
     /// Merges every reading of `other` into `self`.
     pub fn merge(&mut self, other: Snapshot) {
         self.counters.extend(other.counters);
         self.gauges.extend(other.gauges);
+        self.ratios.extend(other.ratios);
         self.histograms.extend(other.histograms);
     }
 
@@ -75,25 +84,44 @@ impl Snapshot {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Ratio readings in sorted name order.
+    pub fn ratios(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.ratios.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// The snapshot as `xks-obs/1` JSON:
     ///
     /// ```json
     /// {"schema":"xks-obs/1",
     ///  "counters":{"name":value,...},
     ///  "gauges":{"name":value,...},
+    ///  "ratios":{"name":0.980392,...},
     ///  "histograms":{"name":{"count":..,"sum":..,"max":..,
     ///                        "p50":..,"p90":..,"p99":..,
     ///                        "buckets":[[lo,hi,count],...]},...}}
     /// ```
     ///
     /// Keys are sorted, empty buckets are skipped, percentiles are
-    /// bucket upper bounds clamped to the observed maximum.
+    /// bucket upper bounds clamped to the observed maximum. Ratios are
+    /// printed with a fixed six decimal places so identical state stays
+    /// byte-identical.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"schema\":\"xks-obs/1\",\"counters\":{");
         push_scalar_map(&mut out, &self.counters);
         out.push_str("},\"gauges\":{");
         push_scalar_map(&mut out, &self.gauges);
+        out.push_str("},\"ratios\":{");
+        let mut first = true;
+        for (name, value) in &self.ratios {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&format!("{value:.6}"));
+        }
         out.push_str("},\"histograms\":{");
         let mut first = true;
         for (name, hist) in &self.histograms {

@@ -238,6 +238,30 @@ impl xks_obs::MetricSource for IndexStats {
             format!("{prefix}element_cache.misses"),
             self.element_cache_misses,
         );
+        // Derived hit-rate ratios, emitted only for caches that saw
+        // traffic — an untouched cache has no rate, not a NaN one.
+        for (name, hits, misses) in [
+            (
+                "pool.hit_rate",
+                self.pool.cache_hits,
+                self.pool.cache_misses,
+            ),
+            (
+                "postings_cache.hit_rate",
+                self.postings_cache_hits,
+                self.postings_cache_misses,
+            ),
+            (
+                "element_cache.hit_rate",
+                self.element_cache_hits,
+                self.element_cache_misses,
+            ),
+        ] {
+            let total = hits + misses;
+            if total > 0 {
+                snap.ratio(format!("{prefix}{name}"), hits as f64 / total as f64);
+            }
+        }
     }
 }
 

@@ -1,0 +1,169 @@
+//! A minimal blocking HTTP/1.1 client — just enough for the test
+//! suites and the closed-loop load generator to talk to [`crate::Server`]
+//! over real sockets without adding a dependency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code, lower-cased headers, body bytes.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Headers with lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on invalid UTF-8 — test helper).
+    #[must_use]
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// One keep-alive connection to a server. Dropping it closes the
+/// socket.
+pub struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Conn {
+    /// Connects with generous (30s) read/write timeouts so a hung
+    /// server fails a test instead of wedging it.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads its response on this connection.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        self.send(method, path, body, false)?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes — for hostile-input tests that need torn or
+    /// malformed wire data.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Shuts down the write half, simulating a client that disconnects
+    /// mid-exchange.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &[u8], close: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: xks\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        if close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)
+    }
+
+    /// Reads one response (status line, headers, `Content-Length`
+    /// body), leaving any pipelined surplus in the carry buffer.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut buf = std::mem::take(&mut self.carry);
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| bad("non-UTF-8 response head"))?
+            .to_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines.filter(|l| !l.is_empty()) {
+            let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+        let body_start = head_end + 4;
+        while buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        self.carry = buf.split_off(body_start + content_length);
+        let body = buf.split_off(body_start);
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot request on a fresh connection with `Connection: close` —
+/// what the load generator and most tests use.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut conn = Conn::connect(addr)?;
+    conn.send(method, path, body, true)?;
+    conn.read_response()
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}

@@ -1,0 +1,61 @@
+//! # xks-serve — the resident HTTP query server
+//!
+//! Wraps a [`validrtf::engine::SearchEngine`] (any backend: in-memory,
+//! monolithic `.xks`, sharded `.xksm`, or a mutable corpus) in a
+//! hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] — no
+//! external dependencies, same spirit as the hand-rolled JSON in
+//! `xks-store`. `xks serve` is the CLI front; docs/SERVER.md is the
+//! protocol spec.
+//!
+//! The serving model is a fixed worker pool behind a **bounded
+//! admission queue**:
+//!
+//! * the acceptor thread admits connections into the queue; once the
+//!   queue holds `queue_depth` waiting connections every further
+//!   connection is **shed** with `429 Too Many Requests` +
+//!   `Retry-After` before it can occupy any worker;
+//! * each worker serves one connection at a time (HTTP keep-alive:
+//!   several sequential requests per connection) with warm pooled
+//!   [`validrtf::QueryContext`]s inside the shared engine;
+//! * every `/search` request can carry a **deadline**
+//!   (`request_timeout`): the budget starts at connection admission,
+//!   so time spent queued counts, and expiry surfaces as `503` with a
+//!   partial-stats JSON body (the engine checks between pipeline
+//!   stages — see `SearchRequest::deadline_at`);
+//! * **graceful shutdown** ([`ShutdownHandle::shutdown`], or
+//!   SIGINT/SIGTERM when [`ServerConfig::watch_signals`] is set) stops
+//!   accepting, serves every already-admitted request to completion
+//!   under a drain deadline, and [`Server::run`] returns a final
+//!   [`ServerReport`].
+//!
+//! Framing is deliberately strict and bounded: oversized heads are
+//! `431`, oversized bodies `413`, malformed request lines and headers
+//! `400`, chunked transfer `501`, a stalled sender `408` — and a torn
+//! or disconnected peer is a clean connection close, never a panic or
+//! a hung worker (`tests/hostile_http.rs` is the proof).
+//!
+//! ```no_run
+//! use validrtf::engine::SearchEngine;
+//! use xks_serve::{Server, ServerConfig};
+//!
+//! let tree = xks_xmltree::parse("<a><b>hello</b></a>").unwrap();
+//! let server = Server::bind(SearchEngine::new(tree), ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! let report = server.run().unwrap();
+//! println!("served {} request(s)", report.served);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod api;
+pub mod client;
+mod http;
+mod metrics;
+mod queue;
+mod server;
+pub mod signals;
+
+pub use http::{HttpError, Limits, Request};
+pub use metrics::preregister_server_metrics;
+pub use server::{Server, ServerConfig, ServerReport, ShutdownHandle};

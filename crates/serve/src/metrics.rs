@@ -1,0 +1,67 @@
+//! The server's metric handles, pre-registered in the global registry
+//! so a fresh `/stats` snapshot shows explicit zeros — "no shed
+//! requests yet" is distinguishable from "not instrumented"
+//! (docs/OBSERVABILITY.md lists the catalog).
+
+use xks_obs::{Counter, Gauge, Histogram};
+
+/// Every handle the serving path bumps. One instance per [`crate::Server`],
+/// but all handles alias the process-global registry names, so `/stats`
+/// and `xks stats` see the same numbers.
+pub(crate) struct ServerMetrics {
+    /// `http.requests` — requests fully parsed off the wire.
+    pub requests: Counter,
+    /// `http.responses_2xx`.
+    pub responses_2xx: Counter,
+    /// `http.responses_4xx` (including shed `429`s).
+    pub responses_4xx: Counter,
+    /// `http.responses_5xx` (including deadline `503`s).
+    pub responses_5xx: Counter,
+    /// `http.shed_429` — connections refused by the admission queue.
+    pub shed_429: Counter,
+    /// `http.timeouts_503` — requests cut by their deadline.
+    pub timeouts_503: Counter,
+    /// `server.queue_depth` — connections waiting for a worker, now.
+    pub queue_depth: Gauge,
+    /// `server.connections` — connections admitted and not yet closed.
+    pub connections: Gauge,
+    /// `http.request_ns` — wall clock from parsed request to written
+    /// response (queueing before the first request excluded; it shows
+    /// up in the deadline budget instead).
+    pub request_ns: Histogram,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        let registry = xks_obs::global();
+        ServerMetrics {
+            requests: registry.counter("http.requests"),
+            responses_2xx: registry.counter("http.responses_2xx"),
+            responses_4xx: registry.counter("http.responses_4xx"),
+            responses_5xx: registry.counter("http.responses_5xx"),
+            shed_429: registry.counter("http.shed_429"),
+            timeouts_503: registry.counter("http.timeouts_503"),
+            queue_depth: registry.gauge("server.queue_depth"),
+            connections: registry.gauge("server.connections"),
+            request_ns: registry.histogram("http.request_ns"),
+        }
+    }
+
+    /// Bumps the status-class counter for `status`.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            _ => self.responses_5xx.inc(),
+        }
+    }
+}
+
+/// Registers every `http.*` / `server.*` metric (and the engine-side
+/// `search.deadline_exceeded` counter) at zero. [`crate::Server::bind`]
+/// calls this, so any process that ever constructed a server snapshots
+/// the full catalog; call it directly to get the zeros without one.
+pub fn preregister_server_metrics() {
+    let _ = ServerMetrics::new();
+    xks_obs::global().counter("search.deadline_exceeded");
+}

@@ -1,0 +1,124 @@
+//! The bounded admission queue between the acceptor and the workers.
+//!
+//! A plain `Mutex<VecDeque>` + `Condvar` MPMC queue with one twist:
+//! [`Bounded::try_push`] never blocks — a full (or closed) queue hands
+//! the item straight back, which is exactly the load-shedding decision
+//! the acceptor turns into a `429`. Lock poisoning recovers like every
+//! other lock in the workspace (`xks_obs::count_poison_recovery`).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use xks_obs::Gauge;
+
+/// A bounded MPMC queue with non-blocking admission and blocking pops.
+pub(crate) struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+    depth: Gauge,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` waiting items, mirroring
+    /// its depth into `depth` (the `server.queue_depth` gauge).
+    pub fn new(capacity: usize, depth: Gauge) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+            depth,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e: PoisonError<_>| {
+            xks_obs::count_poison_recovery();
+            e.into_inner()
+        })
+    }
+
+    /// Admits `item`, or hands it back when the queue is full or
+    /// closed — the caller sheds it.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.depth.set(inner.items.len() as u64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (`Some`) or the queue is
+    /// closed *and* drained (`None`). Closing never discards admitted
+    /// items: workers keep popping until the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.depth.set(inner.items.len() as u64);
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e: PoisonError<_>| {
+                xks_obs::count_poison_recovery();
+                e.into_inner()
+            });
+        }
+    }
+
+    /// Stops admission and wakes every blocked popper. Items already
+    /// admitted are still handed out.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gauge() -> Gauge {
+        xks_obs::Registry::new().gauge("test.depth")
+    }
+
+    #[test]
+    fn sheds_when_full_and_drains_after_close() {
+        let q = Bounded::new(2, gauge());
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "third item is shed");
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(1), "admitted items survive the close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn close_unblocks_waiting_workers() {
+        let q = Arc::new(Bounded::<u32>::new(1, gauge()));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! Minimal SIGINT/SIGTERM notification — a hand-rolled `signal(2)`
+//! binding (libc is already linked; this adds no dependency), setting
+//! one atomic flag the acceptor loop polls. That flag is the whole
+//! "POST /shutdown" surface: delivery is the same graceful drain a
+//! [`crate::ShutdownHandle`] triggers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been delivered (sticky).
+#[must_use]
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Test hook: raise the flag as if a signal had arrived.
+pub fn raise() {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SIGNALED;
+    use std::sync::atomic::Ordering;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        // POSIX `signal(2)` from the already-linked libc. The handler
+        // only stores to an atomic — async-signal-safe.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT (2) and SIGTERM (15) to the sticky flag.
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use unix::install;
+
+/// No-op on platforms without POSIX signals; [`signaled`] then only
+/// reflects [`raise`].
+#[cfg(not(unix))]
+pub fn install() {}

@@ -1,0 +1,143 @@
+//! Admission control and graceful drain, proven over real sockets:
+//! with `workers` in service and `queue_depth` waiting, connection
+//! `workers + queue_depth + 1` is shed with `429 Retry-After`, every
+//! admitted connection still completes correctly, and a drain delivers
+//! every in-flight response before `run` returns.
+
+use std::time::Duration;
+
+use validrtf::engine::SearchEngine;
+use xks_serve::client::{self, Conn};
+use xks_serve::{Server, ServerConfig, ServerReport, ShutdownHandle};
+
+fn start(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<ServerReport>>,
+) {
+    let engine = SearchEngine::new(xks_xmltree::fixtures::publications());
+    let server = Server::bind(engine, config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, shutdown, thread)
+}
+
+/// Polls until the admission queue reaches the expected occupancy so
+/// the shed assertion races neither the acceptor nor the worker.
+fn settle() {
+    std::thread::sleep(Duration::from_millis(150));
+}
+
+#[test]
+fn surplus_connection_is_shed_and_admitted_ones_complete() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, thread) = start(config);
+
+    // Connection A is admitted and picked up by the only worker.
+    let mut in_service = Conn::connect(addr).unwrap();
+    settle();
+    // Connection B fills the single queue slot (its request bytes wait
+    // in the socket until a worker frees up).
+    let mut queued = Conn::connect(addr).unwrap();
+    queued
+        .send_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    settle();
+    // Connection C finds the queue full: shed with 429 + Retry-After.
+    let shed = client::request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(shed.status, 429, "surplus connection must be shed");
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(shed.text().contains("overloaded"));
+
+    // Being shed must not have damaged the admitted connections: A
+    // serves interactively, and once A closes, the worker picks up B
+    // and answers the request it queued all along.
+    let response = in_service
+        .request("POST", "/search", b"{\"query\":\"keyword\"}")
+        .unwrap();
+    assert_eq!(response.status, 200, "in-service connection unaffected");
+    drop(in_service);
+    let response = queued.read_response().unwrap();
+    assert_eq!(response.status, 200, "queued connection served after A");
+
+    shutdown.shutdown();
+    let report = thread.join().unwrap().unwrap();
+    assert!(report.drained_cleanly);
+    assert_eq!(report.shed, 1, "exactly one connection shed");
+    assert!(report.served >= 3, "both admitted responses plus the 429");
+}
+
+#[test]
+fn drain_serves_queued_connections_before_returning() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, thread) = start(config);
+
+    // One connection holds the only worker; another queues a request.
+    let in_service = Conn::connect(addr).unwrap();
+    settle();
+    let mut queued = Conn::connect(addr).unwrap();
+    queued
+        .send_raw(b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 19\r\n\r\n{\"query\":\"keyword\"}")
+        .unwrap();
+    settle();
+
+    // Shutdown with work still queued: the admitted request must be
+    // served (with Connection: close), not dropped. Wait for the
+    // acceptor to flip into draining before freeing the worker, so the
+    // queued request is provably served *during* the drain.
+    shutdown.shutdown();
+    settle();
+    drop(in_service); // the idle keep-alive is abandoned by the drain anyway
+    let response = queued.read_response().unwrap();
+    assert_eq!(response.status, 200, "queued request served during drain");
+    assert_eq!(response.header("connection"), Some("close"));
+
+    let report = thread.join().unwrap().unwrap();
+    assert!(report.drained_cleanly, "drain finished inside its deadline");
+}
+
+#[test]
+fn zero_timeout_is_a_deterministic_deadline_503() {
+    let config = ServerConfig {
+        workers: 2,
+        request_timeout: Some(Duration::ZERO),
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, thread) = start(config);
+
+    let response = client::request(addr, "POST", "/search", b"{\"query\":\"keyword\"}").unwrap();
+    assert_eq!(response.status, 503, "zero budget always expires");
+    assert_eq!(response.header("retry-after"), Some("1"));
+    let body = response.text();
+    assert!(body.contains("deadline_exceeded"), "{body}");
+    assert!(
+        body.contains("\"stage\":\"resolve\""),
+        "cut before stage one: {body}"
+    );
+    assert!(
+        body.contains("\"stats\""),
+        "partial stats ride along: {body}"
+    );
+
+    // The deadline only governs /search; health stays green.
+    let health = client::request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+
+    shutdown.shutdown();
+    let report = thread.join().unwrap().unwrap();
+    assert!(report.timeouts >= 1, "timeout counted in the report");
+}

@@ -1,0 +1,218 @@
+//! Hostile and torn HTTP input: every case must end in a typed 4xx/5xx
+//! or a clean connection close — never a panic, never a stuck worker.
+//! After each abuse the same server must still answer a well-formed
+//! request, which is the real invariant: one bad client cannot take a
+//! worker (or the process) down with it.
+
+use std::time::Duration;
+
+use validrtf::engine::SearchEngine;
+use xks_serve::client::{self, Conn};
+use xks_serve::{Limits, Server, ServerConfig, ShutdownHandle};
+
+struct TestServer {
+    addr: std::net::SocketAddr,
+    shutdown: ShutdownHandle,
+    thread: std::thread::JoinHandle<std::io::Result<xks_serve::ServerReport>>,
+}
+
+/// A server over the `publications` fixture with tight limits so the
+/// hostile cases trip them with small payloads.
+fn start() -> TestServer {
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        limits: Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 2048,
+            idle_timeout: Duration::from_millis(400),
+        },
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let engine = SearchEngine::new(xks_xmltree::fixtures::publications());
+    let server = Server::bind(engine, config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        shutdown,
+        thread,
+    }
+}
+
+impl TestServer {
+    /// The liveness probe run after every hostile case.
+    fn assert_still_serving(&self) {
+        let response = client::request(self.addr, "POST", "/search", b"{\"query\":\"keyword\"}")
+            .expect("server still answers after hostile input");
+        assert_eq!(response.status, 200);
+    }
+
+    fn stop(self) {
+        self.shutdown.shutdown();
+        let report = self.thread.join().unwrap().unwrap();
+        assert!(report.drained_cleanly, "drain must not time out");
+    }
+}
+
+#[test]
+fn oversized_header_is_431() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Pad: {}\r\n\r\n",
+        "a".repeat(4096)
+    );
+    conn.send_raw(huge.as_bytes()).unwrap();
+    let response = conn.read_response().unwrap();
+    assert_eq!(response.status, 431);
+    assert!(
+        response.text().contains("head_too_large"),
+        "{}",
+        response.text()
+    );
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn oversized_body_is_413_without_reading_it() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    // Declare a body far over the cap but never send it: the 413 must
+    // come from the declaration alone.
+    conn.send_raw(b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\r\n")
+        .unwrap();
+    let response = conn.read_response().unwrap();
+    assert_eq!(response.status, 413);
+    assert!(
+        response.text().contains("body_too_large"),
+        "{}",
+        response.text()
+    );
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn garbage_request_line_is_400_then_close() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    conn.send_raw(b"\x00\xffnot http at all\r\n\r\n").unwrap();
+    let response = conn.read_response().unwrap();
+    assert_eq!(response.status, 400);
+    // The connection closes after a framing error: the next read sees
+    // EOF, not a hang.
+    assert!(conn.read_response().is_err(), "connection must be closed");
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn unsupported_transfer_encoding_is_501() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    conn.send_raw(b"POST /search HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    let response = conn.read_response().unwrap();
+    assert_eq!(response.status, 501);
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn truncated_head_disconnect_closes_cleanly() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    conn.send_raw(b"POST /search HTTP/1.1\r\nHost: x\r\nConte")
+        .unwrap();
+    conn.shutdown_write().unwrap();
+    // A request torn mid-head gets no response — just a clean close.
+    assert!(conn.read_response().is_err(), "no response to a torn head");
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn mid_body_disconnect_closes_cleanly() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    conn.send_raw(b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 500\r\n\r\n{\"query\":")
+        .unwrap();
+    conn.shutdown_write().unwrap();
+    assert!(conn.read_response().is_err(), "no response to a torn body");
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn pipelined_requests_each_get_a_response() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    // Two complete requests in one segment; the carry buffer must hand
+    // the second to the next loop iteration, not drop it.
+    conn.send_raw(
+        b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+    )
+    .unwrap();
+    let first = conn.read_response().unwrap();
+    let second = conn.read_response().unwrap();
+    assert_eq!((first.status, second.status), (200, 200));
+    server.stop();
+}
+
+#[test]
+fn pipelined_garbage_after_valid_request_answers_then_closes() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    conn.send_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGARBAGE\x01\x02\r\n\r\n")
+        .unwrap();
+    let first = conn.read_response().unwrap();
+    assert_eq!(first.status, 200, "valid request answered first");
+    let second = conn.read_response().unwrap();
+    assert_eq!(second.status, 400, "trailing garbage is a typed 400");
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn idle_keepalive_is_closed_after_timeout() {
+    let server = start();
+    let mut conn = Conn::connect(server.addr).unwrap();
+    let response = conn.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(response.status, 200);
+    // Then go silent past the idle limit: the server must close rather
+    // than pin the worker forever.
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(
+        conn.read_response().is_err(),
+        "idle connection must be closed by the server"
+    );
+    server.assert_still_serving();
+    server.stop();
+}
+
+#[test]
+fn bad_json_and_bad_schema_are_typed_400s() {
+    let server = start();
+    let not_json = client::request(server.addr, "POST", "/search", b"{{{{").unwrap();
+    assert_eq!(not_json.status, 400);
+    assert!(not_json.text().contains("bad_json"));
+    let unknown_field = client::request(
+        server.addr,
+        "POST",
+        "/search",
+        b"{\"query\":\"x\",\"topk\":1}",
+    )
+    .unwrap();
+    assert_eq!(unknown_field.status, 400);
+    assert!(unknown_field.text().contains("unknown field"));
+    let wrong_method = client::request(server.addr, "GET", "/search", b"").unwrap();
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("allow"), Some("POST"));
+    let missing = client::request(server.addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(missing.status, 404);
+    server.stop();
+}

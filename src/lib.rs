@@ -15,7 +15,9 @@
 //!   buffer-pool reads);
 //! * [`datagen`] — DBLP-alike / XMark-alike corpora and workloads;
 //! * [`obs`] — telemetry: the metrics registry, latency histograms,
-//!   and the per-query stage tracer (crate `xks-obs`).
+//!   and the per-query stage tracer (crate `xks-obs`);
+//! * [`serve`] — the resident HTTP query server behind `xks serve`
+//!   (crate `xks-serve`).
 
 #![deny(missing_docs)]
 
@@ -25,5 +27,6 @@ pub use xks_index as index;
 pub use xks_lca as lca;
 pub use xks_obs as obs;
 pub use xks_persist as persist;
+pub use xks_serve as serve;
 pub use xks_store as store;
 pub use xks_xmltree as xmltree;

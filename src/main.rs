@@ -5,6 +5,7 @@
 //!            [--format json|text] [--limit N] [--xml] [--rank] [--threads N]
 //!            [--trace] [--trace-out <trace.json>]
 //! xks search --index <file.xks|file.xksm> "<query>" ... [same flags] [--shard-threads N]
+//! xks serve  --index <file.xks|file.xksm> [--addr H:P] [--workers N] [--queue-depth N] [--timeout-ms N]
 //! xks bench  --index <file.xks|file.xksm> --queries <queries.txt> [--threads N] [--sweeps N] [--algo ...] [--format json|text]
 //! xks compare <file.xml> "<query>" [--format json|text]
 //! xks stats <file.xml> [--top N]
@@ -49,18 +50,21 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use xks::core::algorithms::StageTimings;
 use xks::core::engine::{AlgorithmKind, SearchEngine};
 use xks::core::executor::run_batch_stats;
+use xks::core::wire::{self, obj};
 use xks::core::{RankWeights, SearchRequest, SearchResponse};
 use xks::index::Query;
 use xks::obs::{HistogramSnapshot, MetricSource, QueryTrace};
 use xks::persist::{
     preregister_durability_metrics, IndexReader, IndexWriter, MutableCorpus, ShardedCorpus,
 };
+use xks::serve::{Server, ServerConfig};
 use xks::store::json::{self, Value};
-use xks::xmltree::{LabelId, XmlTree};
+use xks::xmltree::XmlTree;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +74,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "search" => cmd_search(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "explain" => cmd_explain(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
@@ -99,6 +104,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   xks search  <file.xml> \"<query>\" [\"<query>\" ...] [--algo valid|maxmatch|slca] [--top-k N] [--format json|text] [--limit N] [--xml] [--rank] [--threads N] [--trace] [--trace-out <trace.json>]
   xks search  --index <file.xks|file.xksm> \"<query>\" [\"<query>\" ...] [same flags, no --xml] [--shard-threads N]
+  xks serve   --index <file.xks|file.xksm> | --corpus <dir> | <file.xml>  [--addr HOST:PORT] [--workers N] [--queue-depth N] [--timeout-ms N] [--drain-ms N] [--idle-ms N] [--max-body-bytes N] [--shard-threads N]
   xks explain \"<query>\" --index <file.xks|file.xksm> [--algo valid|maxmatch|slca] [--format json|text]
   xks explain <file.xml> \"<query>\" [same flags]
   xks explain \"<query>\" --corpus <dir> [same flags]
@@ -124,7 +130,9 @@ sharded index surface; --index sniffs the file magic, so a shard
 manifest from build-index --shards works everywhere a .xks does;
 docs/OBSERVABILITY.md covers --trace and the stats --index snapshot;
 docs/DURABILITY.md covers the WAL-backed mutable corpus directories
-behind insert/delete/compact and their crash-recovery guarantees)";
+behind insert/delete/compact and their crash-recovery guarantees;
+docs/SERVER.md covers the xks serve HTTP endpoints, admission control,
+deadlines, and graceful shutdown)";
 
 fn load_tree(path: &str) -> Result<XmlTree, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -182,20 +190,8 @@ impl Format {
 }
 
 fn parse_algo(flags: &Flags) -> Result<AlgorithmKind, String> {
-    match flags.get_str("algo").unwrap_or("valid") {
-        "valid" => Ok(AlgorithmKind::ValidRtf),
-        "maxmatch" => Ok(AlgorithmKind::MaxMatchRtf),
-        "slca" => Ok(AlgorithmKind::MaxMatchSlca),
-        other => Err(format!("unknown --algo {other:?}")),
-    }
-}
-
-fn algo_name(kind: AlgorithmKind) -> &'static str {
-    match kind {
-        AlgorithmKind::ValidRtf => "valid",
-        AlgorithmKind::MaxMatchRtf => "maxmatch",
-        AlgorithmKind::MaxMatchSlca => "slca",
-    }
+    let name = flags.get_str("algo").unwrap_or("valid");
+    wire::parse_algorithm(name).ok_or_else(|| format!("unknown --algo {name:?}"))
 }
 
 /// Builds one request per query string, applying the shared flags.
@@ -247,6 +243,9 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let ranked = flags.has("rank");
     let trace_out = flags.get_str("trace-out").map(str::to_owned);
     let traced = flags.has("trace") || trace_out.is_some();
+    let timeout = flags
+        .get_usize("timeout-ms")?
+        .map(|ms| Duration::from_millis(ms as u64));
 
     // One or more query strings; several queries fan out over the
     // executor's worker threads (`--threads N`).
@@ -293,7 +292,13 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             }
         }
     };
-    let requests = build_requests(query_args, algo, top_k, ranked, traced)?;
+    let mut requests = build_requests(query_args, algo, top_k, ranked, traced)?;
+    if let Some(budget) = timeout {
+        // Each query gets its own budget, measured from here — queueing
+        // behind other queries in the batch counts against it, matching
+        // the server's admission-time deadline semantics.
+        requests = requests.into_iter().map(|r| r.timeout(budget)).collect();
+    }
     if trace_out.is_some() && requests.len() != 1 {
         return Err(format!(
             "--trace-out records exactly one query per file (got {})",
@@ -312,7 +317,9 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             eprintln!("wrote Chrome trace to {path} (chrome://tracing, Perfetto)");
         }
         match format {
-            Format::Json => json_results.push(response_json(&engine, request, &response, limit)),
+            Format::Json => {
+                json_results.push(wire::response_json(&engine, request, &response, limit))
+            }
             Format::Text => {
                 print_text_response(&engine, request, &response, limit, as_xml, many);
                 if let Some(trace) = &response.trace {
@@ -327,6 +334,121 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             json::to_string(&Value::Obj(obj([("results", Value::Arr(json_results),)])))
         );
     }
+    Ok(())
+}
+
+/// `xks serve`: a resident HTTP query server over any backend — a
+/// monolithic `.xks`, a shard manifest, a mutable corpus directory, or
+/// a parsed XML file. The engine (and its warm `QueryContext` pool) is
+/// built once and shared by every worker; `POST /search` responses are
+/// byte-identical to `xks search --format json` results by
+/// construction (both render through `xks::core::wire`). Admission
+/// control, deadlines, and graceful shutdown are documented in
+/// docs/SERVER.md.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let addr = match (flags.get_str("addr"), flags.get_usize("port")?) {
+        (Some(_), Some(_)) => {
+            return Err("--addr and --port are mutually exclusive (addr carries the port)".into())
+        }
+        (Some(addr), None) => addr.to_owned(),
+        (None, Some(port)) => format!("127.0.0.1:{port}"),
+        (None, None) => "127.0.0.1:7878".to_owned(),
+    };
+    let mut config = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    if let Some(n) = flags.get_usize("workers")? {
+        config.workers = n.max(1);
+    }
+    if let Some(n) = flags.get_usize("queue-depth")? {
+        config.queue_depth = n;
+    }
+    if let Some(ms) = flags.get_usize("timeout-ms")? {
+        config.request_timeout = Some(Duration::from_millis(ms as u64));
+    }
+    if let Some(ms) = flags.get_usize("drain-ms")? {
+        config.drain_timeout = Duration::from_millis(ms as u64);
+    }
+    if let Some(ms) = flags.get_usize("idle-ms")? {
+        config.limits.idle_timeout = Duration::from_millis(ms as u64);
+    }
+    if let Some(n) = flags.get_usize("max-body-bytes")? {
+        config.limits.max_body_bytes = n;
+    }
+    config.watch_signals = true;
+
+    // The full metric catalog (durability + server) shows up in /stats
+    // as explicit zeros even before any traffic.
+    preregister_durability_metrics();
+    type Collector = (String, Arc<dyn MetricSource + Send + Sync>);
+    let reject_positional = || -> Result<(), String> {
+        if let [extra, ..] = positional.as_slice() {
+            return Err(format!(
+                "serve --index/--corpus takes no positional file (got {extra:?})\n{USAGE}"
+            ));
+        }
+        Ok(())
+    };
+    let (engine, collector): (SearchEngine, Option<Collector>) =
+        if let Some(dir) = flags.get_str("corpus") {
+            reject_positional()?;
+            let corpus = MutableCorpus::open(Path::new(dir))
+                .map_err(|e| format!("cannot open corpus {dir}: {e}"))?;
+            let engine = SearchEngine::from_source(corpus.source() as _);
+            (engine, Some(("corpus.".to_owned(), Arc::new(corpus) as _)))
+        } else if let Some(index_file) = flags.get_str("index") {
+            reject_positional()?;
+            if is_shard_manifest(index_file)? {
+                let corpus = ShardedCorpus::open(Path::new(index_file))
+                    .map_err(|e| format!("cannot open sharded index {index_file}: {e}"))?;
+                let mut engine = SearchEngine::from_shard_set(corpus.shard_set());
+                if let Some(threads) = flags.get_usize("shard-threads")? {
+                    engine = engine.with_scatter_threads(threads);
+                }
+                (engine, Some(("index.".to_owned(), Arc::new(corpus) as _)))
+            } else {
+                let reader = Arc::new(
+                    IndexReader::open(Path::new(index_file))
+                        .map_err(|e| format!("cannot open index {index_file}: {e}"))?,
+                );
+                let engine = SearchEngine::from_source(Arc::clone(&reader) as _);
+                (engine, Some(("index.".to_owned(), reader as _)))
+            }
+        } else {
+            let [file] = positional.as_slice() else {
+                return Err(format!(
+                    "serve needs --index <file>, --corpus <dir>, or <file.xml>\n{USAGE}"
+                ));
+            };
+            (SearchEngine::new(load_tree(file)?), None)
+        };
+
+    let addr = config.addr.clone();
+    let mut server =
+        Server::bind(engine, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Some((prefix, source)) = collector {
+        server = server.with_collector(prefix, source);
+    }
+    // The parseable startup line (tests and scripts read the bound
+    // address from it — port 0 resolves to a real port here).
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!("endpoints: POST /search  GET /stats  GET /healthz  (SIGINT/SIGTERM drains)");
+    let report = server.run().map_err(|e| format!("server failed: {e}"))?;
+    eprintln!(
+        "server drained: {} response(s) served, {} shed (429), {} deadline timeout(s), drain {}",
+        report.served,
+        report.shed,
+        report.timeouts,
+        if report.drained_cleanly {
+            "clean"
+        } else {
+            "timed out"
+        },
+    );
     Ok(())
 }
 
@@ -382,7 +504,10 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
                 "{}",
                 json::to_string(&Value::Obj(obj([
                     ("query", Value::Str(request.spec().to_string())),
-                    ("algorithm", Value::Str(algo_name(algo).to_owned())),
+                    (
+                        "algorithm",
+                        Value::Str(wire::algorithm_name(algo).to_owned())
+                    ),
                     ("strategy", Value::Str(report.strategy.as_str().to_owned())),
                     ("shards", Value::Num(u64::from(report.shards))),
                     ("terms", Value::Arr(terms)),
@@ -593,7 +718,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         Format::Json => {
             let mut fields = obj([
                 ("bench", Value::Str("batch".to_owned())),
-                ("algorithm", Value::Str(algo_name(algo).to_owned())),
+                (
+                    "algorithm",
+                    Value::Str(wire::algorithm_name(algo).to_owned()),
+                ),
                 ("queries", Value::Num(requests.len() as u64)),
                 ("sweeps", Value::Num(sweeps as u64)),
                 ("threads", Value::Num(ran as u64)),
@@ -601,7 +729,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 ("elapsed_us", Value::Num(elapsed.as_micros() as u64)),
                 ("queries_per_sec", Value::Float(qps)),
                 ("fragments", Value::Num(fragments as u64)),
-                ("stages_us", stage_timings_json(&stages)),
+                ("stages_us", wire::stage_timings_json(&stages)),
                 ("latency_ns", histogram_json(&lat)),
             ]);
             if let Some(stats) = &last_stats {
@@ -693,35 +821,8 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 }
 
 // -- JSON rendering -----------------------------------------------------
-
-fn obj<const N: usize>(entries: [(&str, Value); N]) -> BTreeMap<String, Value> {
-    entries
-        .into_iter()
-        .map(|(k, v)| (k.to_owned(), v))
-        .collect()
-}
-
-/// A [`StageTimings`] block as the documented `timings_us` /
-/// `stages_us` JSON object (microsecond integers plus their total).
-fn stage_timings_json(timings: &StageTimings) -> Value {
-    Value::Obj(obj([
-        (
-            "get_keyword_nodes",
-            Value::Num(timings.get_keyword_nodes.as_micros() as u64),
-        ),
-        ("get_lca", Value::Num(timings.get_lca.as_micros() as u64)),
-        ("get_rtf", Value::Num(timings.get_rtf.as_micros() as u64)),
-        (
-            "prune_rtf",
-            Value::Num(timings.prune_rtf.as_micros() as u64),
-        ),
-        (
-            "post_process",
-            Value::Num(timings.post_process.as_micros() as u64),
-        ),
-        ("total", Value::Num(timings.total().as_micros() as u64)),
-    ]))
-}
+// The response/timings/trace renderers live in `xks::core::wire`,
+// shared with the HTTP server so both surfaces emit identical bytes.
 
 /// A histogram snapshot as JSON: summary statistics plus the non-empty
 /// `[lo, hi, count]` buckets (mirrors the `xks-obs/1` histogram form).
@@ -747,26 +848,6 @@ fn histogram_json(hist: &HistogramSnapshot) -> Value {
     ]))
 }
 
-/// A recorded query trace as JSON: spans in record order with
-/// nanosecond offsets from the trace origin.
-fn trace_json(trace: &QueryTrace) -> Value {
-    let spans = trace
-        .spans()
-        .iter()
-        .map(|span| {
-            Value::Obj(obj([
-                ("stage", Value::Str(span.stage.as_str().to_owned())),
-                ("start_ns", Value::Num(span.start_ns)),
-                ("dur_ns", Value::Num(span.dur_ns)),
-            ]))
-        })
-        .collect();
-    Value::Obj(obj([
-        ("spans", Value::Arr(spans)),
-        ("dropped", Value::Num(u64::from(trace.dropped()))),
-    ]))
-}
-
 /// An `xks-obs` snapshot as a JSON value (for embedding inside another
 /// document; `xks stats --index` prints the canonical string form).
 fn snapshot_json(snap: &xks::obs::Snapshot) -> Value {
@@ -788,6 +869,14 @@ fn snapshot_json(snap: &xks::obs::Snapshot) -> Value {
             ),
         ),
         (
+            "ratios",
+            Value::Obj(
+                snap.ratios()
+                    .map(|(name, v)| (name.to_owned(), Value::Float(v)))
+                    .collect(),
+            ),
+        ),
+        (
             "histograms",
             Value::Obj(
                 snap.histograms()
@@ -796,123 +885,6 @@ fn snapshot_json(snap: &xks::obs::Snapshot) -> Value {
             ),
         ),
     ]))
-}
-
-fn label_string(engine: &SearchEngine, label: LabelId) -> String {
-    match engine.corpus() {
-        Some(source) => source
-            .label_name(label.as_u32())
-            .unwrap_or_else(|| label.to_string()),
-        None => engine.tree().labels().name(label).to_owned(),
-    }
-}
-
-/// One response as the documented JSON schema (docs/API.md). `--limit`
-/// caps the emitted hits exactly like the text renderer; anything cut
-/// is reported via `hits_omitted`, never dropped silently.
-fn response_json(
-    engine: &SearchEngine,
-    request: &SearchRequest,
-    response: &SearchResponse,
-    limit: usize,
-) -> Value {
-    let hits: Vec<Value> = response
-        .hits
-        .iter()
-        .take(limit)
-        .map(|hit| {
-            let nodes: Vec<Value> = hit
-                .fragment
-                .iter()
-                .map(|n| {
-                    Value::Obj(obj([
-                        ("dewey", Value::Str(n.dewey.to_string())),
-                        ("label", Value::Str(label_string(engine, n.label))),
-                        ("keyword", Value::Bool(n.is_keyword)),
-                    ]))
-                })
-                .collect();
-            let mut fields = obj([
-                ("anchor", Value::Str(hit.fragment.anchor.to_string())),
-                ("nodes", Value::Arr(nodes)),
-                ("score", hit.score.map_or(Value::Null, Value::Float)),
-            ]);
-            if let Some(signals) = hit.signals {
-                fields.insert(
-                    "signals".to_owned(),
-                    Value::Arr(signals.iter().map(|&s| Value::Float(s)).collect()),
-                );
-            }
-            Value::Obj(fields)
-        })
-        .collect();
-    let stats = &response.stats;
-    let timings = &response.timings;
-    let mut result = obj([
-        ("query", Value::Str(request.spec().to_string())),
-        (
-            "algorithm",
-            Value::Str(algo_name(request.kind()).to_owned()),
-        ),
-        ("hits", Value::Arr(hits)),
-        (
-            "stats",
-            Value::Obj(obj([
-                ("truncated", Value::Bool(stats.truncated)),
-                (
-                    "total_before_top_k",
-                    Value::Num(stats.total_before_top_k as u64),
-                ),
-                ("filtered_out", Value::Num(stats.filtered_out as u64)),
-                (
-                    "dropped_terms",
-                    Value::Arr(
-                        stats
-                            .dropped_terms
-                            .iter()
-                            .map(|t| Value::Str(t.clone()))
-                            .collect(),
-                    ),
-                ),
-                (
-                    "normalized_terms",
-                    Value::Arr(
-                        stats
-                            .normalized_terms
-                            .iter()
-                            .map(|(raw, norm)| {
-                                Value::Arr(vec![Value::Str(raw.clone()), Value::Str(norm.clone())])
-                            })
-                            .collect(),
-                    ),
-                ),
-                (
-                    "plan_strategy",
-                    Value::Str(stats.plan_strategy.as_str().to_owned()),
-                ),
-                ("plan_postings", Value::Num(stats.plan_postings)),
-                (
-                    "shards_skipped",
-                    Value::Num(u64::from(stats.shards_skipped)),
-                ),
-                (
-                    "rtfs_skipped_topk",
-                    Value::Num(u64::from(stats.rtfs_skipped_topk)),
-                ),
-            ])),
-        ),
-        ("timings_us", stage_timings_json(timings)),
-    ]);
-    if let Some(trace) = &response.trace {
-        result.insert("trace".to_owned(), trace_json(trace));
-    }
-    if response.hits.len() > limit {
-        result.insert(
-            "hits_omitted".to_owned(),
-            Value::Num((response.hits.len() - limit) as u64),
-        );
-    }
-    Value::Obj(result)
 }
 
 // -- remaining commands (unchanged surface) -----------------------------
@@ -1427,9 +1399,11 @@ impl Flags {
 /// Splits positional arguments from `--flag [value]` pairs. Flags taking
 /// values: `algo`, `limit`, `top`, `top-k`, `format`, `index`,
 /// `page-size`, `threads`, `queries`, `sweeps`, `shards`,
-/// `shard-threads`, `trace-out`, `corpus`, `doc`, `root`.
+/// `shard-threads`, `trace-out`, `corpus`, `doc`, `root`, `timeout-ms`,
+/// and the `serve` knobs (`addr`, `port`, `workers`, `queue-depth`,
+/// `drain-ms`, `idle-ms`, `max-body-bytes`).
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 16] = [
+    const VALUED: [&str; 24] = [
         "algo",
         "limit",
         "top",
@@ -1446,6 +1420,14 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         "corpus",
         "doc",
         "root",
+        "timeout-ms",
+        "addr",
+        "port",
+        "workers",
+        "queue-depth",
+        "drain-ms",
+        "idle-ms",
+        "max-body-bytes",
     ];
     let mut positional = Vec::new();
     let mut flags = Vec::new();

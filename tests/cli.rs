@@ -1142,3 +1142,170 @@ fn build_index_shards_one_still_writes_a_manifest() {
         assert!(String::from_utf8_lossy(&out.stdout).contains("shards         : 1"));
     }
 }
+
+#[test]
+fn search_timeout_ms_zero_is_a_typed_timeout() {
+    // A zero budget deterministically expires before the first
+    // pipeline stage: the CLI must report the typed deadline error
+    // (stage and elapsed time), not a generic failure or a hang.
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["grizzlies", "--timeout-ms", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "expired deadline fails the command");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+    assert!(stderr.contains("resolve stage"), "{stderr}");
+
+    // A generous budget changes nothing about the results.
+    let out = xks()
+        .args(["search"])
+        .arg(sample_file())
+        .args(["grizzlies", "--timeout-ms", "60000", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"results\""));
+}
+
+#[test]
+fn serve_e2e_requests_then_sigint_drains_and_exits_zero() {
+    use std::io::BufRead as _;
+
+    let mut child = xks()
+        .args(["serve"])
+        .arg(sample_file())
+        .args(["--port", "0", "--workers", "2", "--drain-ms", "5000"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    // The startup line is the documented parseable surface: port 0
+    // resolves to the real bound address here.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines.next().expect("startup line").unwrap();
+    let addr: std::net::SocketAddr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line {first:?}"))
+        .parse()
+        .expect("startup line carries a socket address");
+
+    let health = xks::serve::client::request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    let search =
+        xks::serve::client::request(addr, "POST", "/search", b"{\"query\":\"grizzlies\"}").unwrap();
+    assert_eq!(search.status, 200);
+    assert!(search.text().contains("\"hits\""), "{}", search.text());
+    let stats = xks::serve::client::request(addr, "GET", "/stats", b"").unwrap();
+    assert_eq!(stats.status, 200);
+    assert!(
+        stats.text().contains("\"http.requests\""),
+        "{}",
+        stats.text()
+    );
+
+    // SIGINT must drain gracefully: exit code 0 and the final stats
+    // line on stderr.
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("server exits");
+    assert!(
+        out.status.success(),
+        "SIGINT exit must be 0, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("server drained:"), "{stderr}");
+    assert!(stderr.contains("response(s) served"), "{stderr}");
+}
+
+#[test]
+fn serve_response_is_byte_identical_to_cli_search_json() {
+    use std::io::BufRead as _;
+
+    // True end-to-end differential through the *binary* on both sides:
+    // `xks search --index --format json` and `xks serve --index` must
+    // produce byte-identical result objects (modulo wall-clock
+    // timings) on both the monolithic and sharded backends.
+    let dir = std::env::temp_dir().join("xks-cli-serve-diff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = sample_file();
+    let query = "grizzlies position";
+
+    for (name, shard_args) in [
+        ("mono.xks", None),
+        ("sharded.xksm", Some(["--shards", "2"])),
+    ] {
+        let index = dir.join(name);
+        let mut build = xks();
+        build.args(["build-index"]).arg(&xml).arg(&index);
+        if let Some(args) = shard_args {
+            build.args(args);
+        }
+        assert!(build.output().unwrap().status.success());
+
+        let out = xks()
+            .args(["search", "--index"])
+            .arg(&index)
+            .args([query, "--format", "json"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let cli_doc = xks::store::json::parse(std::str::from_utf8(&out.stdout).unwrap()).unwrap();
+        let xks::store::json::Value::Obj(mut cli_doc) = cli_doc else {
+            panic!("results wrapper object")
+        };
+        let Some(xks::store::json::Value::Arr(mut results)) = cli_doc.remove("results") else {
+            panic!("results array")
+        };
+        let mut cli_result = results.remove(0);
+
+        let mut child = xks()
+            .args(["serve", "--index"])
+            .arg(&index)
+            .args(["--port", "0"])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let first = std::io::BufReader::new(stdout)
+            .lines()
+            .next()
+            .unwrap()
+            .unwrap();
+        let addr: std::net::SocketAddr = first
+            .strip_prefix("listening on ")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let body = format!("{{\"query\":{:?}}}", query);
+        let served = xks::serve::client::request(addr, "POST", "/search", body.as_bytes()).unwrap();
+        assert_eq!(served.status, 200);
+        let mut served_result = xks::store::json::parse(served.text()).unwrap();
+
+        for value in [&mut cli_result, &mut served_result] {
+            if let xks::store::json::Value::Obj(fields) = value {
+                fields.remove("timings_us");
+            }
+        }
+        assert_eq!(
+            xks::store::json::to_string(&served_result),
+            xks::store::json::to_string(&cli_result),
+            "{name}: served bytes diverged from the CLI render"
+        );
+
+        assert!(Command::new("kill")
+            .args(["-INT", &child.id().to_string()])
+            .status()
+            .unwrap()
+            .success());
+        assert!(child.wait().unwrap().success(), "{name}: SIGINT exit 0");
+    }
+}
