@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod mutable;
 pub mod plan;
 pub mod prune;
+pub mod quality;
 pub mod rank;
 pub mod request;
 pub mod rtf;
@@ -77,6 +78,7 @@ pub use plan::{
     choose_driver, choose_strategy, KeywordFilter, KeywordStats, PlanReport, PlanStrategy, TermPlan,
 };
 pub use prune::{prune, prune_owned, Policy};
+pub use quality::{assess, assess_all, AxiomCounts, QualityConfig, QualityReport};
 pub use rank::{rank, score_fragment, RankWeights, RankedFragment};
 pub use request::{Hit, SearchError, SearchRequest, SearchResponse, SearchStats, SearchTimeout};
 pub use rtf::{get_rtf, get_rtf_from_merged, get_rtf_unchecked, Rtf};

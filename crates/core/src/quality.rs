@@ -1,0 +1,377 @@
+//! Result-quality scoring for the workload matrix.
+//!
+//! Speed benchmarks alone cannot gate an optimization: a planner change
+//! that drops fragments still "wins" on q/s. This module scores an
+//! [`Algorithm`]'s output on a corpus + query set with
+//! precision/recall-style metrics plus per-axiom violation counts, so
+//! the `matrix` bench (and CI's `matrix-smoke` lane) can assert result
+//! quality next to throughput.
+//!
+//! **Reference set.** The exponential Definition-1/2 oracle in
+//! [`crate::spec`] cannot enumerate scenario-scale corpora, so the
+//! reference is the paper's own answer: ValidRTF's fragments (all
+//! interesting-LCA anchors, valid-contributor pruning — Definition 4's
+//! meaningful set). Precision/recall are computed micro-averaged over
+//! `(anchor, node)` pairs. This makes the scores *relative to the
+//! paper's semantics*, which is exactly the gate we want: ValidRTF
+//! scores 1.0 by construction, the revised MaxMatch keeps recall 1.0
+//! but loses precision to false-positive contributors, and SLCA-based
+//! MaxMatch loses recall at every missed (non-lowest) interesting LCA.
+//!
+//! **Axiom pass.** On top of the set overlap, each algorithm is run
+//! through the four axiomatic property checkers of [`crate::axioms`]
+//! under deterministic perturbations (a planted data insertion and a
+//! query extension per sampled query). The result-level reading of data
+//! consistency is used — the strict node-level reading is provably
+//! violated by *all* RTF pruning policies (see
+//! [`crate::axioms::check_data_consistency_strict`]) and would punish
+//! every algorithm equally. The combined [`QualityReport::score`] is
+//! `f1 × (1 − violations/checks)`.
+
+use xks_index::{InvertedIndex, Query};
+use xks_xmltree::{Dewey, XmlTree};
+
+use crate::algorithms::{max_match_rtf, max_match_slca, valid_rtf};
+use crate::axioms::{
+    check_data_consistency, check_data_monotonicity, check_query_consistency,
+    check_query_monotonicity, Algorithm,
+};
+use crate::fragment::Fragment;
+use std::collections::BTreeSet;
+
+/// Knobs for [`assess`]. The axiom pass re-runs the algorithm over
+/// perturbed corpora (each check rebuilds indexes), so it is sampled
+/// rather than exhaustive.
+#[derive(Debug, Clone)]
+pub struct QualityConfig {
+    /// Cap on queries scored for precision/recall.
+    pub max_queries: usize,
+    /// Cap on queries put through the axiom perturbations.
+    pub max_axiom_queries: usize,
+    /// Seed for the deterministic choice of insertion points.
+    pub seed: u64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            max_queries: 64,
+            max_axiom_queries: 4,
+            seed: 0xA210_5EED,
+        }
+    }
+}
+
+impl QualityConfig {
+    /// A config whose axiom pass is sized to the corpus: large trees
+    /// get fewer perturbation samples (each one costs several index
+    /// rebuilds).
+    #[must_use]
+    pub fn for_tree(tree: &XmlTree) -> Self {
+        QualityConfig {
+            max_axiom_queries: if tree.len() > 20_000 { 2 } else { 4 },
+            ..QualityConfig::default()
+        }
+    }
+}
+
+/// Violation tallies from the axiom pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AxiomCounts {
+    /// Total individual checks performed.
+    pub checks: usize,
+    /// Data-monotonicity violations.
+    pub data_monotonicity: usize,
+    /// Query-monotonicity violations.
+    pub query_monotonicity: usize,
+    /// Data-consistency violations (result-level reading).
+    pub data_consistency: usize,
+    /// Query-consistency violations.
+    pub query_consistency: usize,
+}
+
+impl AxiomCounts {
+    /// Total violations across the four axioms.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.data_monotonicity
+            + self.query_monotonicity
+            + self.data_consistency
+            + self.query_consistency
+    }
+}
+
+/// Quality scores for one algorithm over one corpus + query set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Queries scored.
+    pub queries: usize,
+    /// `(anchor, node)` pairs the algorithm returned (micro total).
+    pub returned_pairs: usize,
+    /// Pairs in the reference (ValidRTF) answer.
+    pub reference_pairs: usize,
+    /// Pairs in both.
+    pub common_pairs: usize,
+    /// `common / returned` (1.0 when nothing was returned).
+    pub precision: f64,
+    /// `common / reference` (1.0 when the reference is empty).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Axiom-pass tallies.
+    pub axioms: AxiomCounts,
+}
+
+impl QualityReport {
+    /// The combined axiom-derived quality score in `[0, 1]`:
+    /// `f1 × (1 − violations / checks)`.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        let axiom_factor = if self.axioms.checks == 0 {
+            1.0
+        } else {
+            1.0 - self.axioms.violations() as f64 / self.axioms.checks as f64
+        };
+        self.f1 * axiom_factor
+    }
+}
+
+/// The `(anchor, node)` pair set of a fragment list.
+fn pair_set(fragments: &[Fragment]) -> BTreeSet<(Dewey, Dewey)> {
+    let mut set = BTreeSet::new();
+    for f in fragments {
+        for d in f.deweys() {
+            set.insert((f.anchor.clone(), d));
+        }
+    }
+    set
+}
+
+/// splitmix64-style mixer for deterministic perturbation choices.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut h = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+/// Scores `algo` on `tree` over `queries` against the ValidRTF
+/// reference, including the sampled axiom pass.
+#[must_use]
+pub fn assess(
+    tree: &XmlTree,
+    queries: &[Query],
+    algo: Algorithm,
+    cfg: &QualityConfig,
+) -> QualityReport {
+    let index = InvertedIndex::build(tree);
+    let mut report = QualityReport {
+        queries: 0,
+        returned_pairs: 0,
+        reference_pairs: 0,
+        common_pairs: 0,
+        precision: 1.0,
+        recall: 1.0,
+        f1: 1.0,
+        axioms: AxiomCounts::default(),
+    };
+
+    for query in queries.iter().take(cfg.max_queries) {
+        let reference = pair_set(&valid_rtf(tree, &index, query));
+        let returned = pair_set(&algo(tree, &index, query));
+        report.queries += 1;
+        report.returned_pairs += returned.len();
+        report.reference_pairs += reference.len();
+        report.common_pairs += returned.intersection(&reference).count();
+    }
+
+    report.precision = ratio(report.common_pairs, report.returned_pairs);
+    report.recall = ratio(report.common_pairs, report.reference_pairs);
+    report.f1 = if report.precision + report.recall > 0.0 {
+        2.0 * report.precision * report.recall / (report.precision + report.recall)
+    } else {
+        0.0
+    };
+
+    report.axioms = axiom_pass(tree, queries, algo, cfg);
+    report
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Runs the four axiom checkers over deterministic perturbations of the
+/// first [`QualityConfig::max_axiom_queries`] queries.
+fn axiom_pass(
+    tree: &XmlTree,
+    queries: &[Query],
+    algo: Algorithm,
+    cfg: &QualityConfig,
+) -> AxiomCounts {
+    let mut counts = AxiomCounts::default();
+    // Extension pool: every keyword appearing anywhere in the query
+    // set (guaranteed to exist in the corpus for generated scenarios).
+    let pool: Vec<&String> = queries.iter().flat_map(Query::keywords).collect();
+
+    for (qi, query) in queries.iter().take(cfg.max_axiom_queries).enumerate() {
+        // Perturbation 1: insert a node carrying the query's first
+        // keyword under a deterministically-chosen parent.
+        let keyword = &query.keywords()[0];
+        let parent_rank = (mix(cfg.seed, qi as u64) % tree.len() as u64) as usize;
+        let mut after = tree.clone();
+        let parent = after.preorder().nth(parent_rank).expect("rank < len");
+        let inserted_id = after.insert_subtree(parent, "probe", Some(keyword));
+        let inserted = after.dewey(inserted_id).clone();
+
+        counts.checks += 2;
+        if !check_data_monotonicity(algo, tree, &after, query).holds() {
+            counts.data_monotonicity += 1;
+        }
+        if !check_data_consistency(algo, tree, &after, &inserted, query).holds() {
+            counts.data_consistency += 1;
+        }
+
+        // Perturbation 2: extend the query with a keyword drawn from
+        // the pool that it does not already contain.
+        let added = pool
+            .iter()
+            .find(|w| !query.keywords().contains(w))
+            .map(|w| (*w).clone());
+        if let Some(added) = added {
+            if let Ok(extended) = query.with_keyword(&added) {
+                counts.checks += 2;
+                if !check_query_monotonicity(algo, tree, query, &extended).holds() {
+                    counts.query_monotonicity += 1;
+                }
+                if !check_query_consistency(algo, tree, &extended, &added).holds() {
+                    counts.query_consistency += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The three paper algorithms in comparison order, with the names used
+/// throughout benches and reports.
+#[must_use]
+pub fn algorithms() -> [(&'static str, Algorithm); 3] {
+    [
+        ("valid_rtf", valid_rtf as Algorithm),
+        ("max_match_rtf", max_match_rtf as Algorithm),
+        ("max_match_slca", max_match_slca as Algorithm),
+    ]
+}
+
+/// Runs [`assess`] for ValidRTF, revised MaxMatch, and SLCA-MaxMatch.
+#[must_use]
+pub fn assess_all(
+    tree: &XmlTree,
+    queries: &[Query],
+    cfg: &QualityConfig,
+) -> Vec<(&'static str, QualityReport)> {
+    algorithms()
+        .into_iter()
+        .map(|(name, algo)| (name, assess(tree, queries, algo, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xks_xmltree::TreeBuilder;
+
+    /// A corpus where the root is an interesting LCA *above* an SLCA:
+    /// `t` holds both keywords, while `u`/`v` witness them separately
+    /// under `r` — so ELCA = {t, r} but SLCA = {t}.
+    fn elca_above_slca() -> XmlTree {
+        let mut b = TreeBuilder::new("r");
+        b.open("s");
+        b.leaf("t", "xml keyword");
+        b.close();
+        b.leaf("u", "xml");
+        b.leaf("v", "keyword");
+        b.build()
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            Query::parse("xml keyword").unwrap(),
+            Query::parse("xml").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn valid_rtf_is_the_fixed_point() {
+        let tree = elca_above_slca();
+        let report = assess(&tree, &queries(), valid_rtf, &QualityConfig::default());
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.axioms.violations(), 0);
+        assert_eq!(report.score(), 1.0);
+        assert!(report.axioms.checks > 0, "axiom pass must actually run");
+    }
+
+    #[test]
+    fn slca_loses_recall_on_missed_anchor() {
+        let tree = elca_above_slca();
+        let report = assess(&tree, &queries(), max_match_slca, &QualityConfig::default());
+        assert!(report.recall < 1.0, "recall {}", report.recall);
+        assert!(report.score() < 1.0);
+    }
+
+    #[test]
+    fn scores_are_ordered() {
+        let tree = elca_above_slca();
+        let reports = assess_all(&tree, &queries(), &QualityConfig::default());
+        assert_eq!(reports.len(), 3);
+        let valid = reports[0].1.score();
+        for (name, report) in &reports[1..] {
+            assert!(
+                valid >= report.score(),
+                "{name} scored {} > valid_rtf {valid}",
+                report.score()
+            );
+        }
+    }
+
+    #[test]
+    fn broken_algorithm_is_flagged() {
+        // Duplicates every fragment for multi-keyword queries: breaks
+        // query monotonicity (and precision stays 1.0 only because the
+        // pair *set* dedups — the axiom pass is what catches it).
+        fn broken(tree: &XmlTree, index: &InvertedIndex, query: &Query) -> Vec<Fragment> {
+            let frags = valid_rtf(tree, index, query);
+            if query.len() > 1 {
+                frags.iter().cloned().chain(frags.clone()).collect()
+            } else {
+                frags
+            }
+        }
+        let tree = elca_above_slca();
+        let report = assess(
+            &tree,
+            &queries(),
+            broken as Algorithm,
+            &QualityConfig::default(),
+        );
+        assert!(report.axioms.violations() > 0, "{:?}", report.axioms);
+        assert!(report.score() < report.f1);
+    }
+
+    #[test]
+    fn score_bounds_hold() {
+        let tree = elca_above_slca();
+        for (_, report) in assess_all(&tree, &queries(), &QualityConfig::default()) {
+            assert!((0.0..=1.0).contains(&report.precision));
+            assert!((0.0..=1.0).contains(&report.recall));
+            assert!((0.0..=1.0).contains(&report.f1));
+            assert!((0.0..=1.0).contains(&report.score()));
+        }
+    }
+}

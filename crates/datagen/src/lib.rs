@@ -25,6 +25,7 @@ pub mod dblp;
 pub mod freq;
 pub mod queries;
 pub mod random_tree;
+pub mod scenario;
 pub mod vocab;
 pub mod xmark;
 

@@ -86,6 +86,7 @@ fn main() -> ExitCode {
         "insert" => cmd_insert(&args[1..]),
         "delete" => cmd_delete(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
+        "workload" => cmd_workload(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -123,9 +124,14 @@ const USAGE: &str = "usage:
   xks compact --corpus <dir> [--shards N]
   xks search  --corpus <dir> \"<query>\" [\"<query>\" ...] [same flags, no --xml]
   xks stats   --corpus <dir> [--queries <queries.txt>] [same flags as stats --index]
+  xks workload list [--format json|text]
+  xks workload show <cell> [--format json|text]
+  xks workload generate <cell>|all [--out <dir>]
 
 query grammar: plain keywords, \"quoted phrases\", -excluded, label:word
 (docs/API.md documents the grammar, the JSON output schemas, and the
+workload-matrix cells behind xks workload are named
+s<scale>-<shape>-<skew>-<tenancy>, see docs/WORKLOADS.md;
 sharded index surface; --index sniffs the file magic, so a shard
 manifest from build-index --shards works everywhere a .xks does;
 docs/OBSERVABILITY.md covers --trace and the stats --index snapshot;
@@ -1371,6 +1377,206 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// -- workload matrix ----------------------------------------------------
+
+/// `xks workload` — list, inspect, and materialize the scenario cells
+/// of the workload matrix (see docs/WORKLOADS.md). Generated corpora
+/// and query files feed straight into `xks bench`/`xks search`.
+fn cmd_workload(args: &[String]) -> Result<(), String> {
+    use xks::datagen::scenario::ScenarioSpec;
+
+    let (positional, flags) = split_flags(args)?;
+    match positional.first().map(String::as_str) {
+        Some("list") => cmd_workload_list(&flags),
+        Some("show") => {
+            let name = positional
+                .get(1)
+                .ok_or_else(|| format!("workload show expects a cell name\n{USAGE}"))?;
+            let spec = ScenarioSpec::parse(name).ok_or_else(|| {
+                format!("unknown workload cell {name:?} (try: xks workload list)")
+            })?;
+            cmd_workload_show(&spec, &flags)
+        }
+        Some("generate") => {
+            let which = positional.get(1).ok_or_else(|| {
+                format!("workload generate expects a cell name or \"all\"\n{USAGE}")
+            })?;
+            let specs = if which == "all" {
+                ScenarioSpec::matrix()
+            } else {
+                vec![ScenarioSpec::parse(which).ok_or_else(|| {
+                    format!("unknown workload cell {which:?} (try: xks workload list)")
+                })?]
+            };
+            cmd_workload_generate(&specs, flags.get_str("out").unwrap_or("."))
+        }
+        Some(other) => Err(format!(
+            "unknown workload subcommand {other:?} (list | show | generate)\n{USAGE}"
+        )),
+        None => Err(format!(
+            "workload expects a subcommand: list | show <cell> | generate <cell>|all\n{USAGE}"
+        )),
+    }
+}
+
+fn workload_cell_meta(spec: &xks::datagen::scenario::ScenarioSpec) -> Value {
+    Value::Obj(wire::obj([
+        ("name", Value::Str(spec.name())),
+        ("scale", Value::Num(u64::from(spec.scale))),
+        ("shape", Value::Str(spec.shape.token().to_owned())),
+        ("skew", Value::Str(spec.skew.token().to_owned())),
+        ("tenancy", Value::Str(spec.tenancy.token())),
+        ("records", Value::Num(spec.records() as u64)),
+    ]))
+}
+
+fn cmd_workload_list(flags: &Flags) -> Result<(), String> {
+    use xks::datagen::scenario::ScenarioSpec;
+
+    let matrix = ScenarioSpec::matrix();
+    match Format::from_flags(flags)? {
+        Format::Json => {
+            let cells: Vec<Value> = matrix.iter().map(workload_cell_meta).collect();
+            let root = Value::Obj(wire::obj([
+                ("schema", Value::Str("xks-workload-list/1".to_owned())),
+                ("cells", Value::Arr(cells)),
+            ]));
+            println!("{}", json::to_string(&root));
+        }
+        Format::Text => {
+            println!(
+                "{:<26} {:>5}  {:<5} {:<8} {:<8} {:>8}",
+                "cell", "scale", "shape", "skew", "tenancy", "records"
+            );
+            for spec in &matrix {
+                println!(
+                    "{:<26} {:>5}  {:<5} {:<8} {:<8} {:>8}",
+                    spec.name(),
+                    spec.scale,
+                    spec.shape.token(),
+                    spec.skew.token(),
+                    spec.tenancy.token(),
+                    spec.records(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_workload_show(
+    spec: &xks::datagen::scenario::ScenarioSpec,
+    flags: &Flags,
+) -> Result<(), String> {
+    use xks::datagen::scenario::QueryClass;
+
+    let scenario = spec.generate();
+    let max_depth = scenario
+        .tree
+        .preorder()
+        .map(|id| scenario.tree.depth(id))
+        .max()
+        .unwrap_or(0);
+    match Format::from_flags(flags)? {
+        Format::Json => {
+            let classes: Vec<Value> = QueryClass::ALL
+                .iter()
+                .map(|class| {
+                    Value::Obj(wire::obj([
+                        ("class", Value::Str(class.name().to_owned())),
+                        (
+                            "queries",
+                            Value::Arr(
+                                scenario
+                                    .queries_of(*class)
+                                    .iter()
+                                    .map(|q| Value::Str((*q).to_owned()))
+                                    .collect(),
+                            ),
+                        ),
+                    ]))
+                })
+                .collect();
+            let mut root = workload_cell_meta(spec);
+            if let Value::Obj(map) = &mut root {
+                map.insert(
+                    "schema".to_owned(),
+                    Value::Str("xks-workload-show/1".to_owned()),
+                );
+                map.insert(
+                    "elements".to_owned(),
+                    Value::Num(scenario.tree.len() as u64),
+                );
+                map.insert("tenants".to_owned(), Value::Num(scenario.tenants as u64));
+                map.insert("max_depth".to_owned(), Value::Num(max_depth as u64));
+                map.insert("classes".to_owned(), Value::Arr(classes));
+            }
+            println!("{}", json::to_string(&root));
+        }
+        Format::Text => {
+            println!(
+                "{}: {} records, {} elements, {} tenant(s), max depth {}",
+                spec.name(),
+                scenario.records,
+                scenario.tree.len(),
+                scenario.tenants,
+                max_depth,
+            );
+            for class in QueryClass::ALL {
+                let queries = scenario.queries_of(class);
+                println!("  {} ({}):", class.name(), queries.len());
+                for q in queries {
+                    println!("    {q}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_workload_generate(
+    specs: &[xks::datagen::scenario::ScenarioSpec],
+    out: &str,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    use xks::datagen::scenario::QueryClass;
+    use xks::xmltree::writer::to_xml_compact;
+
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+    for spec in specs {
+        let name = spec.name();
+        let scenario = spec.generate();
+
+        let xml_path = dir.join(format!("{name}.xml"));
+        std::fs::write(&xml_path, to_xml_compact(&scenario.tree))
+            .map_err(|e| format!("cannot write {}: {e}", xml_path.display()))?;
+
+        // The query file doubles as an `xks bench --queries` workload:
+        // class markers are comments, which the bench reader skips.
+        let mut queries = format!("# workload cell {name} (seed {:#x})\n", spec.seed);
+        for class in QueryClass::ALL {
+            let _ = writeln!(queries, "# class: {}", class.name());
+            for q in scenario.queries_of(class) {
+                let _ = writeln!(queries, "{q}");
+            }
+        }
+        let q_path = dir.join(format!("{name}.queries.txt"));
+        std::fs::write(&q_path, queries)
+            .map_err(|e| format!("cannot write {}: {e}", q_path.display()))?;
+
+        eprintln!(
+            "wrote {} ({} records, {} elements) and {} ({} queries)",
+            xml_path.display(),
+            scenario.records,
+            scenario.tree.len(),
+            q_path.display(),
+            scenario.queries.len(),
+        );
+    }
+    Ok(())
+}
+
 // -- tiny flag parser ---------------------------------------------------
 
 struct Flags(Vec<(String, Option<String>)>);
@@ -1403,7 +1609,8 @@ impl Flags {
 /// and the `serve` knobs (`addr`, `port`, `workers`, `queue-depth`,
 /// `drain-ms`, `idle-ms`, `max-body-bytes`).
 fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
-    const VALUED: [&str; 24] = [
+    const VALUED: [&str; 25] = [
+        "out",
         "algo",
         "limit",
         "top",

@@ -1309,3 +1309,129 @@ fn serve_response_is_byte_identical_to_cli_search_json() {
         assert!(child.wait().unwrap().success(), "{name}: SIGINT exit 0");
     }
 }
+
+// -- workload matrix ----------------------------------------------------
+
+/// The committed grammar-mix fixture must flow through `xks bench
+/// --queries` end to end: every operator class (plain, phrase,
+/// exclusion, label filter, adversarial) parses and executes, closing
+/// the PR 10 grammar/bench gap.
+#[test]
+fn bench_accepts_full_grammar_query_file() {
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let out = xks()
+        .args(["bench"])
+        .arg(fixtures.join("grammar_corpus.xml"))
+        .args(["--queries"])
+        .arg(fixtures.join("grammar_mix.txt"))
+        .args(["--sweeps", "1", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    assert_eq!(value.get("queries").unwrap().as_u64(), Some(10));
+    assert!(value.get("fragments").unwrap().as_u64().unwrap() > 0);
+}
+
+#[test]
+fn workload_list_names_every_matrix_cell() {
+    let out = xks()
+        .args(["workload", "list", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    let cells = value.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells.len(), 12);
+    let names: Vec<&str> = cells
+        .iter()
+        .map(|c| c.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"s1-flat-zipf-single"), "{names:?}");
+    assert!(names.contains(&"s100-wide-zipf-multi8"), "{names:?}");
+}
+
+#[test]
+fn workload_show_reports_every_query_class() {
+    let out = xks()
+        .args([
+            "workload",
+            "show",
+            "s1-deep-uniform-single",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    assert!(value.get("max_depth").unwrap().as_u64().unwrap() >= 5);
+    let classes = value.get("classes").unwrap().as_arr().unwrap();
+    assert_eq!(classes.len(), 5);
+    for class in classes {
+        assert!(
+            !class.get("queries").unwrap().as_arr().unwrap().is_empty(),
+            "class {:?} has no queries",
+            class.get("class")
+        );
+    }
+}
+
+#[test]
+fn workload_show_rejects_unknown_cell() {
+    let out = xks()
+        .args(["workload", "show", "s1-spherical-zipf-single"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload cell"), "{stderr}");
+}
+
+/// `workload generate` output must round-trip: the emitted XML parses
+/// and the emitted query file (full grammar, class comments) drives
+/// `xks bench` on that very corpus with nonzero hits.
+#[test]
+fn workload_generate_feeds_bench_end_to_end() {
+    let dir = std::env::temp_dir().join("xks-cli-workload");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = xks()
+        .args(["workload", "generate", "s1-flat-zipf-single", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let bench = xks()
+        .args(["bench"])
+        .arg(dir.join("s1-flat-zipf-single.xml"))
+        .args(["--queries"])
+        .arg(dir.join("s1-flat-zipf-single.queries.txt"))
+        .args(["--sweeps", "1", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        bench.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&bench.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&bench.stdout);
+    let value = xks::store::json::parse(stdout.trim()).unwrap();
+    assert_eq!(value.get("queries").unwrap().as_u64(), Some(22));
+    assert!(value.get("fragments").unwrap().as_u64().unwrap() > 0);
+}
